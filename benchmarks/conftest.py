@@ -1,0 +1,17 @@
+"""pytest-benchmark configuration for the table/figure regeneration benches.
+
+Each benchmark file regenerates one artifact of the paper's evaluation
+(DESIGN.md §5 maps experiment ids to files).  The ``benchmark`` fixture
+measures the wall-clock cost of regenerating the artifact; the artifact's
+*content* — the virtual-time latencies that reproduce the paper's numbers —
+is attached to ``benchmark.extra_info`` and asserted in the test body, so
+``pytest benchmarks/ --benchmark-only`` both exercises and validates every
+reproduction.
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

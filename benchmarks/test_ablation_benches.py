@@ -1,0 +1,100 @@
+"""Ablation benches: policy complexity, hardening, marshalling, protection,
+argument size and machine sensitivity (DESIGN.md experiment ids abl-*)."""
+
+import pytest
+
+from repro.bench.ablations import (
+    run_argument_size_ablation,
+    run_hardening_ablation,
+    run_machine_sensitivity,
+    run_marshalling_ablation,
+    run_protection_ablation,
+)
+from repro.secmodule.dispatch import HardeningMode, MarshallingMode
+from repro.secmodule.protection import ProtectionMode
+from repro.workloads.policies import run_keynote_policy, run_policy_chain_sweep
+
+
+class TestPolicyComplexity:
+    def test_policy_complexity(self, benchmark):
+        """§5's claim: slowdown proportional to the policy check's complexity."""
+        sweep = benchmark.pedantic(
+            run_policy_chain_sweep,
+            kwargs={"lengths": (0, 2, 8, 32), "trials": 1, "sample_calls": 8},
+            iterations=1, rounds=1)
+        values = {p.complexity: round(p.mean_us_per_call, 3) for p in sweep.points}
+        benchmark.extra_info["us_per_call_by_chain_length"] = values
+        benchmark.extra_info["per_clause_us"] = round(sweep.per_clause_cost_us(), 4)
+        ordered = [values[k] for k in sorted(values)]
+        assert ordered == sorted(ordered)
+        assert sweep.per_clause_cost_us() == pytest.approx(140 / 599.0, rel=0.2)
+
+    def test_keynote_policy(self, benchmark):
+        sweep = benchmark.pedantic(
+            run_keynote_policy,
+            kwargs={"depths": (0, 4), "trials": 1, "sample_calls": 6},
+            iterations=1, rounds=1)
+        benchmark.extra_info["us_by_depth"] = {
+            p.complexity: round(p.mean_us_per_call, 3) for p in sweep.points}
+        assert sweep.points[0].mean_us_per_call < sweep.points[-1].mean_us_per_call
+
+
+class TestHardeningModes:
+    def test_hardening_modes(self, benchmark):
+        result = benchmark.pedantic(run_hardening_ablation,
+                                    kwargs={"trials": 1, "sample_calls": 8},
+                                    iterations=1, rounds=1)
+        benchmark.extra_info["us_by_mode"] = {
+            p.mode.value: round(p.mean_us, 3) for p in result.points}
+        assert (result.point(HardeningMode.NONE).mean_us
+                < result.point(HardeningMode.SUSPEND_CLIENT).mean_us
+                < result.point(HardeningMode.UNMAP_CLIENT).mean_us)
+
+
+class TestMarshallingModes:
+    def test_marshalling_modes(self, benchmark):
+        result = benchmark.pedantic(run_marshalling_ablation,
+                                    kwargs={"arg_word_counts": (1, 16), "calls": 6},
+                                    iterations=1, rounds=1)
+        benchmark.extra_info["points"] = {
+            f"{p.mode.value}/{p.arg_words}w": round(p.mean_us, 3)
+            for p in result.points}
+        assert (result.mean_us(MarshallingMode.EXPLICIT_COPY, 16)
+                > result.mean_us(MarshallingMode.SHARED_VM, 16))
+
+
+class TestProtectionModes:
+    def test_protection_modes(self, benchmark):
+        result = benchmark.pedantic(run_protection_ablation, kwargs={"calls": 6},
+                                    iterations=1, rounds=1)
+        benchmark.extra_info["registration_us"] = {
+            p.mode.value: round(p.registration_us, 1) for p in result.points}
+        assert (result.point(ProtectionMode.ENCRYPT).registration_us
+                > result.point(ProtectionMode.UNMAP).registration_us)
+        assert (result.point(ProtectionMode.ENCRYPT).per_call_us
+                == pytest.approx(result.point(ProtectionMode.UNMAP).per_call_us,
+                                 rel=0.02))
+
+
+class TestArgumentSizeSweep:
+    def test_argument_size_sweep(self, benchmark):
+        result = benchmark.pedantic(run_argument_size_ablation,
+                                    kwargs={"arg_word_counts": (1, 32), "calls": 4},
+                                    iterations=1, rounds=1)
+        benchmark.extra_info["points"] = {
+            f"{p.mechanism}/{p.arg_words}w": round(p.mean_us, 3)
+            for p in result.points}
+        assert result.crossover_absent()
+
+
+class TestMachineSensitivity:
+    def test_machine_sensitivity(self, benchmark):
+        result = benchmark.pedantic(run_machine_sensitivity,
+                                    kwargs={"trials": 1, "sample_calls": 8},
+                                    iterations=1, rounds=1)
+        benchmark.extra_info["rows"] = {
+            row.machine_name: {"smod_vs_native": round(row.smod_vs_native, 1),
+                               "rpc_vs_smod": round(row.rpc_vs_smod, 1)}
+            for row in result.rows}
+        for row in result.rows:
+            assert row.native_us < row.smod_us < row.rpc_us

@@ -1,0 +1,58 @@
+"""Figures 1, 2, 3 and 7: protocol/layout artifacts regenerated as benches."""
+
+import pytest
+
+from repro.bench.figure7 import reproduce_figure7
+from repro.bench.figures123 import (
+    FIGURE1_EXPECTED_SEQUENCE,
+    reproduce_figure1,
+    reproduce_figure2,
+    reproduce_figure3,
+)
+
+
+class TestFigure7Machine:
+    def test_fig7_machine_report(self, benchmark):
+        report = benchmark(reproduce_figure7)
+        benchmark.extra_info["mhz"] = report.mhz
+        benchmark.extra_info["hz"] = report.hz
+        assert report.mhz == pytest.approx(599.0)
+        assert report.hz == 100
+        assert "OpenBSD 3.6" in report.render()
+
+
+class TestFigure1InitSequence:
+    def test_fig1_init_sequence(self, benchmark):
+        report = benchmark.pedantic(reproduce_figure1, iterations=1, rounds=1)
+        benchmark.extra_info["steps"] = len(FIGURE1_EXPECTED_SEQUENCE)
+        assert report.follows_expected_order()
+        indices = report.step_indices()
+        assert indices["smod_find"] < indices["smod_start_session"]
+        assert indices["uvmspace_force_share"] < indices["smod_handle_info"]
+
+
+class TestFigure2AddressSpace:
+    def test_fig2_address_space(self, benchmark):
+        report = benchmark.pedantic(reproduce_figure2, iterations=1, rounds=1)
+        benchmark.extra_info["shared_entries"] = len(report.shared_entry_names)
+        assert "stack" in report.shared_entry_names
+        assert any(name.startswith("heap@") for name in report.shared_entry_names)
+        assert report.handle_layout.has_secret_region
+        assert not report.client_layout.has_secret_region
+        # the protected (decrypted) module text lives only in the handle
+        module_text = {name for name in report.handle_text_entries
+                       if name.startswith("smod:")}
+        assert module_text
+        assert not module_text & set(report.client_text_entries)
+
+
+class TestFigure3StackProtocol:
+    def test_fig3_stack_protocol(self, benchmark):
+        report = benchmark.pedantic(reproduce_figure3, kwargs={"argument": 41},
+                                    iterations=1, rounds=1)
+        benchmark.extra_info["result"] = report.result
+        assert report.result == 42
+        assert report.slot_kinds("step2") == ["arg", "ret", "fp", "m_id",
+                                              "func_id", "ret", "fp"]
+        assert report.slot_kinds("step3") == ["arg"]
+        assert report.slot_kinds("step4") == ["arg", "ret", "fp"]

@@ -1,0 +1,108 @@
+"""Figure 8: the dispatch-latency comparison table (the paper's headline result).
+
+Rows: native getpid(), SMOD(SMOD-getpid), SMOD(test-incr), RPC(test-incr).
+"""
+
+import pytest
+
+from repro.bench.figure8 import PAPER_RESULTS, reproduce_figure8
+from repro.kernel.cred import unprivileged
+from repro.kernel.kernel import make_booted_kernel
+from repro.rpc.rpcgen import generate_service
+from repro.rpc.rpcgen import testincr_interface as make_testincr_interface
+from repro.secmodule.api import SecModuleSystem
+from repro.workloads.microbench import PAPER_SPECS, run_native_getpid
+
+#: Trial shape used for the per-row benches (small enough to keep the
+#: pytest-benchmark wall-clock reasonable; the virtual-time results do not
+#: depend on it beyond the stdev column).
+TRIALS = 3
+SAMPLE_CALLS = 24
+
+
+def _spec(key):
+    return PAPER_SPECS[key].scaled(trials=TRIALS, sample_calls=SAMPLE_CALLS)
+
+
+class TestFigure8Rows:
+    def test_native_getpid(self, benchmark):
+        kernel = make_booted_kernel()
+        proc = kernel.create_process("bench", cred=unprivileged(1000))
+        kernel.syscall(proc, "getpid")
+
+        def one_call():
+            kernel.syscall(proc, "getpid")
+
+        benchmark(one_call)
+        mark = kernel.machine.clock.checkpoint()
+        one_call()
+        us = kernel.machine.clock.since(mark).microseconds(kernel.machine.spec.mhz)
+        benchmark.extra_info["virtual_us_per_call"] = us
+        benchmark.extra_info["paper_us_per_call"] = PAPER_RESULTS["getpid"]["mean_us"]
+        assert us == pytest.approx(PAPER_RESULTS["getpid"]["mean_us"], rel=0.05)
+
+    def test_smod_getpid(self, benchmark):
+        system = SecModuleSystem.create(seed=100)
+        system.call("getpid")
+
+        def one_call():
+            system.call("getpid")
+
+        benchmark(one_call)
+        mark = system.machine.clock.checkpoint()
+        one_call()
+        us = system.machine.clock.since(mark).microseconds(system.machine.spec.mhz)
+        benchmark.extra_info["virtual_us_per_call"] = us
+        benchmark.extra_info["paper_us_per_call"] = PAPER_RESULTS["smod_getpid"]["mean_us"]
+        assert us == pytest.approx(PAPER_RESULTS["smod_getpid"]["mean_us"], rel=0.10)
+
+    def test_smod_testincr(self, benchmark):
+        system = SecModuleSystem.create(seed=101)
+        assert system.call("test_incr", 41) == 42
+
+        def one_call():
+            system.call("test_incr", 41)
+
+        benchmark(one_call)
+        mark = system.machine.clock.checkpoint()
+        one_call()
+        us = system.machine.clock.since(mark).microseconds(system.machine.spec.mhz)
+        benchmark.extra_info["virtual_us_per_call"] = us
+        benchmark.extra_info["paper_us_per_call"] = PAPER_RESULTS["smod_testincr"]["mean_us"]
+        assert us == pytest.approx(PAPER_RESULTS["smod_testincr"]["mean_us"], rel=0.10)
+
+    def test_rpc_testincr(self, benchmark):
+        kernel = make_booted_kernel()
+        service = generate_service(kernel, make_testincr_interface())
+        proc = kernel.create_process("rpc-bench", cred=unprivileged(1000))
+        client = service.make_client(kernel, proc)
+        assert client.test_incr(41) == 42
+
+        def one_call():
+            client.test_incr(41)
+
+        benchmark(one_call)
+        mark = kernel.machine.clock.checkpoint()
+        one_call()
+        us = kernel.machine.clock.since(mark).microseconds(kernel.machine.spec.mhz)
+        benchmark.extra_info["virtual_us_per_call"] = us
+        benchmark.extra_info["paper_us_per_call"] = PAPER_RESULTS["rpc_testincr"]["mean_us"]
+        assert us == pytest.approx(PAPER_RESULTS["rpc_testincr"]["mean_us"], rel=0.10)
+
+
+class TestFigure8Table:
+    def test_figure8_table_shape(self, benchmark):
+        """Regenerate the whole table and check the paper's claims hold."""
+        table = benchmark.pedantic(
+            reproduce_figure8,
+            kwargs={"trials": TRIALS, "sample_calls": SAMPLE_CALLS, "seed": 7},
+            iterations=1, rounds=1)
+        benchmark.extra_info["rows"] = {
+            row.key: round(row.mean_us, 4) for row in table.rows}
+        benchmark.extra_info["smod_vs_native"] = round(table.smod_vs_native_factor(), 2)
+        benchmark.extra_info["rpc_vs_smod"] = round(table.rpc_vs_smod_factor(), 2)
+        assert table.ordering_matches_paper()
+        assert 7 <= table.smod_vs_native_factor() <= 13
+        assert 7 <= table.rpc_vs_smod_factor() <= 13
+        for row in table.rows:
+            assert row.relative_error() < 0.10

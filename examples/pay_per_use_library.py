@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""A pay-per-use / certified-users-only library (the paper's motivating cases).
+
+The introduction motivates SecModule with three scenarios: a library that is
+a revenue asset, a library that is a resource drain, and a library that is a
+security-critical choke point.  All three reduce to "who may call what, and
+under which conditions" — this example builds a module for each flavour:
+
+* ``libpricing`` — the owner issues per-principal credentials with a call
+  quota (pay-per-use); exhausting the quota turns further calls into EACCES;
+* ``libcrunch``  — a resource-hungry routine gated by a KeyNote policy that
+  only admits callers certified by the module owner (and logs delegated use);
+* a deny-listed dangerous entry point that nobody may call.
+
+Run:  python examples/pay_per_use_library.py
+"""
+
+from repro.kernel.errno import Errno
+from repro.secmodule.api import SecModuleSystem
+from repro.secmodule.keynote import Assertion, KeyNoteEngine, KeyNotePolicy, POLICY_AUTHORIZER
+from repro.secmodule.module import SecModuleDefinition
+from repro.secmodule.policy import (
+    CallQuotaPolicy,
+    CompositePolicy,
+    FunctionDenyPolicy,
+)
+from repro.sim import costs
+
+
+def build_pricing_module() -> SecModuleDefinition:
+    """Scenario 1: the library is a revenue asset — meter its use."""
+    policy = CompositePolicy([
+        CallQuotaPolicy(max_calls=3),
+        FunctionDenyPolicy(["internal_backdoor"]),
+    ])
+    module = SecModuleDefinition("libpricing", 1, policy=policy)
+    module.add_function("price_quote", lambda env, amount: amount * 105 // 100,
+                        doc="a 'valuable' pricing computation, metered per call")
+    module.add_function("internal_backdoor", lambda env: 0xDEAD,
+                        doc="never callable: denied by policy for everyone")
+    return module
+
+
+def build_crunch_module() -> SecModuleDefinition:
+    """Scenarios 2+3: expensive and dangerous — only certified callers."""
+    engine = KeyNoteEngine([
+        Assertion(POLICY_AUTHORIZER, ("crunch-owner",), comment="root of trust"),
+        Assertion("crunch-owner", ("alice",),
+                  conditions='app_domain == "SecModule" && calls < 2',
+                  comment="alice is certified for at most two runs"),
+    ])
+    module = SecModuleDefinition("libcrunch", 1, policy=KeyNotePolicy(engine))
+    module.add_function("crunch", lambda env, n: n * n,
+                        cost_op=costs.MALLOC_BODY,
+                        doc="a (simulated) expensive computation")
+    return module
+
+
+def main() -> int:
+    system = SecModuleSystem.create(
+        include_libc=False, include_test_module=False,
+        extra_modules=[build_pricing_module(), build_crunch_module()],
+        principal="alice")
+    print(system.describe())
+    print()
+
+    print("Metered pricing library (3-call quota per session):")
+    for i in range(4):
+        outcome = system.call_outcome("price_quote", 100 + i)
+        if outcome.ok:
+            print(f"  call {i + 1}: price_quote({100 + i}) -> {outcome.value}")
+        else:
+            print(f"  call {i + 1}: denied ({outcome.errno.name}) — quota exhausted")
+    assert system.call_outcome("price_quote", 1).errno is Errno.EACCES
+
+    print()
+    print("Deny-listed entry point:")
+    outcome = system.call_outcome("internal_backdoor")
+    print(f"  internal_backdoor() -> {outcome.errno.name}")
+
+    print()
+    print("KeyNote-certified expensive routine (alice certified for 2 runs):")
+    for i in range(3):
+        outcome = system.call_outcome("crunch", 10 + i)
+        status = outcome.value if outcome.ok else f"denied ({outcome.errno.name})"
+        print(f"  crunch({10 + i}) -> {status}")
+
+    print()
+    print("Per-call accounting kept by the session:")
+    for module in system.session.modules.values():
+        calls = system.session.calls_per_module.get(module.m_id, 0)
+        print(f"  {module.name:<12s} calls made: {calls}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

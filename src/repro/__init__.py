@@ -1,0 +1,35 @@
+"""Reproduction of "Base Line Performance Measurements of Access Controls
+for Libraries and Modules" (Kim & Prevelakis, IPPS 2006).
+
+The package implements the paper's SecModule framework on top of a
+cycle-accounted simulation of the OpenBSD 3.6 substrate it was built on,
+plus the local-RPC baseline it is compared against, and a benchmark harness
+that regenerates every table and figure of the evaluation.
+
+Quick start::
+
+    from repro import secmodule_system
+    system = secmodule_system()
+    result = system.call("test_incr", 41)      # a protected library call
+    assert result == 42
+
+See ``examples/quickstart.py`` and ``README.md`` for the longer tour.
+"""
+
+from ._version import PAPER_AUTHORS, PAPER_TITLE, PAPER_VENUE, __version__
+
+__all__ = [
+    "__version__", "PAPER_AUTHORS", "PAPER_TITLE", "PAPER_VENUE",
+    "secmodule_system",
+]
+
+
+def secmodule_system(**kwargs):
+    """Build a ready-to-use SecModule system (kernel + registered libc module).
+
+    Thin convenience wrapper around :class:`repro.secmodule.api.SecModuleSystem`;
+    imported lazily so that ``import repro`` stays cheap.
+    """
+    from .secmodule.api import SecModuleSystem
+
+    return SecModuleSystem.create(**kwargs)

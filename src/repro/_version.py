@@ -1,0 +1,11 @@
+"""Version information for the SecModule reproduction package."""
+
+__version__ = "1.0.0"
+
+#: The paper this package reproduces.
+PAPER_TITLE = (
+    "Base Line Performance Measurements of Access Controls for "
+    "Libraries and Modules"
+)
+PAPER_AUTHORS = ("Jason W. Kim", "Vassilis Prevelakis")
+PAPER_VENUE = "IPPS/IPDPS Workshops 2006"

@@ -1,0 +1,115 @@
+"""The experiment harness: every table and figure, one entry point each.
+
+``EXPERIMENTS`` maps experiment ids (as used in DESIGN.md's per-experiment
+index and EXPERIMENTS.md) to runner callables that return an object with a
+``render()`` method.  The CLI and the "regenerate everything" helper iterate
+over this table, so adding an experiment is one new entry here plus its
+benchmark file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..workloads.policies import run_keynote_policy, run_policy_chain_sweep
+from .ablations import (
+    run_argument_size_ablation,
+    run_hardening_ablation,
+    run_machine_sensitivity,
+    run_marshalling_ablation,
+    run_protection_ablation,
+)
+from .figure7 import reproduce_figure7
+from .figure8 import reproduce_figure8
+from .figures123 import reproduce_figure1, reproduce_figure2, reproduce_figure3
+from .report import render_table, section
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One regenerable experiment."""
+
+    experiment_id: str
+    title: str
+    runner: Callable[[], object]
+    kind: str = "figure"          # "figure" | "table" | "ablation"
+
+
+def _policy_sweep_report():
+    sweep = run_policy_chain_sweep()
+    keynote = run_keynote_policy()
+    rows = [[p.label, p.complexity, f"{p.mean_us_per_call:.3f}"]
+            for p in sweep.points + keynote.points]
+    text = render_table(["policy", "complexity", "microsec/CALL"], rows,
+                        title="Policy complexity sweep (synthetic chains + KeyNote)")
+    text += (f"\n\nper-clause cost (synthetic chain slope): "
+             f"{sweep.per_clause_cost_us():.4f} us/clause")
+
+    class _Report:
+        def __init__(self, rendered: str) -> None:
+            self._rendered = rendered
+            self.sweep = sweep
+            self.keynote = keynote
+
+        def render(self) -> str:
+            return self._rendered
+
+    return _Report(text)
+
+
+#: Every experiment the harness can regenerate, keyed by experiment id.
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    "fig1": ExperimentSpec("fig1", "SecModule initialization sequence",
+                           reproduce_figure1),
+    "fig2": ExperimentSpec("fig2", "Address space layout", reproduce_figure2),
+    "fig3": ExperimentSpec("fig3", "Stack manipulations", reproduce_figure3),
+    "fig7": ExperimentSpec("fig7", "Test system information", reproduce_figure7),
+    "fig8": ExperimentSpec("fig8", "Performance comparisons", reproduce_figure8,
+                           kind="table"),
+    "abl-policy": ExperimentSpec("abl-policy", "Policy complexity sweep",
+                                 _policy_sweep_report, kind="ablation"),
+    "abl-hardening": ExperimentSpec("abl-hardening", "§4.4 hardening modes",
+                                    run_hardening_ablation, kind="ablation"),
+    "abl-marshalling": ExperimentSpec("abl-marshalling",
+                                      "Shared-VM vs explicit-copy marshalling",
+                                      run_marshalling_ablation, kind="ablation"),
+    "abl-protection": ExperimentSpec("abl-protection", "Text protection modes",
+                                     run_protection_ablation, kind="ablation"),
+    "abl-argsize": ExperimentSpec("abl-argsize", "Argument-size scaling",
+                                  run_argument_size_ablation, kind="ablation"),
+    "abl-machine": ExperimentSpec("abl-machine", "Machine sensitivity",
+                                  run_machine_sensitivity, kind="ablation"),
+}
+
+
+@dataclass
+class ExperimentRun:
+    """An executed experiment: the spec, its result object and rendering."""
+
+    spec: ExperimentSpec
+    result: object
+    rendered: str
+
+
+def run_experiment(experiment_id: str) -> ExperimentRun:
+    """Run one experiment by id."""
+    spec = EXPERIMENTS[experiment_id]
+    result = spec.runner()
+    rendered = result.render() if hasattr(result, "render") else str(result)
+    return ExperimentRun(spec=spec, result=result, rendered=rendered)
+
+
+def run_all(experiment_ids: Optional[List[str]] = None) -> List[ExperimentRun]:
+    """Run several (default: all) experiments in DESIGN.md order."""
+    ids = experiment_ids or list(EXPERIMENTS)
+    return [run_experiment(experiment_id) for experiment_id in ids]
+
+
+def full_report(runs: List[ExperimentRun]) -> str:
+    """Concatenate experiment renderings into one report document."""
+    parts = []
+    for run in runs:
+        parts.append(section(f"[{run.spec.experiment_id}] {run.spec.title}",
+                             run.rendered))
+    return "\n".join(parts)

@@ -1,0 +1,43 @@
+"""Plain-text report rendering shared by the benchmark harness and the CLI."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]], *,
+                 title: str | None = None) -> str:
+    """Render an aligned ASCII table."""
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * w for w in widths]))
+    for row in rendered_rows:
+        parts.append(line(row))
+    return "\n".join(parts)
+
+
+def format_us(value: float, decimals: int = 6) -> str:
+    """Format a microsecond value the way the paper prints them."""
+    return f"{value:.{decimals}f}"
+
+
+def format_ratio(value: float) -> str:
+    return f"{value:.2f}x"
+
+
+def section(title: str, body: str) -> str:
+    """A titled report section."""
+    underline = "-" * len(title)
+    return f"{title}\n{underline}\n{body}\n"

@@ -1,0 +1,102 @@
+"""Command-line interface: ``secmodule-bench``.
+
+Regenerates the paper's tables and figures (and the ablations) from the
+command line::
+
+    secmodule-bench list                 # show available experiments
+    secmodule-bench fig8                 # the Figure 8 latency table
+    secmodule-bench fig8 --trials 3      # faster, fewer trials
+    secmodule-bench all -o report.txt    # everything, written to a file
+    secmodule-bench describe             # one-page tour of a live system
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench.figure8 import reproduce_figure8
+from .bench.harness import EXPERIMENTS, full_report, run_all, run_experiment
+from .secmodule.api import SecModuleSystem
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="secmodule-bench",
+        description="Regenerate the SecModule paper's tables, figures and ablations.")
+    parser.add_argument("-o", "--output", help="write the report to this file")
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("list", help="list available experiments")
+    subparsers.add_parser("describe",
+                          help="build a SecModule system and describe it")
+    all_parser = subparsers.add_parser("all", help="run every experiment")
+    all_parser.add_argument("--only", nargs="*", default=None,
+                            help="restrict to these experiment ids")
+
+    fig8_parser = subparsers.add_parser("fig8", help="the Figure 8 table")
+    fig8_parser.add_argument("--trials", type=int, default=None)
+    fig8_parser.add_argument("--sample-calls", type=int, default=None)
+    fig8_parser.add_argument("--seed", type=int, default=42)
+
+    for experiment_id in EXPERIMENTS:
+        if experiment_id == "fig8":
+            continue
+        subparsers.add_parser(experiment_id,
+                              help=EXPERIMENTS[experiment_id].title)
+    return parser
+
+
+def _emit(text: str, output: Optional[str]) -> None:
+    if output:
+        with open(output, "w", encoding="utf-8") as stream:
+            stream.write(text + "\n")
+        print(f"wrote {output}")
+    else:
+        print(text)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    command = args.command or "list"
+
+    if command == "list":
+        lines = [f"{experiment_id:<16s} {spec.title}"
+                 for experiment_id, spec in EXPERIMENTS.items()]
+        _emit("\n".join(lines), args.output)
+        return 0
+
+    if command == "describe":
+        system = SecModuleSystem.create()
+        body = [system.describe(), "",
+                f"native getpid()    -> {system.native_getpid()}",
+                f"SMOD test_incr(41) -> {system.call('test_incr', 41)}",
+                f"SMOD getpid()      -> {system.call('getpid')}"]
+        _emit("\n".join(body), args.output)
+        return 0
+
+    if command == "all":
+        runs = run_all(args.only)
+        _emit(full_report(runs), args.output)
+        return 0
+
+    if command == "fig8":
+        table = reproduce_figure8(trials=args.trials,
+                                  sample_calls=args.sample_calls,
+                                  seed=args.seed)
+        _emit(table.render(), args.output)
+        return 0
+
+    if command in EXPERIMENTS:
+        run = run_experiment(command)
+        _emit(run.rendered, args.output)
+        return 0
+
+    parser.error(f"unknown command {command!r}")
+    return 2
+
+
+if __name__ == "__main__":   # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Exception hierarchy shared across the SecModule reproduction.
+
+The simulated kernel reports most failures through errno return values, like
+the real OpenBSD kernel.  Exceptions in this module are reserved for
+*programming* errors against the simulation (misuse of the public API,
+violated invariants) rather than simulated failures, with the exception of
+:class:`SimulatedFault`, which models a hardware trap that the simulated
+kernel itself failed to resolve (a crash of the simulated process).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or wired up with inconsistent settings."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached a state that violates one of its invariants."""
+
+
+class SimulatedFault(ReproError):
+    """An unresolvable fault inside the simulated machine.
+
+    Examples: a simulated process touching an unmapped address that
+    ``uvm_fault`` cannot satisfy, executing encrypted text, or smashing the
+    simulated stack.  The faulting simulated process is killed; the Python
+    caller sees this exception only when running a program directly (outside
+    a :class:`~repro.kernel.proc.Proc` context that can absorb the kill).
+    """
+
+    def __init__(self, message: str, *, address: int | None = None,
+                 pid: int | None = None) -> None:
+        super().__init__(message)
+        self.address = address
+        self.pid = pid
+
+
+class ProtectionViolation(SimulatedFault):
+    """A simulated process attempted to bypass SecModule text protection."""
+
+
+class ToolchainError(ReproError):
+    """The object-file toolchain was asked to do something impossible."""
+
+
+class PolicyError(ReproError):
+    """A policy definition is malformed (distinct from a policy *denial*)."""

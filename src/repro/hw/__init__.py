@@ -1,0 +1,21 @@
+"""Hardware substrate: CPU, protection rings, TSC and machine descriptions."""
+
+from .cpu import CPU, CPUFeatureFlags, Ring
+from .machine import (
+    MACHINES,
+    Machine,
+    MachineSpec,
+    MODERN_WORKSTATION,
+    OPENBSD36_PIII,
+    PAGE_SIZE,
+    make_modern_machine,
+    make_paper_machine,
+)
+from .tsc import TimestampCounter
+
+__all__ = [
+    "CPU", "CPUFeatureFlags", "Ring",
+    "MACHINES", "Machine", "MachineSpec", "MODERN_WORKSTATION",
+    "OPENBSD36_PIII", "PAGE_SIZE", "make_modern_machine", "make_paper_machine",
+    "TimestampCounter",
+]

@@ -1,0 +1,31 @@
+"""Simulated OpenBSD-like kernel substrate.
+
+Processes, credentials, scheduler, syscall trap layer, SysV message queues,
+signals, ptrace/core-dump policy and the UVM virtual memory system — the
+substrate the SecModule framework (``repro.secmodule``) patches into.
+"""
+
+from .cred import ROOT, Ucred, unprivileged
+from .errno import Errno, SyscallResult, fail, ok
+from .kernel import HOOK_EVENTS, Kernel, make_booted_kernel
+from .proc import Proc, ProcFlag, ProcState, ProcTable
+from .ptrace import PtraceDecision, PtracePolicy, PtraceRequest
+from .sched import Scheduler
+from .signals import FATAL_BY_DEFAULT, Signal, SignalSystem, UNCATCHABLE
+from .syscall import SyscallEntry, SyscallTable
+from .sysv_msg import IPC_CREAT, IPC_NOWAIT, IPC_PRIVATE, Message, MessageQueue, SysVMsgSystem
+from .coredump import CoreDumpPolicy, CoreImage
+
+__all__ = [
+    "ROOT", "Ucred", "unprivileged",
+    "Errno", "SyscallResult", "fail", "ok",
+    "HOOK_EVENTS", "Kernel", "make_booted_kernel",
+    "Proc", "ProcFlag", "ProcState", "ProcTable",
+    "PtraceDecision", "PtracePolicy", "PtraceRequest",
+    "Scheduler",
+    "FATAL_BY_DEFAULT", "Signal", "SignalSystem", "UNCATCHABLE",
+    "SyscallEntry", "SyscallTable",
+    "IPC_CREAT", "IPC_NOWAIT", "IPC_PRIVATE", "Message", "MessageQueue",
+    "SysVMsgSystem",
+    "CoreDumpPolicy", "CoreImage",
+]

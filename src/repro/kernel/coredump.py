@@ -1,0 +1,61 @@
+"""Core dump policy.
+
+Paper §3.1, required OS change #3: *"Processes no longer generate a core
+image when they crash.  Certainly no Handle process should!  Otherwise, fi
+can be easily stolen by the user."*
+
+The simulated dumper honours that: any process carrying the ``NOCORE`` flag
+or participating in a SecModule session produces no core image, and even
+for ordinary processes any map entry marked ``no_core`` (encrypted text
+mapped into a handle, the secret stack) is excluded from the image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .proc import Proc, ProcFlag
+
+
+@dataclass
+class CoreImage:
+    """What a core dump would have contained (names + sizes, not bytes)."""
+
+    pid: int
+    segments: List[tuple] = field(default_factory=list)   # (name, start, size)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(size for _, _, size in self.segments)
+
+
+class CoreDumpPolicy:
+    """Decides whether, and what, to dump when a process crashes."""
+
+    def __init__(self) -> None:
+        self.suppressed: List[int] = []
+        self.written: List[CoreImage] = []
+
+    def should_dump(self, proc: Proc) -> bool:
+        if proc.has_flag(ProcFlag.NOCORE):
+            return False
+        if proc.has_flag(ProcFlag.SMOD_HANDLE) or proc.has_flag(ProcFlag.SMOD_CLIENT):
+            # The paper disables core images for both halves of a session:
+            # the client's dump would contain the shared data pages, which
+            # may hold module-internal state spilled onto the shared stack.
+            return False
+        return True
+
+    def dump(self, proc: Proc) -> Optional[CoreImage]:
+        """Produce a core image, or record the suppression and return None."""
+        if not self.should_dump(proc):
+            self.suppressed.append(proc.pid)
+            return None
+        image = CoreImage(pid=proc.pid)
+        for entry in proc.vmspace.vm_map:
+            if entry.no_core:
+                continue
+            image.segments.append((entry.name, entry.start, entry.size))
+        self.written.append(image)
+        return image

@@ -1,0 +1,49 @@
+"""UNIX credentials.
+
+The paper contrasts SecModule with the "coarse-grain binary privilege
+escalation" of traditional UNIX, where access rights hang off the login ID.
+The simulated kernel therefore carries ordinary ``uid``/``gid`` credentials
+on every process — they are what the *baseline* UNIX access-control checks
+consult — while SecModule's richer credentials live in
+:mod:`repro.secmodule.credentials` and are checked by the policy engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+
+@dataclass(frozen=True)
+class Ucred:
+    """Immutable process credentials (struct ucred)."""
+
+    uid: int = 0
+    gid: int = 0
+    groups: Tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def is_root(self) -> bool:
+        return self.uid == 0
+
+    def member_of(self, gid: int) -> bool:
+        return gid == self.gid or gid in self.groups
+
+    def with_uid(self, uid: int) -> "Ucred":
+        return Ucred(uid=uid, gid=self.gid, groups=self.groups)
+
+    def describe(self) -> str:
+        extra = f",groups={list(self.groups)}" if self.groups else ""
+        return f"uid={self.uid},gid={self.gid}{extra}"
+
+
+#: The superuser credential.
+ROOT = Ucred(uid=0, gid=0)
+
+
+def unprivileged(uid: int, gid: int | None = None,
+                 groups: FrozenSet[int] | Tuple[int, ...] = ()) -> Ucred:
+    """Convenience constructor for an ordinary user credential."""
+    if uid == 0:
+        raise ValueError("unprivileged() must not construct uid 0; use ROOT")
+    return Ucred(uid=uid, gid=uid if gid is None else gid, groups=tuple(groups))

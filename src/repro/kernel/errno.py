@@ -1,0 +1,69 @@
+"""Errno values and the syscall result convention.
+
+The simulated kernel follows the BSD convention: a syscall either returns a
+non-negative value or fails with a positive errno.  :class:`SyscallResult`
+carries both so user-level wrappers can mimic the C ``ret == -1 && errno``
+idiom without Python exceptions on the (hot) success path.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+class Errno(enum.IntEnum):
+    """The subset of OpenBSD errno values the simulation needs."""
+
+    EPERM = 1          # operation not permitted
+    ENOENT = 2         # no such file, module, or registered SecModule
+    ESRCH = 3          # no such process
+    EINTR = 4
+    EIO = 5
+    ENOMEM = 12        # cannot allocate memory
+    EACCES = 13        # permission denied (credential/policy rejection)
+    EFAULT = 14        # bad address
+    EBUSY = 16
+    EEXIST = 17        # already registered
+    EINVAL = 22        # invalid argument
+    ENOSYS = 78        # function not implemented
+    EAGAIN = 35
+    ENOMSG = 90        # no message of desired type
+    EIDRM = 82         # identifier removed
+
+
+@dataclass(frozen=True)
+class SyscallResult:
+    """Outcome of one simulated system call."""
+
+    value: Any = 0
+    errno: Optional[Errno] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.errno is None
+
+    @property
+    def failed(self) -> bool:
+        return self.errno is not None
+
+    def unwrap(self) -> Any:
+        """Return the value, raising if the call actually failed.
+
+        Only test code and examples use this; the simulated userland checks
+        ``ok`` explicitly like C code checks ``-1``.
+        """
+        if self.failed:
+            raise OSError(int(self.errno), f"simulated syscall failed: {self.errno.name}")
+        return self.value
+
+
+def ok(value: Any = 0) -> SyscallResult:
+    """Successful syscall result."""
+    return SyscallResult(value=value)
+
+
+def fail(errno: Errno) -> SyscallResult:
+    """Failed syscall result carrying ``errno``."""
+    return SyscallResult(value=-1, errno=errno)

@@ -1,0 +1,62 @@
+"""ptrace policy.
+
+Paper §3.1, required OS change #4: *"ptrace() and related kernel calls must
+not allow tracing of any processes associated with the handle."*  Otherwise
+the client's owner could simply attach a debugger to the handle and read the
+decrypted text of the protected functions out of its address space.
+
+The simulation models only the attach decision — that is the security-
+relevant part — not the full register-peeking API.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .errno import Errno
+from .proc import Proc, ProcFlag
+
+
+class PtraceRequest(enum.Enum):
+    ATTACH = "PT_ATTACH"
+    READ_I = "PT_READ_I"      # read from the text (instruction) space
+    READ_D = "PT_READ_D"
+    DETACH = "PT_DETACH"
+
+
+@dataclass(frozen=True)
+class PtraceDecision:
+    allowed: bool
+    errno: Optional[Errno] = None
+    reason: str = ""
+
+
+class PtracePolicy:
+    """Decides whether a tracer may operate on a target process."""
+
+    def __init__(self) -> None:
+        self.denials: List[tuple] = []
+
+    def check(self, tracer: Proc, target: Proc,
+              request: PtraceRequest) -> PtraceDecision:
+        # The SecModule rule comes first and is absolute: even root may not
+        # trace a handle, because root on the *client's* machine is not
+        # necessarily trusted by the module's owner.
+        if target.has_flag(ProcFlag.NOTRACE) or target.has_flag(ProcFlag.SMOD_HANDLE):
+            decision = PtraceDecision(
+                allowed=False, errno=Errno.EPERM,
+                reason="target is a SecModule handle (or NOTRACE)")
+            self.denials.append((tracer.pid, target.pid, request))
+            return decision
+        # Ordinary UNIX rule: same uid or root.
+        if tracer.cred.uid != 0 and tracer.cred.uid != target.cred.uid:
+            decision = PtraceDecision(allowed=False, errno=Errno.EPERM,
+                                      reason="uid mismatch")
+            self.denials.append((tracer.pid, target.pid, request))
+            return decision
+        if not target.alive:
+            return PtraceDecision(allowed=False, errno=Errno.ESRCH,
+                                  reason="no such process")
+        return PtraceDecision(allowed=True)

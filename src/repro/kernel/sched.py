@@ -1,0 +1,132 @@
+"""Process scheduler.
+
+A deliberately simple run-to-block scheduler: the simulation is
+single-CPU and every benchmark path is synchronous, so what matters is not
+scheduling *policy* but scheduling *cost* — every time control moves from
+one process to another a full context switch is charged, because those two
+switches per call are a large share of the SecModule dispatch latency (and
+two more are a large share of the RPC baseline's).
+
+The paper's "second approach" to the multithreaded-client attack (§4.4) —
+forcibly removing the client from the ready queue while the handle executes
+on its behalf — is implemented here as :meth:`Scheduler.suspend` /
+:meth:`Scheduler.resume`, and exercised by the hardened-dispatch ablation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from ..errors import SimulationError
+from ..sim import costs
+from .proc import Proc, ProcState
+
+
+class Scheduler:
+    """Ready queue + current process + sleep/wakeup channels."""
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        self.ready: Deque[Proc] = deque()
+        self.current: Optional[Proc] = None
+        self._sleepers: Dict[str, List[Proc]] = {}
+        self.context_switches = 0
+        self._suspended: set[int] = set()
+
+    # -- state transitions ----------------------------------------------------
+    def make_runnable(self, proc: Proc) -> None:
+        if not proc.alive:
+            raise SimulationError(f"cannot schedule dead process {proc.pid}")
+        if proc.pid in self._suspended:
+            return  # stays off the queue until resumed
+        if proc.state is ProcState.RUNNING or proc in self.ready:
+            return
+        proc.state = ProcState.RUNNABLE
+        proc.wchan = None
+        self.ready.append(proc)
+        self.machine.charge(costs.SCHED_ENQUEUE)
+
+    def switch_to(self, proc: Proc) -> Proc:
+        """Context switch to ``proc``; returns the previously running process."""
+        if not proc.alive:
+            raise SimulationError(f"cannot switch to dead process {proc.pid}")
+        previous = self.current
+        if previous is proc:
+            return proc
+        if previous is not None and previous.state is ProcState.RUNNING:
+            previous.state = ProcState.RUNNABLE
+        try:
+            self.ready.remove(proc)
+        except ValueError:
+            pass
+        proc.state = ProcState.RUNNING
+        proc.wchan = None
+        self.current = proc
+        self.context_switches += 1
+        self.machine.charge(costs.CONTEXT_SWITCH)
+        return previous if previous is not None else proc
+
+    def sleep(self, proc: Proc, wchan: str) -> None:
+        """Block ``proc`` on ``wchan`` (tsleep)."""
+        if not proc.alive:
+            raise SimulationError(f"cannot sleep dead process {proc.pid}")
+        proc.state = ProcState.SLEEPING
+        proc.wchan = wchan
+        self._sleepers.setdefault(wchan, []).append(proc)
+        try:
+            self.ready.remove(proc)
+        except ValueError:
+            pass
+        if self.current is proc:
+            self.current = None
+
+    def wakeup(self, wchan: str) -> List[Proc]:
+        """Wake every process sleeping on ``wchan`` (wakeup)."""
+        woken = self._sleepers.pop(wchan, [])
+        for proc in woken:
+            if proc.alive:
+                self.machine.charge(costs.SCHED_WAKEUP)
+                proc.state = ProcState.RUNNABLE
+                proc.wchan = None
+                if proc.pid not in self._suspended:
+                    self.ready.append(proc)
+        return woken
+
+    def sleeping_on(self, wchan: str) -> List[Proc]:
+        return list(self._sleepers.get(wchan, []))
+
+    # -- the §4.4 hardening hooks ---------------------------------------------
+    def suspend(self, proc: Proc) -> None:
+        """Forcibly remove ``proc`` (and conceptually all its threads) from
+        the ready queue for the duration of a protected call."""
+        self._suspended.add(proc.pid)
+        try:
+            self.ready.remove(proc)
+        except ValueError:
+            pass
+
+    def resume(self, proc: Proc) -> None:
+        self._suspended.discard(proc.pid)
+        if proc.alive and proc.state is ProcState.RUNNABLE and proc not in self.ready:
+            self.ready.append(proc)
+
+    def is_suspended(self, proc: Proc) -> bool:
+        return proc.pid in self._suspended
+
+    # -- bookkeeping ------------------------------------------------------------
+    def remove(self, proc: Proc) -> None:
+        """Drop a (now dead) process from every scheduler structure."""
+        try:
+            self.ready.remove(proc)
+        except ValueError:
+            pass
+        for sleepers in self._sleepers.values():
+            if proc in sleepers:
+                sleepers.remove(proc)
+        if self.current is proc:
+            self.current = None
+        self._suspended.discard(proc.pid)
+
+    def run_queue_length(self) -> int:
+        return len(self.ready)

@@ -1,0 +1,101 @@
+"""Signals.
+
+Only the slice of the BSD signal machinery SecModule cares about is
+modelled: posting, pending sets, default dispositions, and — the part §4.3
+of the paper calls out — the rule that signals aimed at a SecModule *pair*
+must affect the client, never the handle.  Killing a client also tears down
+its handle (a handle without a client is useless and would leak protected
+text), which is enforced here and relied on by the session-lifetime tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Optional
+
+from .proc import Proc, ProcFlag, ProcState
+
+
+class Signal(enum.IntEnum):
+    SIGHUP = 1
+    SIGINT = 2
+    SIGQUIT = 3
+    SIGILL = 4
+    SIGABRT = 6
+    SIGKILL = 9
+    SIGSEGV = 11
+    SIGPIPE = 13
+    SIGTERM = 15
+    SIGCHLD = 20
+    SIGUSR1 = 30
+    SIGUSR2 = 31
+
+
+#: Signals whose default action terminates the process.
+FATAL_BY_DEFAULT = frozenset({
+    Signal.SIGHUP, Signal.SIGINT, Signal.SIGQUIT, Signal.SIGILL,
+    Signal.SIGABRT, Signal.SIGKILL, Signal.SIGSEGV, Signal.SIGPIPE,
+    Signal.SIGTERM,
+})
+
+#: Signals that may not be caught or ignored.
+UNCATCHABLE = frozenset({Signal.SIGKILL})
+
+
+class SignalSystem:
+    """Posts and delivers signals to simulated processes."""
+
+    def __init__(self, kernel) -> None:
+        self.kernel = kernel
+        self.delivered_log: List[tuple] = []
+
+    # -- disposition management -------------------------------------------------
+    def set_action(self, proc: Proc, signo: Signal,
+                   action: str | Callable) -> None:
+        """Install a disposition: "default", "ignore", or a Python handler."""
+        if signo in UNCATCHABLE and action != "default":
+            raise PermissionError(f"{signo.name} cannot be caught or ignored")
+        proc.signal_actions[int(signo)] = action
+
+    def action_for(self, proc: Proc, signo: Signal) -> str | Callable:
+        return proc.signal_actions.get(int(signo), "default")
+
+    # -- posting ------------------------------------------------------------------
+    def post(self, target: Proc, signo: Signal, *, sender: Optional[Proc] = None) -> Proc:
+        """Post ``signo`` to ``target``, applying the SecModule redirection.
+
+        Returns the process the signal was actually recorded against (the
+        client when ``target`` was a handle).
+        """
+        actual = target.effective_client()
+        actual.pending_signals.add(int(signo))
+        self.delivered_log.append((sender.pid if sender else None,
+                                   actual.pid, int(signo)))
+        return actual
+
+    # -- delivery -------------------------------------------------------------------
+    def deliver_pending(self, proc: Proc) -> List[Signal]:
+        """Deliver every pending signal; returns the list delivered.
+
+        Delivery of a fatal-by-default, uncaught signal exits the process
+        through the kernel, which also tears down any SecModule session
+        (killing the handle) via the kernel's exit path.
+        """
+        delivered: List[Signal] = []
+        for signo_value in sorted(proc.pending_signals):
+            signo = Signal(signo_value)
+            delivered.append(signo)
+            action = self.action_for(proc, signo)
+            if action == "ignore":
+                continue
+            if callable(action):
+                action(proc, signo)
+                continue
+            if signo in FATAL_BY_DEFAULT:
+                self.kernel.exit_process(proc, status=128 + int(signo))
+                break
+        proc.pending_signals.clear()
+        return delivered
+
+    def pending(self, proc: Proc) -> List[Signal]:
+        return [Signal(s) for s in sorted(proc.pending_signals)]

@@ -1,0 +1,50 @@
+"""Standard system-call implementations and their registration."""
+
+from .. import syscall as sysno
+from .mem_calls import sys_mmap_anon, sys_munmap, sys_obreak
+from .msg_calls import sys_msgctl_rmid, sys_msgget, sys_msgrcv, sys_msgsnd
+from .proc_calls import (
+    sys_execve,
+    sys_exit,
+    sys_fork,
+    sys_getpid,
+    sys_getppid,
+    sys_kill,
+    sys_ptrace,
+    sys_wait4,
+)
+
+#: (number, name, handler, arg_words) for every standard syscall.
+STANDARD_SYSCALLS = (
+    (sysno.SYS_exit, "exit", sys_exit, 1),
+    (sysno.SYS_fork, "fork", sys_fork, 0),
+    (sysno.SYS_getpid, "getpid", sys_getpid, 0),
+    (sysno.SYS_getppid, "getppid", sys_getppid, 0),
+    (sysno.SYS_kill, "kill", sys_kill, 2),
+    (sysno.SYS_obreak, "obreak", sys_obreak, 1),
+    (sysno.SYS_execve, "execve", sys_execve, 3),
+    (sysno.SYS_wait4, "wait4", sys_wait4, 2),
+    (sysno.SYS_ptrace, "ptrace", sys_ptrace, 4),
+    (sysno.SYS_msgget, "msgget", sys_msgget, 2),
+    (sysno.SYS_msgsnd, "msgsnd", sys_msgsnd, 4),
+    (sysno.SYS_msgrcv, "msgrcv", sys_msgrcv, 5),
+    (sysno.SYS_msgctl, "msgctl", sys_msgctl_rmid, 3),
+    (71, "mmap", sys_mmap_anon, 6),
+    (73, "munmap", sys_munmap, 2),
+)
+
+
+def register_standard_syscalls(kernel) -> None:
+    """Install every standard syscall into a kernel's dispatch table."""
+    for number, name, handler, arg_words in STANDARD_SYSCALLS:
+        kernel.syscalls.register(number, name, handler, arg_words=arg_words)
+
+
+__all__ = [
+    "STANDARD_SYSCALLS",
+    "register_standard_syscalls",
+    "sys_execve", "sys_exit", "sys_fork", "sys_getpid", "sys_getppid",
+    "sys_kill", "sys_ptrace", "sys_wait4",
+    "sys_mmap_anon", "sys_munmap", "sys_obreak",
+    "sys_msgctl_rmid", "sys_msgget", "sys_msgrcv", "sys_msgsnd",
+]

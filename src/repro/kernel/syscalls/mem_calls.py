@@ -1,0 +1,49 @@
+"""Memory-related system calls: obreak (brk) and mmap/munmap-lite.
+
+``obreak`` is the interesting one: the paper modified ``sys_obreak`` so that
+heap growth requested by either half of a SecModule pair creates *shared*
+mappings visible to both processes — otherwise a ``malloc`` running inside
+the handle would extend a heap the client cannot see.  The handler passes
+the pairing information down to :meth:`VMSpace.sys_obreak`, which performs
+exactly that.
+"""
+
+from __future__ import annotations
+
+from ..errno import Errno, SyscallResult, fail, ok
+from ..proc import Proc
+from ..uvm.layout import HEAP_LIMIT, PAGE_SIZE
+from ..uvm.map import Protection
+
+
+def sys_obreak(kernel, proc: Proc, new_break: int) -> SyscallResult:
+    """Set the heap break; returns the (page-aligned) new break."""
+    if new_break < 0 or new_break > HEAP_LIMIT:
+        return fail(Errno.ENOMEM)
+    is_pair = proc.is_smod_client or proc.is_smod_handle
+    try:
+        result = proc.vmspace.sys_obreak(new_break, smod_pair=is_pair)
+    except Exception:
+        return fail(Errno.ENOMEM)
+    return ok(result)
+
+
+def sys_mmap_anon(kernel, proc: Proc, addr: int, length: int) -> SyscallResult:
+    """A minimal anonymous mmap used by the userland malloc for big blocks."""
+    if length <= 0 or addr % PAGE_SIZE:
+        return fail(Errno.EINVAL)
+    try:
+        entry = proc.vmspace.vm_map.uvm_map(addr, length, Protection.rw(),
+                                            name=f"mmap@{addr:#x}")
+    except Exception:
+        return fail(Errno.ENOMEM)
+    return ok(entry.start)
+
+
+def sys_munmap(kernel, proc: Proc, addr: int, length: int) -> SyscallResult:
+    if length <= 0:
+        return fail(Errno.EINVAL)
+    removed = proc.vmspace.vm_map.uvm_unmap(addr, addr + length)
+    if removed == 0:
+        return fail(Errno.EINVAL)
+    return ok(0)

@@ -1,0 +1,58 @@
+"""SysV message queue system calls: msgget, msgsnd, msgrcv, msgctl.
+
+These are the synchronization primitive the paper reuses for the
+client/handle rendezvous (§4.1), and they are also used — unchanged — by
+the loopback RPC baseline's transport, which keeps the comparison honest:
+both dispatch mechanisms block and wake through the same kernel machinery.
+"""
+
+from __future__ import annotations
+
+from ..errno import Errno, SyscallResult, fail, ok
+from ..proc import Proc
+from ..sysv_msg import Message
+
+
+def sys_msgget(kernel, proc: Proc, key: int, flags: int = 0) -> SyscallResult:
+    try:
+        msqid = kernel.msg.msgget(proc, key, flags)
+    except KeyError:
+        return fail(Errno.ENOENT)
+    return ok(msqid)
+
+
+def sys_msgsnd(kernel, proc: Proc, msqid: int, mtype: int,
+               payload: tuple = ()) -> SyscallResult:
+    try:
+        kernel.msg.msgsnd(proc, msqid, Message(mtype=mtype, payload=tuple(payload)))
+    except KeyError:
+        return fail(Errno.EINVAL)
+    except BlockingIOError:
+        return fail(Errno.EAGAIN)
+    return ok(0)
+
+
+def sys_msgrcv(kernel, proc: Proc, msqid: int, mtype: int = 0,
+               flags: int = 0) -> SyscallResult:
+    try:
+        message = kernel.msg.msgrcv(proc, msqid, mtype, flags)
+    except KeyError:
+        return fail(Errno.EINVAL)
+    except BlockingIOError:
+        return fail(Errno.ENOMSG)
+    if message is None:
+        # Caller must block; the synchronous benchmark drivers never hit this
+        # path because they sequence send-before-receive explicitly.
+        kernel.msg.block_receiver(proc, msqid)
+        return fail(Errno.EAGAIN)
+    return ok(message)
+
+
+def sys_msgctl_rmid(kernel, proc: Proc, msqid: int) -> SyscallResult:
+    try:
+        kernel.msg.msgctl_remove(proc, msqid)
+    except KeyError:
+        return fail(Errno.EINVAL)
+    except PermissionError:
+        return fail(Errno.EPERM)
+    return ok(0)

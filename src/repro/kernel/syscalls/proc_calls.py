@@ -1,0 +1,80 @@
+"""Process-related system calls: getpid, getppid, fork, execve, exit, wait4, kill, ptrace.
+
+``getpid`` deserves a comment because it *is* one of the paper's benchmarks:
+the native row of Figure 8 is a tight loop of ``getpid()`` calls, chosen
+because the call does nearly nothing inside the kernel, so its latency is a
+clean measurement of the trap machinery alone.  The handler below therefore
+charges only :data:`~repro.sim.costs.FUNC_BODY_GETPID` beyond what the trap
+layer already charged.
+
+Note also the §4.3 rule baked into ``getpid``/``getppid``: when the caller
+is a SecModule *handle* running a call on behalf of its client, the pid
+returned is the *client's*.
+"""
+
+from __future__ import annotations
+
+from ...sim import costs
+from ..errno import Errno, SyscallResult, fail, ok
+from ..proc import Proc, ProcState
+from ..ptrace import PtraceRequest
+from ..signals import Signal
+
+
+def sys_getpid(kernel, proc: Proc) -> SyscallResult:
+    kernel.machine.charge(costs.FUNC_BODY_GETPID)
+    return ok(proc.effective_client().pid)
+
+
+def sys_getppid(kernel, proc: Proc) -> SyscallResult:
+    kernel.machine.charge(costs.FUNC_BODY_GETPID)
+    return ok(proc.effective_client().ppid)
+
+
+def sys_fork(kernel, proc: Proc) -> SyscallResult:
+    child = kernel.fork_process(proc)
+    return ok(child.pid)
+
+
+def sys_execve(kernel, proc: Proc, plan, new_name: str | None = None) -> SyscallResult:
+    if plan is None:
+        return fail(Errno.EINVAL)
+    kernel.exec_process(proc, plan, new_name=new_name)
+    return ok(0)
+
+
+def sys_exit(kernel, proc: Proc, status: int = 0) -> SyscallResult:
+    kernel.exit_process(proc, status=status)
+    return ok(0)
+
+
+def sys_wait4(kernel, proc: Proc, pid: int) -> SyscallResult:
+    """Collect one zombie child.  Non-blocking variant: returns EAGAIN when
+    the child exists but has not exited, ESRCH when it is not our child."""
+    child = kernel.procs.lookup(pid)
+    if child is None or child.ppid != proc.pid:
+        return fail(Errno.ESRCH)
+    if child.state is not ProcState.ZOMBIE:
+        return fail(Errno.EAGAIN)
+    status = kernel.reap(proc, pid)
+    return ok(status if status is not None else 0)
+
+
+def sys_kill(kernel, proc: Proc, pid: int, signo: int) -> SyscallResult:
+    target = kernel.procs.lookup(pid)
+    if target is None or not target.alive:
+        return fail(Errno.ESRCH)
+    if proc.cred.uid != 0 and proc.cred.uid != target.cred.uid:
+        return fail(Errno.EPERM)
+    kernel.signals.post(target, Signal(signo), sender=proc)
+    return ok(0)
+
+
+def sys_ptrace(kernel, proc: Proc, request: PtraceRequest, pid: int) -> SyscallResult:
+    target = kernel.procs.lookup(pid)
+    if target is None:
+        return fail(Errno.ESRCH)
+    decision = kernel.ptrace.check(proc, target, request)
+    if not decision.allowed:
+        return fail(decision.errno or Errno.EPERM)
+    return ok(0)

@@ -1,0 +1,56 @@
+"""Simulated UVM virtual memory system (reference [6] of the paper).
+
+Implements the Figure 6 API surface: ``uvm_map`` / ``uvm_map_internal`` /
+``uvm_map_shared_internal`` / ``uvm_unmap`` on :class:`VMMap`, the modified
+``uvm_fault`` with peer-share resolution, and ``uvmspace_fork`` /
+``uvmspace_force_share`` / ``sys_obreak`` on :class:`VMSpace`.
+"""
+
+from .fault import FaultOutcome, FaultResult, FaultType, fault_or_die, uvm_fault
+from .layout import (
+    AddressSpaceLayout,
+    DATA_BASE,
+    HEAP_LIMIT,
+    KERNEL_BASE,
+    PAGE_SIZE,
+    SECRET_BASE,
+    SECRET_HEAP_BASE,
+    SECRET_SIZE,
+    SECRET_STACK_TOP,
+    SHARE_END,
+    SHARE_START,
+    STACK_INITIAL_PAGES,
+    STACK_MAX_PAGES,
+    STACK_TOP,
+    TEXT_BASE,
+    in_secret_region,
+    in_share_region,
+    page_align_down,
+    page_align_up,
+    pages_in,
+)
+from .map import (
+    EntryKind,
+    Protection,
+    VMMap,
+    VMMapEntry,
+    read_memory,
+    uvm_force_share,
+    uvm_map_shared_internal,
+    write_memory,
+)
+from .page import AMap, Anon, PageAllocator, PhysicalPage, UVMObject
+from .space import VMSpace, uvmspace_fork, uvmspace_force_share
+
+__all__ = [
+    "FaultOutcome", "FaultResult", "FaultType", "fault_or_die", "uvm_fault",
+    "AddressSpaceLayout", "DATA_BASE", "HEAP_LIMIT", "KERNEL_BASE",
+    "PAGE_SIZE", "SECRET_BASE", "SECRET_HEAP_BASE", "SECRET_SIZE",
+    "SECRET_STACK_TOP", "SHARE_END", "SHARE_START", "STACK_INITIAL_PAGES",
+    "STACK_MAX_PAGES", "STACK_TOP", "TEXT_BASE", "in_secret_region",
+    "in_share_region", "page_align_down", "page_align_up", "pages_in",
+    "EntryKind", "Protection", "VMMap", "VMMapEntry", "read_memory",
+    "uvm_force_share", "uvm_map_shared_internal", "write_memory",
+    "AMap", "Anon", "PageAllocator", "PhysicalPage", "UVMObject",
+    "VMSpace", "uvmspace_fork", "uvmspace_force_share",
+]

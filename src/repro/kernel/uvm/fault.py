@@ -1,0 +1,125 @@
+"""Page fault handling, including the paper's forced-share fault path.
+
+Section 4.1: *"we needed to modify the low level ``uvm_fault()`` routine,
+such that on an 'unavailable mapping' error, ``uvm_fault()`` examines the
+faulting address with respect to the other process, to see whether it has a
+valid mapping for that address.  If so, then ``uvm_fault()`` maps that entry
+onto the faulting address as a share."*
+
+That modification is what keeps the client and handle views coherent as the
+client's heap and stack grow *after* the initial ``uvmspace_force_share``.
+The simulated fault handler reproduces it: a fault in the share window first
+tries the faulting process's own map, then — if the process is half of a
+SecModule pair — the peer's map, sharing the peer's entry on success.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ...errors import SimulatedFault
+from ...sim import costs
+from .layout import in_share_region
+from .map import EntryKind, Protection, VMMap
+
+
+class FaultType(enum.Enum):
+    """Why the MMU faulted."""
+
+    INVALID = "invalid"        # no mapping / not-present page
+    PROTECTION = "protection"  # mapping exists, access not permitted
+    WIRE = "wire"
+
+
+class FaultOutcome(enum.Enum):
+    """How the fault was resolved."""
+
+    RESOLVED_ZERO_FILL = "zero_fill"           # fresh anon page allocated
+    RESOLVED_EXISTING = "existing"             # page was already present
+    RESOLVED_OBJECT = "object"                 # paged in from a uvm_object
+    RESOLVED_PEER_SHARE = "peer_share"         # the SecModule modification
+    FATAL = "fatal"                            # SIGSEGV territory
+
+
+@dataclass
+class FaultResult:
+    outcome: FaultOutcome
+    entry_name: str = ""
+
+    @property
+    def fatal(self) -> bool:
+        return self.outcome is FaultOutcome.FATAL
+
+
+def uvm_fault(orig_map: VMMap, vaddr: int, fault_type: FaultType,
+              access_type: Protection, *,
+              peer_map: Optional[VMMap] = None,
+              machine=None) -> FaultResult:
+    """Resolve a fault against ``orig_map`` (Figure 6's modified signature).
+
+    Parameters
+    ----------
+    peer_map:
+        The vm_map of the *other* half of a SecModule pair (client for a
+        handle fault and vice versa), or ``None`` for an ordinary process.
+    machine:
+        Cost-charging machine; falls back to the map's own machine.
+    """
+    machine = machine or orig_map.machine
+    machine.charge(costs.UVM_FAULT_BASE)
+
+    entry = orig_map.lookup(vaddr)
+    if entry is not None:
+        if not entry.protection.allows(access_type):
+            return FaultResult(outcome=FaultOutcome.FATAL, entry_name=entry.name)
+        if entry.kind is EntryKind.OBJECT:
+            machine.charge(costs.UVM_PAGE_OP)
+            return FaultResult(outcome=FaultOutcome.RESOLVED_OBJECT,
+                               entry_name=entry.name)
+        slot = entry.slot_of(vaddr)
+        existing = entry.amap.lookup(slot)
+        if existing is None:
+            entry.amap.ensure(slot, orig_map.allocator)
+            machine.charge(costs.UVM_PAGE_OP)
+            return FaultResult(outcome=FaultOutcome.RESOLVED_ZERO_FILL,
+                               entry_name=entry.name)
+        machine.charge(costs.UVM_PAGE_OP)
+        return FaultResult(outcome=FaultOutcome.RESOLVED_EXISTING,
+                           entry_name=entry.name)
+
+    # "Unavailable mapping" error: the SecModule modification.  Only
+    # addresses inside the forced-share window are eligible, and only when
+    # the faulting process actually has a peer.
+    if peer_map is not None and in_share_region(vaddr):
+        peer_entry = peer_map.lookup(vaddr)
+        if peer_entry is not None and peer_entry.kind is EntryKind.ANON:
+            machine.charge(costs.UVM_FAULT_SHARE)
+            peer_entry.shared = True
+            orig_map.uvm_map(peer_entry.start, peer_entry.size,
+                             peer_entry.protection,
+                             amap=peer_entry.amap.ref(), shared=True,
+                             name=peer_entry.name,
+                             no_core=peer_entry.no_core)
+            machine.charge(costs.UVM_PAGE_OP, peer_entry.pages)
+            return FaultResult(outcome=FaultOutcome.RESOLVED_PEER_SHARE,
+                               entry_name=peer_entry.name)
+
+    return FaultResult(outcome=FaultOutcome.FATAL)
+
+
+def fault_or_die(orig_map: VMMap, vaddr: int, access_type: Protection, *,
+                 peer_map: Optional[VMMap] = None, pid: Optional[int] = None,
+                 machine=None) -> FaultResult:
+    """Like :func:`uvm_fault`, but raise :class:`SimulatedFault` on FATAL.
+
+    Used by the user-level memory accessors, where an unresolved fault means
+    the simulated process would have been killed with SIGSEGV.
+    """
+    result = uvm_fault(orig_map, vaddr, FaultType.INVALID, access_type,
+                       peer_map=peer_map, machine=machine)
+    if result.fatal:
+        raise SimulatedFault(
+            f"unresolvable fault at {vaddr:#x}", address=vaddr, pid=pid)
+    return result

@@ -1,0 +1,103 @@
+"""Process address-space layout (the geometry of the paper's Figure 2).
+
+Figure 2 shows the client and handle sharing "the address ranges that start
+just below the traditional OpenBSD data segment, to just above the end of
+the traditional OpenBSD stack segment bottom", with the handle additionally
+owning a *secret stack/heap* region that the client cannot see.  The
+constants here pin that geometry down for the simulated i386 machine; the
+UVM force-share code and the SecModule session code both consult them, and
+the Figure 2 benchmark renders them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Page size of the simulated MMU (matches repro.hw.machine.PAGE_SIZE).
+PAGE_SIZE = 4096
+
+#: Traditional i386 OpenBSD-ish layout, simplified to round numbers.
+TEXT_BASE = 0x0000_1000
+TEXT_MAX = 0x07FF_F000          # text must fit below the data segment
+
+DATA_BASE = 0x0800_0000          # "traditional OpenBSD data segment"
+HEAP_LIMIT = 0x8000_0000         # obreak may not grow past this
+
+STACK_TOP = 0xDFBF_E000          # user stack grows down from here
+STACK_INITIAL_PAGES = 16         # pages mapped for a fresh main stack
+STACK_MAX_PAGES = 2048           # 8 MB rlimit-style cap
+
+#: The region forcibly shared between a SecModule client and its handle:
+#: everything from the start of the data segment up to the stack top —
+#: data, heap, mmap'd anon memory and the stack itself.  Text is excluded.
+SHARE_START = DATA_BASE
+SHARE_END = STACK_TOP
+
+#: The handle's secret stack/heap (Figure 2's hatched region).  It lies
+#: outside [SHARE_START, SHARE_END) so it is never shared with the client.
+SECRET_BASE = 0xE000_0000
+SECRET_SIZE = 0x0010_0000        # 1 MB: top half stack, bottom half heap
+SECRET_STACK_TOP = SECRET_BASE + SECRET_SIZE
+SECRET_HEAP_BASE = SECRET_BASE
+
+#: Kernel space starts here; user mappings may never reach it.
+KERNEL_BASE = 0xF000_0000
+
+
+def page_align_down(addr: int) -> int:
+    return addr & ~(PAGE_SIZE - 1)
+
+
+def page_align_up(addr: int) -> int:
+    return (addr + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+
+
+def pages_in(start: int, end: int) -> int:
+    """Number of whole pages covering [start, end)."""
+    if end <= start:
+        return 0
+    return (page_align_up(end) - page_align_down(start)) // PAGE_SIZE
+
+
+def in_share_region(addr: int) -> bool:
+    """Is ``addr`` inside the client/handle forced-share window?"""
+    return SHARE_START <= addr < SHARE_END
+
+
+def in_secret_region(addr: int) -> bool:
+    """Is ``addr`` inside the handle's secret stack/heap?"""
+    return SECRET_BASE <= addr < SECRET_BASE + SECRET_SIZE
+
+
+@dataclass(frozen=True)
+class AddressSpaceLayout:
+    """A named summary of one process's region boundaries.
+
+    Produced by :meth:`repro.kernel.uvm.space.VMSpace.layout_summary` and
+    rendered by the Figure 2 reproduction; equality of the shared portion of
+    two layouts is the testable core of the paper's address-space claim.
+    """
+
+    text_start: int
+    text_end: int
+    data_start: int
+    heap_break: int
+    stack_bottom: int
+    stack_top: int
+    has_secret_region: bool
+
+    def shared_window(self) -> tuple[int, int]:
+        return (SHARE_START, SHARE_END)
+
+    def describe(self) -> str:
+        lines = [
+            f"text   [{self.text_start:#010x}, {self.text_end:#010x})",
+            f"data   [{self.data_start:#010x}, {self.heap_break:#010x})  (break)",
+            f"stack  [{self.stack_bottom:#010x}, {self.stack_top:#010x})",
+            f"shared window [{SHARE_START:#010x}, {SHARE_END:#010x})",
+        ]
+        if self.has_secret_region:
+            lines.append(
+                f"secret stack/heap [{SECRET_BASE:#010x}, "
+                f"{SECRET_BASE + SECRET_SIZE:#010x})  (handle only)")
+        return "\n".join(lines)

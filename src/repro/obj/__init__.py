@@ -1,0 +1,38 @@
+"""Object-file substrate: images, symbols, archives, linker, loader, crt0."""
+
+from .archive import Archive, build_archive
+from .crt0 import (
+    ENTRY_SYMBOL,
+    ModuleRequirement,
+    SECMODULE_CRT0_CALLS,
+    decode_module_descriptors,
+    make_module_descriptor_object,
+    make_secmodule_crt0,
+    make_standard_crt0,
+)
+from .image import (
+    ObjectImage,
+    Relocation,
+    RelocationType,
+    Section,
+    Symbol,
+    SymbolBinding,
+    SymbolType,
+    WORD_SIZE,
+    make_function_image,
+)
+from .linker import DEFAULT_TEXT_BASE, LinkMapEntry, LinkResult, link
+from .loader import LoadPlan, LoadSegment, build_load_plan
+from .symbols import SymbolTable, grep_function_symbols, objdump_t
+
+__all__ = [
+    "Archive", "build_archive",
+    "ENTRY_SYMBOL", "ModuleRequirement", "SECMODULE_CRT0_CALLS",
+    "decode_module_descriptors", "make_module_descriptor_object",
+    "make_secmodule_crt0", "make_standard_crt0",
+    "ObjectImage", "Relocation", "RelocationType", "Section", "Symbol",
+    "SymbolBinding", "SymbolType", "WORD_SIZE", "make_function_image",
+    "DEFAULT_TEXT_BASE", "LinkMapEntry", "LinkResult", "link",
+    "LoadPlan", "LoadSegment", "build_load_plan",
+    "SymbolTable", "grep_function_symbols", "objdump_t",
+]

@@ -1,0 +1,78 @@
+"""Static library archives (the ``.a`` files of the paper's toolchain).
+
+A :class:`Archive` is an ordered collection of relocatable
+:class:`~repro.obj.image.ObjectImage` members plus a global symbol index,
+mirroring ``ar`` archives with a ranlib index.  ``libc.a`` in the
+reproduction is such an archive; the SecModule packer consumes it whole.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import ToolchainError
+from .image import ObjectImage, Symbol, SymbolBinding
+
+
+@dataclass
+class Archive:
+    """An ``ar``-style static library."""
+
+    name: str
+    members: List[ObjectImage] = field(default_factory=list)
+    _index: Dict[str, str] = field(default_factory=dict)  # symbol -> member name
+
+    def add_member(self, image: ObjectImage) -> ObjectImage:
+        if image.kind != "relocatable":
+            raise ToolchainError(
+                f"archive members must be relocatable objects, got "
+                f"{image.kind!r} for {image.name!r}")
+        if any(m.name == image.name for m in self.members):
+            raise ToolchainError(
+                f"archive {self.name!r} already has a member {image.name!r}")
+        self.members.append(image)
+        for symbol in image.defined_symbols():
+            if symbol.binding is SymbolBinding.LOCAL:
+                continue
+            # ranlib keeps the first definition, like ld's archive semantics
+            self._index.setdefault(symbol.name, image.name)
+        return image
+
+    def member(self, name: str) -> ObjectImage:
+        for image in self.members:
+            if image.name == name:
+                return image
+        raise ToolchainError(f"archive {self.name!r} has no member {name!r}")
+
+    def member_defining(self, symbol: str) -> Optional[ObjectImage]:
+        member_name = self._index.get(symbol)
+        if member_name is None:
+            return None
+        return self.member(member_name)
+
+    def global_symbols(self) -> List[str]:
+        return sorted(self._index)
+
+    def function_symbols(self) -> List[Symbol]:
+        out: List[Symbol] = []
+        for member in self.members:
+            out.extend(member.function_symbols())
+        return out
+
+    def total_text_bytes(self) -> int:
+        return sum(sum(s.size for s in m.text_sections()) for m in self.members)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __iter__(self):
+        return iter(self.members)
+
+
+def build_archive(name: str, members: Iterable[ObjectImage]) -> Archive:
+    """Convenience constructor used by the synthetic libc builder."""
+    archive = Archive(name=name)
+    for member in members:
+        archive.add_member(member)
+    return archive

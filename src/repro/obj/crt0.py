@@ -1,0 +1,153 @@
+"""Startup objects (``crt0``).
+
+The paper's client programs are linked against a *custom* ``crt0`` whose job
+is to perform the SecModule handshake (Figure 1, steps 1–4) before handing
+control to ``smod_client_main()``.  This module builds both the ordinary
+crt0 (calls ``main`` then ``exit``) and the SecModule variant as synthetic
+relocatable objects the mini linker understands, plus the descriptor objects
+that carry module name/version and credentials — the paper's "objects that
+hold the name and version of the needed SecModules, as well as the
+credentials that allow access".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from .image import (
+    ObjectImage,
+    Relocation,
+    RelocationType,
+    Section,
+    Symbol,
+    SymbolType,
+    WORD_SIZE,
+)
+
+#: Size, in bytes, of the synthetic crt0 text body.
+_CRT0_TEXT_SIZE = 96
+#: Entry symbol every executable must expose.
+ENTRY_SYMBOL = "start"
+
+
+def make_standard_crt0() -> ObjectImage:
+    """The ordinary startup object: ``start`` calls ``main`` then ``exit``."""
+    image = ObjectImage(name="crt0.o")
+    text = image.add_section(Section(name=".text", executable=True,
+                                     data=bytearray(_CRT0_TEXT_SIZE)))
+    image.add_section(Section(name=".data", writable=True, data=bytearray(16)))
+    image.add_symbol(Symbol(name=ENTRY_SYMBOL, section=".text", offset=0,
+                            size=text.size))
+    # call main; call exit
+    image.add_relocation(Relocation(section=".text", offset=WORD_SIZE * 2,
+                                    symbol="main",
+                                    rel_type=RelocationType.PCREL32))
+    image.add_relocation(Relocation(section=".text", offset=WORD_SIZE * 4,
+                                    symbol="exit",
+                                    rel_type=RelocationType.PCREL32))
+    return image
+
+
+#: The handshake calls the SecModule crt0 must perform, in Figure 1 order.
+SECMODULE_CRT0_CALLS: Sequence[str] = (
+    "smod_find",
+    "smod_start_session",
+    "smod_handle_info",
+    "smod_client_main",
+    "exit",
+)
+
+
+def make_secmodule_crt0() -> ObjectImage:
+    """The SecModule startup object.
+
+    Its text body contains one call site per handshake step so that the
+    linked client executable carries relocations for every step of Figure 1;
+    the runtime (``repro.userland.process``) then performs those calls in the
+    same order.
+    """
+    image = ObjectImage(name="smod_crt0.o")
+    size = _CRT0_TEXT_SIZE + WORD_SIZE * 2 * len(SECMODULE_CRT0_CALLS)
+    text = image.add_section(Section(name=".text", executable=True,
+                                     data=bytearray(size)))
+    image.add_section(Section(name=".data", writable=True, data=bytearray(32)))
+    image.add_symbol(Symbol(name=ENTRY_SYMBOL, section=".text", offset=0,
+                            size=text.size))
+    for index, callee in enumerate(SECMODULE_CRT0_CALLS):
+        image.add_relocation(Relocation(
+            section=".text",
+            offset=WORD_SIZE * 2 * (index + 1),
+            symbol=callee,
+            rel_type=RelocationType.PCREL32))
+    return image
+
+
+@dataclass(frozen=True)
+class ModuleRequirement:
+    """One SecModule the client needs: name, version, credential blob."""
+
+    module_name: str
+    version: int
+    credential_bytes: bytes
+
+
+def make_module_descriptor_object(requirements: Sequence[ModuleRequirement]
+                                  ) -> ObjectImage:
+    """Build the data object holding module names/versions and credentials.
+
+    The SecModule link step appends this object so the crt0 handshake can
+    find, at a fixed symbol (``__smod_requirements``), everything it needs to
+    pass to ``sys_smod_start_session``.
+    """
+    image = ObjectImage(name="smod_descriptors.o")
+    payload = bytearray()
+    offsets: List[int] = []
+    for requirement in requirements:
+        offsets.append(len(payload))
+        encoded_name = requirement.module_name.encode("utf-8")[:32].ljust(32, b"\0")
+        payload.extend(encoded_name)
+        payload.extend(int(requirement.version).to_bytes(4, "little"))
+        payload.extend(len(requirement.credential_bytes).to_bytes(4, "little"))
+        payload.extend(requirement.credential_bytes)
+        # pad each record to a word boundary
+        while len(payload) % WORD_SIZE:
+            payload.append(0)
+    if not payload:
+        payload = bytearray(WORD_SIZE)
+    data = image.add_section(Section(name=".data", writable=False,
+                                     data=payload))
+    image.add_section(Section(name=".text", executable=True,
+                              data=bytearray(WORD_SIZE * 2)))
+    image.add_symbol(Symbol(name="__smod_requirements", section=".data",
+                            offset=0, size=data.size,
+                            sym_type=SymbolType.OBJECT))
+    image.notes["requirements"] = list(requirements)
+    image.notes["record_offsets"] = offsets
+    return image
+
+
+def decode_module_descriptors(image: ObjectImage) -> List[ModuleRequirement]:
+    """Parse the records written by :func:`make_module_descriptor_object`.
+
+    The runtime handshake reads the descriptor *bytes* back rather than
+    trusting ``notes`` so that the round trip through the object format is
+    actually exercised.
+    """
+    section = image.get_section(".data")
+    raw = bytes(section.data)
+    out: List[ModuleRequirement] = []
+    cursor = 0
+    while cursor + 40 <= len(raw):
+        name = raw[cursor:cursor + 32].rstrip(b"\0").decode("utf-8")
+        if not name:
+            break
+        version = int.from_bytes(raw[cursor + 32:cursor + 36], "little")
+        cred_len = int.from_bytes(raw[cursor + 36:cursor + 40], "little")
+        cred = raw[cursor + 40:cursor + 40 + cred_len]
+        out.append(ModuleRequirement(module_name=name, version=version,
+                                     credential_bytes=cred))
+        cursor += 40 + cred_len
+        while cursor % WORD_SIZE:
+            cursor += 1
+    return out

@@ -1,0 +1,285 @@
+"""Miniature object-file format.
+
+The SecModule toolchain in the paper operates on real ELF objects: it runs
+``objdump -t`` over ``libc.a`` to enumerate function symbols, generates an
+assembly stub per function, encrypts the text of the protected library while
+*skipping every byte the link editor may still need to patch* (relocation
+sites), and links a special ``crt0`` into client programs.
+
+This module provides a small but faithful stand-in: an :class:`ObjectImage`
+made of named :class:`Section` byte blobs, :class:`Symbol` entries and
+:class:`Relocation` records.  It is deliberately simpler than ELF (no
+segment headers, no dynamic section) but rich enough that
+
+* the objdump-like tool has a real symbol table to walk,
+* the packer has real relocation holes to leave unencrypted, and
+* the linker has real relocations to patch, which the tests then verify
+  survived encryption untouched.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import ToolchainError
+
+#: Word size of the simulated i386 target, in bytes.
+WORD_SIZE = 4
+
+
+class SymbolType(enum.Enum):
+    """The symbol classes the toolchain distinguishes.
+
+    Matches what ``objdump -t | grep ' F '`` relies on: function symbols are
+    marked ``F``, data objects ``O``, and local labels are untyped.
+    """
+
+    FUNC = "F"
+    OBJECT = "O"
+    NOTYPE = " "
+
+
+class SymbolBinding(enum.Enum):
+    GLOBAL = "g"
+    LOCAL = "l"
+    WEAK = "w"
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """A named location inside a section."""
+
+    name: str
+    section: str
+    offset: int
+    size: int
+    sym_type: SymbolType = SymbolType.FUNC
+    binding: SymbolBinding = SymbolBinding.GLOBAL
+
+    def objdump_line(self) -> str:
+        """Render the ``objdump -t`` style line for this symbol."""
+        flags = f"{self.binding.value}     {self.sym_type.value}"
+        return (f"{self.offset:08x} {flags} {self.section}\t"
+                f"{self.size:08x} {self.name}")
+
+
+class RelocationType(enum.Enum):
+    """Relocation kinds the mini linker understands."""
+
+    ABS32 = "R_386_32"          # absolute 32-bit address
+    PCREL32 = "R_386_PC32"      # PC-relative 32-bit (call/jmp targets)
+    GOT32 = "R_386_GOT32"       # via global offset table (dynamic objects)
+
+
+@dataclass(frozen=True)
+class Relocation:
+    """A patch site: ``WORD_SIZE`` bytes at ``section[offset]``.
+
+    The packer must never encrypt these bytes — the paper is explicit that
+    only text *not* corresponding to relocation or linking data is encrypted,
+    so the encrypted library stays linkable with stock tools.
+    """
+
+    section: str
+    offset: int
+    symbol: str
+    rel_type: RelocationType = RelocationType.ABS32
+    addend: int = 0
+
+    @property
+    def span(self) -> range:
+        return range(self.offset, self.offset + WORD_SIZE)
+
+
+@dataclass
+class Section:
+    """A named byte blob with permissions, e.g. ``.text`` or ``.data``."""
+
+    name: str
+    data: bytearray = field(default_factory=bytearray)
+    readable: bool = True
+    writable: bool = False
+    executable: bool = False
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    def copy(self) -> "Section":
+        return Section(name=self.name, data=bytearray(self.data),
+                       readable=self.readable, writable=self.writable,
+                       executable=self.executable)
+
+    def read_word(self, offset: int) -> int:
+        if offset < 0 or offset + WORD_SIZE > len(self.data):
+            raise ToolchainError(
+                f"word read at {offset:#x} outside section {self.name!r} "
+                f"of size {len(self.data):#x}")
+        return int.from_bytes(self.data[offset:offset + WORD_SIZE], "little")
+
+    def write_word(self, offset: int, value: int) -> None:
+        if offset < 0 or offset + WORD_SIZE > len(self.data):
+            raise ToolchainError(
+                f"word write at {offset:#x} outside section {self.name!r} "
+                f"of size {len(self.data):#x}")
+        self.data[offset:offset + WORD_SIZE] = (value & 0xFFFFFFFF).to_bytes(
+            WORD_SIZE, "little")
+
+
+@dataclass
+class ObjectImage:
+    """A relocatable object, a linked executable, or a shared library image.
+
+    ``kind`` is one of ``"relocatable"``, ``"executable"``, ``"shared"``.
+    """
+
+    name: str
+    kind: str = "relocatable"
+    sections: Dict[str, Section] = field(default_factory=dict)
+    symbols: List[Symbol] = field(default_factory=list)
+    relocations: List[Relocation] = field(default_factory=list)
+    entry_symbol: Optional[str] = None
+    #: set by the SecModule packer when text sections were encrypted
+    encrypted: bool = False
+    #: metadata the SecModule registration tool attaches (module id, version)
+    notes: Dict[str, object] = field(default_factory=dict)
+
+    # -- construction helpers -------------------------------------------------
+    def add_section(self, section: Section) -> Section:
+        if section.name in self.sections:
+            raise ToolchainError(
+                f"duplicate section {section.name!r} in {self.name!r}")
+        self.sections[section.name] = section
+        return section
+
+    def get_section(self, name: str) -> Section:
+        try:
+            return self.sections[name]
+        except KeyError:
+            raise ToolchainError(
+                f"object {self.name!r} has no section {name!r}") from None
+
+    def add_symbol(self, symbol: Symbol) -> Symbol:
+        if symbol.section not in self.sections:
+            raise ToolchainError(
+                f"symbol {symbol.name!r} references missing section "
+                f"{symbol.section!r}")
+        section = self.sections[symbol.section]
+        if symbol.offset + symbol.size > section.size:
+            raise ToolchainError(
+                f"symbol {symbol.name!r} extends past the end of section "
+                f"{symbol.section!r}")
+        self.symbols.append(symbol)
+        return symbol
+
+    def add_relocation(self, reloc: Relocation) -> Relocation:
+        if reloc.section not in self.sections:
+            raise ToolchainError(
+                f"relocation references missing section {reloc.section!r}")
+        if reloc.offset + WORD_SIZE > self.sections[reloc.section].size:
+            raise ToolchainError(
+                f"relocation at {reloc.offset:#x} extends past section "
+                f"{reloc.section!r}")
+        self.relocations.append(reloc)
+        return reloc
+
+    # -- queries ---------------------------------------------------------------
+    def find_symbol(self, name: str) -> Optional[Symbol]:
+        for symbol in self.symbols:
+            if symbol.name == name:
+                return symbol
+        return None
+
+    def defined_symbols(self) -> List[Symbol]:
+        return list(self.symbols)
+
+    def function_symbols(self) -> List[Symbol]:
+        """The symbols ``objdump -t | grep ' F '`` would report."""
+        return [s for s in self.symbols if s.sym_type is SymbolType.FUNC]
+
+    def global_function_names(self) -> List[str]:
+        return [s.name for s in self.function_symbols()
+                if s.binding is SymbolBinding.GLOBAL]
+
+    def relocation_offsets(self, section: str) -> List[int]:
+        """All byte offsets inside ``section`` covered by relocation records."""
+        offsets: List[int] = []
+        for reloc in self.relocations:
+            if reloc.section == section:
+                offsets.extend(reloc.span)
+        return sorted(set(offsets))
+
+    def text_sections(self) -> List[Section]:
+        return [s for s in self.sections.values() if s.executable]
+
+    def total_size(self) -> int:
+        return sum(s.size for s in self.sections.values())
+
+    def copy(self) -> "ObjectImage":
+        clone = ObjectImage(
+            name=self.name, kind=self.kind,
+            sections={n: s.copy() for n, s in self.sections.items()},
+            symbols=list(self.symbols),
+            relocations=list(self.relocations),
+            entry_symbol=self.entry_symbol,
+            encrypted=self.encrypted,
+            notes=dict(self.notes),
+        )
+        return clone
+
+
+def make_function_image(name: str, functions: Dict[str, int], *,
+                        kind: str = "relocatable",
+                        calls: Iterable[tuple[str, str]] = (),
+                        data_bytes: int = 64,
+                        seed: int = 7) -> ObjectImage:
+    """Build a synthetic object containing ``functions``.
+
+    Parameters
+    ----------
+    functions:
+        Mapping of function name to its text size in bytes.
+    calls:
+        Pairs ``(caller, callee)``; for each, a PC-relative relocation is
+        planted inside the caller's body, giving the packer realistic
+        "do not encrypt" holes and the linker something to patch.
+    data_bytes:
+        Size of the ``.data`` section.
+    seed:
+        Seed for the deterministic filler bytes standing in for machine code.
+    """
+    image = ObjectImage(name=name, kind=kind)
+    text = Section(name=".text", executable=True)
+    data = Section(name=".data", writable=True,
+                   data=bytearray((seed + i) % 251 for i in range(data_bytes)))
+    image.add_section(text)
+    image.add_section(data)
+
+    offsets: Dict[str, int] = {}
+    cursor = 0
+    for index, (func_name, size) in enumerate(functions.items()):
+        if size < WORD_SIZE * 2:
+            raise ToolchainError(
+                f"function {func_name!r} too small ({size} bytes) to hold a "
+                f"relocation site")
+        body = bytes(((seed * 31 + index * 17 + j * 7) % 256) for j in range(size))
+        text.data.extend(body)
+        offsets[func_name] = cursor
+        cursor += size
+
+    for func_name, size in functions.items():
+        image.add_symbol(Symbol(name=func_name, section=".text",
+                                offset=offsets[func_name], size=size))
+
+    for caller, callee in calls:
+        if caller not in offsets:
+            raise ToolchainError(f"call site caller {caller!r} not in image")
+        # Plant the relocation one word into the caller body (past the
+        # "prologue"), which is always in range thanks to the size check.
+        site = offsets[caller] + WORD_SIZE
+        image.add_relocation(Relocation(section=".text", offset=site,
+                                        symbol=callee,
+                                        rel_type=RelocationType.PCREL32))
+    return image

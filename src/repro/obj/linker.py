@@ -1,0 +1,202 @@
+"""Mini static linker.
+
+Combines relocatable objects (plus archive members pulled in on demand) into
+a single executable image: it lays sections out, merges symbol tables,
+resolves relocations, and records the final addresses.  The SecModule link
+step (§4.2 of the paper) is a thin wrapper that additionally forces the
+special ``crt0`` object first and appends the credential/module-descriptor
+objects; see :mod:`repro.secmodule.toolchain.link`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ToolchainError
+from .archive import Archive
+from .image import (
+    ObjectImage,
+    Relocation,
+    RelocationType,
+    Section,
+    Symbol,
+    SymbolBinding,
+    WORD_SIZE,
+)
+
+#: Where the text of a linked executable begins in the simulated i386 layout.
+DEFAULT_TEXT_BASE = 0x0000_1000
+
+
+@dataclass
+class LinkMapEntry:
+    """Where one input section landed in the output image."""
+
+    input_image: str
+    input_section: str
+    output_section: str
+    output_offset: int
+    size: int
+
+
+@dataclass
+class LinkResult:
+    """The product of :func:`link`: the executable plus its link map."""
+
+    image: ObjectImage
+    link_map: List[LinkMapEntry] = field(default_factory=list)
+    symbol_addresses: Dict[str, int] = field(default_factory=dict)
+    text_base: int = DEFAULT_TEXT_BASE
+
+    def address_of(self, symbol: str) -> int:
+        try:
+            return self.symbol_addresses[symbol]
+        except KeyError:
+            raise ToolchainError(f"symbol {symbol!r} not in link map") from None
+
+
+def _select_members(objects: Sequence[ObjectImage],
+                    archives: Sequence[Archive]) -> List[ObjectImage]:
+    """Pull archive members needed to satisfy undefined references.
+
+    Iterates to a fixed point like a (single-pass-per-round) ``ld`` walking
+    archives: each round, any relocation target not yet defined pulls in the
+    defining member, which may introduce new undefined references.
+    """
+    selected: List[ObjectImage] = list(objects)
+    selected_names = {img.name for img in selected}
+
+    def defined_names() -> set:
+        names = set()
+        for img in selected:
+            for sym in img.defined_symbols():
+                if sym.binding is not SymbolBinding.LOCAL:
+                    names.add(sym.name)
+        return names
+
+    for _ in range(1000):   # bounded to guarantee termination on cycles
+        defined = defined_names()
+        undefined = set()
+        for img in selected:
+            for reloc in img.relocations:
+                if reloc.symbol not in defined:
+                    undefined.add(reloc.symbol)
+        if not undefined:
+            return selected
+        progress = False
+        for name in sorted(undefined):
+            for archive in archives:
+                member = archive.member_defining(name)
+                if member is not None and member.name not in selected_names:
+                    selected.append(member)
+                    selected_names.add(member.name)
+                    progress = True
+                    break
+        if not progress:
+            # remaining undefined symbols are reported by link() proper
+            return selected
+    raise ToolchainError("archive member selection did not converge")
+
+
+def link(name: str,
+         objects: Sequence[ObjectImage],
+         archives: Sequence[Archive] = (),
+         *,
+         entry_symbol: str = "start",
+         text_base: int = DEFAULT_TEXT_BASE,
+         allow_undefined: Iterable[str] = ()) -> LinkResult:
+    """Link ``objects`` (+ needed ``archives`` members) into an executable.
+
+    Parameters
+    ----------
+    allow_undefined:
+        Symbols that may remain unresolved (they will be bound at run time by
+        the dynamic loader, or by the SecModule kernel in the case of client
+        stubs that trap instead of calling).  Their relocation words are
+        patched to 0.
+    """
+    if not objects:
+        raise ToolchainError("cannot link zero input objects")
+    members = _select_members(objects, archives)
+
+    output = ObjectImage(name=name, kind="executable", entry_symbol=entry_symbol)
+    out_text = output.add_section(Section(name=".text", executable=True))
+    out_data = output.add_section(Section(name=".data", writable=True))
+
+    link_map: List[LinkMapEntry] = []
+    placements: Dict[Tuple[str, str], int] = {}     # (image, section) -> output offset
+
+    # ---- pass 1: lay out sections -------------------------------------------
+    for image in members:
+        for section in image.sections.values():
+            target = out_text if section.executable else out_data
+            offset = target.size
+            target.data.extend(section.data)
+            placements[(image.name, section.name)] = offset
+            link_map.append(LinkMapEntry(
+                input_image=image.name, input_section=section.name,
+                output_section=target.name, output_offset=offset,
+                size=section.size))
+
+    # ---- pass 2: merge symbols ----------------------------------------------
+    symbol_addresses: Dict[str, int] = {}
+    seen_globals: Dict[str, str] = {}
+    for image in members:
+        for symbol in image.defined_symbols():
+            base = placements[(image.name, symbol.section)]
+            out_section = ".text" if image.sections[symbol.section].executable else ".data"
+            new_offset = base + symbol.offset
+            if symbol.binding is not SymbolBinding.LOCAL:
+                if symbol.name in seen_globals:
+                    raise ToolchainError(
+                        f"multiple definition of {symbol.name!r} "
+                        f"({seen_globals[symbol.name]!r} and {image.name!r})")
+                seen_globals[symbol.name] = image.name
+            output.add_symbol(Symbol(
+                name=symbol.name, section=out_section, offset=new_offset,
+                size=symbol.size, sym_type=symbol.sym_type,
+                binding=symbol.binding))
+            address_base = text_base if out_section == ".text" else (
+                text_base + out_text.size)
+            symbol_addresses[symbol.name] = address_base + new_offset
+
+    # ---- pass 3: resolve relocations ----------------------------------------
+    allow = set(allow_undefined)
+    unresolved: List[str] = []
+    for image in members:
+        for reloc in image.relocations:
+            base = placements[(image.name, reloc.section)]
+            out_section = ".text" if image.sections[reloc.section].executable else ".data"
+            target = out_text if out_section == ".text" else out_data
+            site = base + reloc.offset
+            if reloc.symbol in symbol_addresses:
+                value = symbol_addresses[reloc.symbol] + reloc.addend
+                if reloc.rel_type is RelocationType.PCREL32:
+                    site_address = (text_base if out_section == ".text"
+                                    else text_base + out_text.size) + site
+                    value = (value - (site_address + WORD_SIZE)) & 0xFFFFFFFF
+            elif reloc.symbol in allow:
+                value = 0
+            else:
+                unresolved.append(reloc.symbol)
+                continue
+            target.write_word(site, value)
+            # Record the (now resolved) relocation so downstream tools — the
+            # SecModule packer in particular — still know which bytes are
+            # link-editable and must stay unencrypted.
+            output.add_relocation(Relocation(
+                section=out_section, offset=site, symbol=reloc.symbol,
+                rel_type=reloc.rel_type, addend=reloc.addend))
+
+    if unresolved:
+        raise ToolchainError(
+            f"undefined references while linking {name!r}: "
+            f"{sorted(set(unresolved))}")
+
+    if entry_symbol not in symbol_addresses:
+        raise ToolchainError(
+            f"entry symbol {entry_symbol!r} not defined while linking {name!r}")
+
+    return LinkResult(image=output, link_map=link_map,
+                      symbol_addresses=symbol_addresses, text_base=text_base)

@@ -1,0 +1,142 @@
+"""Program loader: turns an executable image into a memory layout plan.
+
+The loader deliberately does not touch the simulated VM system directly —
+it only computes *where* each piece of an executable should live (a
+:class:`LoadPlan` of :class:`LoadSegment` records).  The kernel's ``execve``
+implementation applies the plan to a process's vmspace, and the SecModule
+session code applies a second, partial plan when it maps protected text into
+a handle.  Keeping the loader pure keeps the object-format substrate free of
+kernel dependencies and trivially testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ToolchainError
+from .image import ObjectImage
+
+#: Default i386-style layout bases (see repro.kernel.uvm.layout for the
+#: authoritative process layout; these defaults match it).
+DEFAULT_TEXT_BASE = 0x0000_1000
+DEFAULT_DATA_BASE = 0x0800_0000
+PAGE_SIZE = 4096
+
+
+def _round_up(value: int, granularity: int) -> int:
+    return (value + granularity - 1) // granularity * granularity
+
+
+@dataclass(frozen=True)
+class LoadSegment:
+    """One mapping the kernel must create: [vaddr, vaddr+size) with perms."""
+
+    name: str                 # e.g. "libc.text"
+    vaddr: int
+    size: int
+    readable: bool
+    writable: bool
+    executable: bool
+    source_section: str
+    source_image: str
+    encrypted: bool = False
+
+    @property
+    def end(self) -> int:
+        return self.vaddr + self.size
+
+    @property
+    def pages(self) -> int:
+        return _round_up(self.size, PAGE_SIZE) // PAGE_SIZE
+
+
+@dataclass
+class LoadPlan:
+    """Every segment needed to run an executable, plus symbol addresses."""
+
+    image_name: str
+    segments: List[LoadSegment] = field(default_factory=list)
+    symbol_addresses: Dict[str, int] = field(default_factory=dict)
+    entry_address: Optional[int] = None
+
+    def segment(self, name: str) -> LoadSegment:
+        for seg in self.segments:
+            if seg.name == name:
+                return seg
+        raise ToolchainError(f"load plan has no segment {name!r}")
+
+    def text_segments(self) -> List[LoadSegment]:
+        return [s for s in self.segments if s.executable]
+
+    def data_segments(self) -> List[LoadSegment]:
+        return [s for s in self.segments if s.writable]
+
+    def total_pages(self) -> int:
+        return sum(s.pages for s in self.segments)
+
+    def overlaps(self) -> List[tuple]:
+        """Return any pair of overlapping segments (should always be empty)."""
+        bad = []
+        ordered = sorted(self.segments, key=lambda s: s.vaddr)
+        for first, second in zip(ordered, ordered[1:]):
+            if first.end > second.vaddr:
+                bad.append((first.name, second.name))
+        return bad
+
+
+def build_load_plan(image: ObjectImage, *,
+                    text_base: int = DEFAULT_TEXT_BASE,
+                    data_base: int = DEFAULT_DATA_BASE) -> LoadPlan:
+    """Compute the load plan for a linked executable or shared object.
+
+    Text sections are placed contiguously from ``text_base`` and data
+    sections from ``data_base``, each rounded to page boundaries, mirroring
+    the traditional OpenBSD i386 split the paper's Figure 2 draws (text low,
+    data/heap at the data base, stack high).
+    """
+    if image.kind not in ("executable", "shared"):
+        raise ToolchainError(
+            f"can only load executables or shared objects, got {image.kind!r} "
+            f"for {image.name!r}")
+
+    plan = LoadPlan(image_name=image.name)
+    text_cursor = text_base
+    data_cursor = data_base
+
+    for section in image.sections.values():
+        if section.size == 0:
+            continue
+        if section.executable:
+            vaddr = text_cursor
+            text_cursor = _round_up(text_cursor + section.size, PAGE_SIZE)
+        else:
+            vaddr = data_cursor
+            data_cursor = _round_up(data_cursor + section.size, PAGE_SIZE)
+        plan.segments.append(LoadSegment(
+            name=f"{image.name}:{section.name}",
+            vaddr=vaddr,
+            size=section.size,
+            readable=section.readable,
+            writable=section.writable,
+            executable=section.executable,
+            source_section=section.name,
+            source_image=image.name,
+            encrypted=image.encrypted and section.executable,
+        ))
+
+    # Symbol addresses: offset within their section + that section's vaddr.
+    section_vaddr = {seg.source_section: seg.vaddr for seg in plan.segments}
+    for symbol in image.symbols:
+        base = section_vaddr.get(symbol.section)
+        if base is None:
+            continue
+        plan.symbol_addresses[symbol.name] = base + symbol.offset
+
+    if image.entry_symbol:
+        plan.entry_address = plan.symbol_addresses.get(image.entry_symbol)
+        if plan.entry_address is None:
+            raise ToolchainError(
+                f"entry symbol {image.entry_symbol!r} has no address in "
+                f"{image.name!r}")
+    return plan

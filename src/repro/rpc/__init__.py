@@ -1,0 +1,42 @@
+"""The local ONC-RPC baseline the paper compares SecModule against.
+
+XDR marshalling, RPC call/reply messages, a loopback UDP transport on the
+simulated kernel, a portmapper, server/client implementations, and an
+rpcgen-like interface compiler.
+"""
+
+from .client import ClientStats, RpcClient, RpcError
+from .message import (
+    AcceptStat,
+    AuthFlavor,
+    CallMessage,
+    MsgType,
+    OpaqueAuth,
+    ReplyMessage,
+    ReplyStat,
+    RPC_VERSION,
+)
+from .portmap import IPPROTO_UDP, PMAP_PORT, PMAP_PROG, PortmapEntry, Portmapper
+from .rpcgen import (
+    BoundClient,
+    GeneratedService,
+    InterfaceDefinition,
+    ProcedureSpec,
+    generate_service,
+    testincr_interface,
+)
+from .server import ProcedureHandler, RpcProgram, RpcServer
+from .transport import Datagram, LoopbackNetwork, UdpSocket, install_network
+from .xdr import XDR_UNIT, XdrDecoder, XdrEncoder
+
+__all__ = [
+    "ClientStats", "RpcClient", "RpcError",
+    "AcceptStat", "AuthFlavor", "CallMessage", "MsgType", "OpaqueAuth",
+    "ReplyMessage", "ReplyStat", "RPC_VERSION",
+    "IPPROTO_UDP", "PMAP_PORT", "PMAP_PROG", "PortmapEntry", "Portmapper",
+    "BoundClient", "GeneratedService", "InterfaceDefinition", "ProcedureSpec",
+    "generate_service", "testincr_interface",
+    "ProcedureHandler", "RpcProgram", "RpcServer",
+    "Datagram", "LoopbackNetwork", "UdpSocket", "install_network",
+    "XDR_UNIT", "XdrDecoder", "XdrEncoder",
+]

@@ -1,0 +1,70 @@
+"""Portmapper (rpcbind).
+
+ONC RPC clients do not know which UDP port a service listens on; they ask
+the portmapper, which maps (program, version, protocol) to a port.  The
+lookup happens once per client binding — not per call — so it contributes
+to RPC *setup* cost, mirroring how SecModule's session establishment is
+likewise excluded from the per-call numbers of Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..errors import SimulationError
+
+#: The portmapper's own well-known program number and port.
+PMAP_PROG = 100000
+PMAP_PORT = 111
+
+#: Protocol identifiers (only UDP is modelled).
+IPPROTO_UDP = 17
+
+
+@dataclass(frozen=True)
+class PortmapEntry:
+    prog: int
+    vers: int
+    protocol: int
+    port: int
+
+
+class Portmapper:
+    """The (program, version, protocol) -> port registry."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[int, int, int], PortmapEntry] = {}
+        self.lookups = 0
+
+    def set(self, prog: int, vers: int, port: int,
+            protocol: int = IPPROTO_UDP) -> PortmapEntry:
+        """pmap_set: register a service mapping."""
+        if port <= 0 or port > 65535:
+            raise SimulationError(f"invalid port {port}")
+        key = (prog, vers, protocol)
+        if key in self._entries:
+            raise SimulationError(
+                f"program {prog} version {vers} already registered on port "
+                f"{self._entries[key].port}")
+        entry = PortmapEntry(prog=prog, vers=vers, protocol=protocol, port=port)
+        self._entries[key] = entry
+        return entry
+
+    def unset(self, prog: int, vers: int, protocol: int = IPPROTO_UDP) -> bool:
+        """pmap_unset: remove a mapping."""
+        return self._entries.pop((prog, vers, protocol), None) is not None
+
+    def getport(self, prog: int, vers: int,
+                protocol: int = IPPROTO_UDP) -> Optional[int]:
+        """pmap_getport: the per-binding lookup clients perform."""
+        self.lookups += 1
+        entry = self._entries.get((prog, vers, protocol))
+        return entry.port if entry else None
+
+    def dump(self) -> list:
+        """pmap_dump: every registered mapping (rpcinfo -p)."""
+        return sorted(self._entries.values(), key=lambda e: (e.prog, e.vers))
+
+    def __len__(self) -> int:
+        return len(self._entries)

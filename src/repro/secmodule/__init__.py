@@ -1,0 +1,94 @@
+"""SecModule: the paper's primary contribution.
+
+Access-controlled libraries via kernel-mediated handle co-processes,
+forced address-space sharing, per-call credential/policy checks, text
+protection (encryption and/or unmapping), a conversion toolchain and a
+SecModule libc.
+"""
+
+from .api import SecModuleSystem, SystemBuildReport
+from .credentials import (
+    Credential,
+    CredentialCheckOutcome,
+    CredentialIssuer,
+    validate_credential,
+)
+from .crypto import (
+    EncryptedModuleText,
+    ModuleKey,
+    decrypt_bytes,
+    decrypt_module_text,
+    encrypt_bytes,
+    encrypt_module_text,
+)
+from .dispatch import (
+    DispatchConfig,
+    DispatchOutcome,
+    HardeningMode,
+    MarshallingMode,
+    SmodDispatcher,
+)
+from .handle import Handle, LoadedModule
+from .keynote import (
+    Assertion,
+    ComplianceResult,
+    KeyNoteEngine,
+    KeyNotePolicy,
+    MAX_TRUST,
+    MIN_TRUST,
+    evaluate_condition,
+    example_policy_set,
+)
+from .libc_conversion import (
+    build_libc_archive,
+    build_test_module,
+    convert_libc,
+    libc_behaviours,
+)
+from .module import CallEnvironment, SecFunction, SecModuleDefinition, simple_module
+from .policy import (
+    AlwaysAllowPolicy,
+    AttributePredicatePolicy,
+    CallQuotaPolicy,
+    CompositePolicy,
+    DenyAllPolicy,
+    FunctionDenyPolicy,
+    Policy,
+    PolicyContext,
+    PolicyDecision,
+    PrincipalAllowPolicy,
+    TimeWindowPolicy,
+    UidAllowPolicy,
+    synthetic_chain,
+)
+from .protection import ClientTextGuard, ProtectionMode, apply_client_protection
+from .registry import ModuleRegistry, RegisteredModule
+from .session import Session, SessionDescriptor, SessionManager, SessionRequirement
+from .smod_syscalls import FIGURE4_SYSCALLS, SmodExtension, install_secmodule
+from .special import SPECIAL_FUNCTIONS, classify_symbols, needs_special_handling
+from .stubs import ClientStub, SimStack, SlotKind, StackSlot, StubCallFrame, smod_stub_receive
+
+__all__ = [
+    "SecModuleSystem", "SystemBuildReport",
+    "Credential", "CredentialCheckOutcome", "CredentialIssuer", "validate_credential",
+    "EncryptedModuleText", "ModuleKey", "decrypt_bytes", "decrypt_module_text",
+    "encrypt_bytes", "encrypt_module_text",
+    "DispatchConfig", "DispatchOutcome", "HardeningMode", "MarshallingMode",
+    "SmodDispatcher",
+    "Handle", "LoadedModule",
+    "Assertion", "ComplianceResult", "KeyNoteEngine", "KeyNotePolicy",
+    "MAX_TRUST", "MIN_TRUST", "evaluate_condition", "example_policy_set",
+    "build_libc_archive", "build_test_module", "convert_libc", "libc_behaviours",
+    "CallEnvironment", "SecFunction", "SecModuleDefinition", "simple_module",
+    "AlwaysAllowPolicy", "AttributePredicatePolicy", "CallQuotaPolicy",
+    "CompositePolicy", "DenyAllPolicy", "FunctionDenyPolicy", "Policy",
+    "PolicyContext", "PolicyDecision", "PrincipalAllowPolicy",
+    "TimeWindowPolicy", "UidAllowPolicy", "synthetic_chain",
+    "ClientTextGuard", "ProtectionMode", "apply_client_protection",
+    "ModuleRegistry", "RegisteredModule",
+    "Session", "SessionDescriptor", "SessionManager", "SessionRequirement",
+    "FIGURE4_SYSCALLS", "SmodExtension", "install_secmodule",
+    "SPECIAL_FUNCTIONS", "classify_symbols", "needs_special_handling",
+    "ClientStub", "SimStack", "SlotKind", "StackSlot", "StubCallFrame",
+    "smod_stub_receive",
+]

@@ -1,0 +1,251 @@
+"""The protected-call dispatch path (``sys_smod_call``).
+
+This is the code whose latency the paper's Figure 8 measures.  One protected
+call executes, in order:
+
+1. the client-side stub pushes the argument frame and the
+   ``(moduleID, funcID)`` pair on the shared stack (Figure 3 steps 1–2);
+2. ``sys_smod_call(framep, rtnaddr, m_id, funcID)`` traps into the kernel,
+   which verifies the caller has a live session for ``m_id`` and that the
+   credential/policy still allow the call;
+3. the kernel notifies the handle through the session's SysV message queue
+   and context-switches to it;
+4. the handle's ``smod_stub_receive`` (on its secret stack) strips the frame
+   down to the bare arguments, relays to the real function on the shared
+   stack, and restores the frame (Figure 3 steps 3–4);
+5. the handle posts the result on the reply queue, the kernel switches back
+   to the client, copies the return value out and returns from the trap;
+6. the client stub unwinds its frame.
+
+The :class:`DispatchConfig` knobs expose the design alternatives the paper
+discusses but does not measure — the §4.4 multithreaded-client hardenings
+and the explicit-copy marshalling that the shared-VM design replaced — so
+the ablation benchmarks can quantify them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import SimulationError
+from ..kernel.errno import Errno
+from ..kernel.proc import Proc
+from ..kernel.sysv_msg import Message
+from ..sim import costs
+from .module import CallEnvironment, SecFunction
+from .registry import RegisteredModule
+from .session import Session
+from .stubs import ClientStub, StubCallFrame
+
+
+class HardeningMode(enum.Enum):
+    """§4.4 countermeasures against multithreaded argument-rewriting attacks."""
+
+    NONE = "none"                       # what the paper measured
+    UNMAP_CLIENT = "unmap-client"       # unmap client data/stack during the call
+    SUSPEND_CLIENT = "suspend-client"   # pull the client off the ready queue
+
+
+class MarshallingMode(enum.Enum):
+    """How arguments travel between client and handle."""
+
+    SHARED_VM = "shared-vm"             # the paper's design: nothing to copy
+    EXPLICIT_COPY = "explicit-copy"     # SysV-shm-style copy in and out
+
+
+@dataclass(frozen=True)
+class DispatchConfig:
+    """Per-call-path configuration (defaults reproduce the paper's setup)."""
+
+    hardening: HardeningMode = HardeningMode.NONE
+    marshalling: MarshallingMode = MarshallingMode.SHARED_VM
+    #: evaluate the module policy on every call (the paper's design point;
+    #: turning it off isolates the pure dispatch cost in ablations)
+    per_call_policy_check: bool = True
+    #: record Figure 3 stack snapshots (off for the million-call benchmarks)
+    record_checkpoints: bool = False
+
+
+@dataclass
+class DispatchOutcome:
+    """Result of one protected call."""
+
+    value: Any = None
+    errno: Optional[Errno] = None
+    frame: Optional[StubCallFrame] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.errno is None
+
+
+class SmodDispatcher:
+    """Executes protected calls for established sessions."""
+
+    def __init__(self, kernel) -> None:
+        self.kernel = kernel
+        self.calls_dispatched = 0
+        self.calls_denied = 0
+
+    # ------------------------------------------------------------------ helpers
+    def _policy_check(self, session: Session, module: RegisteredModule,
+                      function: SecFunction) -> Tuple[bool, str]:
+        machine = self.kernel.machine
+        ctx = session.policy_context(
+            module, function.name, now_us=machine.microseconds(),
+            args_words=function.arg_words)
+        decision = module.definition.policy.evaluate(ctx)
+        if decision.steps:
+            machine.charge(costs.SMOD_POLICY_STEP, decision.steps)
+        return decision.allowed, decision.reason
+
+    def _apply_hardening(self, session: Session,
+                         mode: HardeningMode) -> None:
+        machine = self.kernel.machine
+        if mode is HardeningMode.UNMAP_CLIENT:
+            # "simply unmap the entire data and stack region of the client
+            # ... during the kernel level execution of sys_smod_call" — the
+            # simulation charges the page-table work for the client's shared
+            # entries without destroying the mappings (they come right back).
+            for entry in session.client.vmspace.shared_entries():
+                machine.charge(costs.UVM_PAGE_OP, entry.pages)
+            machine.charge(costs.UVM_MAP_ENTRY_OP,
+                           max(1, len(session.client.vmspace.shared_entries())))
+        elif mode is HardeningMode.SUSPEND_CLIENT:
+            # "forcibly remove the client (and all threads related to the
+            # client) from the ready queue" — cheaper for the kernel.
+            self.kernel.sched.suspend(session.client)
+            machine.charge(costs.SCHED_ENQUEUE)
+
+    def _undo_hardening(self, session: Session, mode: HardeningMode) -> None:
+        machine = self.kernel.machine
+        if mode is HardeningMode.UNMAP_CLIENT:
+            for entry in session.client.vmspace.shared_entries():
+                machine.charge(costs.UVM_PAGE_OP, entry.pages)
+            machine.charge(costs.UVM_MAP_ENTRY_OP,
+                           max(1, len(session.client.vmspace.shared_entries())))
+        elif mode is HardeningMode.SUSPEND_CLIENT:
+            self.kernel.sched.resume(session.client)
+            machine.charge(costs.SCHED_ENQUEUE)
+
+    # -------------------------------------------------------------- kernel path
+    def sys_smod_call(self, client: Proc, session: Session,
+                      frame: StubCallFrame, m_id: int, func_id: int, *,
+                      config: DispatchConfig = DispatchConfig()) -> DispatchOutcome:
+        """The kernel half of a protected call (already inside the trap)."""
+        machine = self.kernel.machine
+
+        # -- validate the session and locate the function ---------------------
+        machine.charge(costs.SMOD_SESSION_LOOKUP)
+        if session is None or not session.established or session.torn_down:
+            self.calls_denied += 1
+            return DispatchOutcome(errno=Errno.EINVAL)
+        if session.client is not client:
+            # the handle is bound to p and only p (paper question 2)
+            self.calls_denied += 1
+            return DispatchOutcome(errno=Errno.EPERM)
+        module = session.modules.get(m_id)
+        if module is None:
+            self.calls_denied += 1
+            return DispatchOutcome(errno=Errno.ENOENT)
+        function = session.handle.lookup_function(m_id, func_id)
+        if function is None:
+            self.calls_denied += 1
+            return DispatchOutcome(errno=Errno.ENOENT)
+
+        # -- per-call credential/policy check ---------------------------------
+        machine.charge(costs.SMOD_CRED_CHECK)
+        if config.per_call_policy_check:
+            allowed, reason = self._policy_check(session, module, function)
+            if not allowed:
+                self.calls_denied += 1
+                machine.trace.emit("smod.call", "policy_denied",
+                                   pid=client.pid, detail_reason=reason)
+                return DispatchOutcome(errno=Errno.EACCES)
+
+        self._apply_hardening(session, config.hardening)
+
+        # -- marshalling -------------------------------------------------------
+        if config.marshalling is MarshallingMode.EXPLICIT_COPY:
+            # Arguments must be copied into a transfer buffer and back out:
+            # the cost the shared-VM design avoids.  (Pointer-rich calls such
+            # as malloc simply cannot work in this mode; the caller asserts
+            # that separately in the marshalling ablation.)
+            machine.charge_words(costs.COPY_WORD, function.arg_words * 2)
+            machine.charge(costs.KMALLOC)
+
+        # -- notify the handle and switch to it --------------------------------
+        request = Message(mtype=1, payload=(m_id, func_id, frame.return_address))
+        self.kernel.msg.msgsnd(client, session.request_msqid, request)
+        self.kernel.sched.switch_to(session.handle.proc)
+        received = self.kernel.msg.msgrcv(session.handle.proc,
+                                          session.request_msqid, 1)
+        if received is None:
+            raise SimulationError("handle woke without a queued request")
+
+        # -- the handle executes the function on the shared stack --------------
+        env = CallEnvironment(kernel=self.kernel, session=session,
+                              client=client, handle=session.handle.proc)
+        result = session.handle.receive_call(
+            session.shared_stack, frame, function, env,
+            record_checkpoints=config.record_checkpoints)
+
+        # -- reply and switch back ----------------------------------------------
+        reply = Message(mtype=2, payload=(1,))
+        self.kernel.msg.msgsnd(session.handle.proc, session.reply_msqid, reply)
+        self.kernel.sched.switch_to(client)
+        self.kernel.msg.msgrcv(client, session.reply_msqid, 2)
+        self.kernel.copyout(1)           # the return value
+
+        if config.marshalling is MarshallingMode.EXPLICIT_COPY:
+            machine.charge(costs.KFREE)
+
+        self._undo_hardening(session, config.hardening)
+        session.note_call(module)
+        self.calls_dispatched += 1
+        return DispatchOutcome(value=result, frame=frame)
+
+    # ---------------------------------------------------------------- user path
+    def call(self, session: Session, function_name: str, *args: Any,
+             config: DispatchConfig = DispatchConfig()) -> DispatchOutcome:
+        """The full user-visible call: client stub + trap + kernel path + unwind.
+
+        This is what the SecModule-converted libc's wrappers boil down to and
+        what the Figure 8 benchmark loops over.
+        """
+        found = session.find_function(function_name)
+        if found is None:
+            return DispatchOutcome(errno=Errno.ENOENT)
+        module, function = found
+
+        machine = self.kernel.machine
+        machine.charge(costs.USER_CALL_OVERHEAD)
+        stub = ClientStub(function_name, module.m_id, function.func_id,
+                          arg_words=function.arg_words)
+        frame = stub.push_call(session.shared_stack, args,
+                               record_checkpoints=config.record_checkpoints)
+
+        result = self.kernel.syscall(
+            session.client, "smod_call", frame, module.m_id, function.func_id,
+            config)
+        if result.failed:
+            # unwind the stub frame exactly as the error return path would
+            self._unwind_failed_call(session, frame)
+            return DispatchOutcome(errno=result.errno, frame=frame)
+
+        stub.pop_return(session.shared_stack, frame)
+        return DispatchOutcome(value=result.value, frame=frame)
+
+    def _unwind_failed_call(self, session: Session,
+                            frame: StubCallFrame) -> None:
+        """Pop the step-2 frame the stub pushed before a denied call."""
+        stack = session.shared_stack
+        # duplicated fp/ret, func/module ids, then the original frame
+        for _ in range(4):
+            stack.pop(cost_op=costs.SMOD_STACK_FIXUP_WORD)
+        stack.pop()   # frame pointer
+        stack.pop()   # return address
+        for _ in frame.args:
+            stack.pop()

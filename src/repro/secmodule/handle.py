@@ -1,0 +1,132 @@
+"""The handle co-process.
+
+"The handle h is a 'co-process' that is started upon request for access to
+m" (§3).  It is the only process that ever holds the plaintext of the
+protected functions; it shares the client's data/heap/stack (but not text);
+it owns a small secret stack/heap the client cannot see; and it spends its
+life blocked on a message queue waiting for ``sys_smod_call`` relays.
+
+The :class:`Handle` object wraps the handle's kernel process together with
+that SecModule-specific state.  Its :meth:`receive_call` is the simulated
+``smod_std_handle`` / ``smod_stub_receive`` pair: it runs on the secret
+stack, relays to the real function on the shared stack, and restores the
+frame before replying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..errors import SimulationError
+from ..kernel.proc import Proc, ProcFlag
+from ..kernel.uvm.layout import SECRET_BASE, SECRET_SIZE
+from ..sim import costs
+from .module import CallEnvironment, SecFunction
+from .protection import ProtectionMode, handle_plaintext_view
+from .registry import RegisteredModule
+from .stubs import SimStack, StubCallFrame, smod_stub_receive
+
+
+@dataclass
+class LoadedModule:
+    """One module's text as mapped (decrypted) into the handle."""
+
+    module: RegisteredModule
+    text_entry_name: str
+    plaintext_bytes: int
+
+    @property
+    def m_id(self) -> int:
+        return self.module.m_id
+
+
+class Handle:
+    """A SecModule handle co-process and its kernel-visible state."""
+
+    def __init__(self, kernel, proc: Proc, client: Proc) -> None:
+        if not proc.has_flag(ProcFlag.SMOD_HANDLE):
+            raise SimulationError("handle process must carry the SMOD_HANDLE flag")
+        self.kernel = kernel
+        self.proc = proc
+        self.client = client
+        self.secret_stack = SimStack(name=f"secret-stack[pid {proc.pid}]",
+                                     machine=kernel.machine)
+        self.loaded: Dict[int, LoadedModule] = {}
+        self.ready = False
+        self.calls_served = 0
+
+    # ------------------------------------------------------------- setup steps
+    def map_secret_region(self) -> None:
+        """Create the secret stack/heap segment (Figure 2's hatched region)."""
+        if self.proc.vmspace.vm_map.find_entry("smod_secret") is not None:
+            return
+        self.proc.vmspace.map_secret_region()
+        self.kernel.machine.trace.emit(
+            "smod.session", "map_secret_region", pid=self.proc.pid,
+            detail_base=hex(SECRET_BASE), detail_size=SECRET_SIZE)
+
+    def load_module_text(self, module: RegisteredModule) -> LoadedModule:
+        """Map the module's (decrypted) text into the handle's address space.
+
+        "This system call may load in additional code segments as needed to
+        fulfill the requirements of the module" — the paper attributes this
+        to ``smod_session_info``, which is the caller of this method.
+        """
+        if module.m_id in self.loaded:
+            return self.loaded[module.m_id]
+        plaintext = handle_plaintext_view(module)
+        if plaintext is None:
+            raise SimulationError(
+                f"module {module.name!r} has no text to load into the handle")
+        if module.protection.uses_encryption:
+            # the per-block decryption cost was charged by handle_plaintext_view's
+            # decrypt path only if a machine was passed; charge it here explicitly
+            blocks = max(1, len(plaintext) // 8)
+            self.kernel.machine.charge(costs.CIPHER_BLOCK, blocks)
+        entry = self.proc.vmspace.map_text(
+            f"smod:{module.name}:text", plaintext)
+        entry.no_core = True
+        loaded = LoadedModule(module=module, text_entry_name=entry.name,
+                              plaintext_bytes=len(plaintext))
+        self.loaded[module.m_id] = loaded
+        self.kernel.machine.trace.emit(
+            "smod.session", "load_module_text", pid=self.proc.pid,
+            detail_module=module.name, detail_bytes=len(plaintext))
+        return loaded
+
+    def mark_ready(self) -> None:
+        self.ready = True
+
+    # --------------------------------------------------------------- call path
+    def lookup_function(self, m_id: int, func_id: int) -> Optional[SecFunction]:
+        loaded = self.loaded.get(m_id)
+        if loaded is None:
+            return None
+        return loaded.module.definition.function_by_id(func_id)
+
+    def receive_call(self, shared_stack: SimStack, frame: StubCallFrame,
+                     function: SecFunction, env: CallEnvironment, *,
+                     record_checkpoints: bool = False) -> Any:
+        """Execute one relayed call (``smod_stub_receive`` on the secret stack)."""
+        if not self.ready:
+            raise SimulationError(
+                f"handle pid {self.proc.pid} received a call before the "
+                f"session handshake completed")
+        result = smod_stub_receive(shared_stack, frame, function, env,
+                                   secret_stack=self.secret_stack,
+                                   record_checkpoints=record_checkpoints)
+        self.calls_served += 1
+        return result
+
+    # ----------------------------------------------------------------- teardown
+    def kill(self) -> None:
+        """Terminate the handle process (used by execve/exit special handling)."""
+        if self.proc.alive:
+            self.kernel.exit_process(self.proc, status=0)
+
+    def describe(self) -> str:
+        modules = ", ".join(f"{m.module.name}#{m_id}"
+                            for m_id, m in sorted(self.loaded.items()))
+        return (f"handle pid={self.proc.pid} for client pid={self.client.pid} "
+                f"ready={self.ready} modules=[{modules}]")

@@ -1,0 +1,326 @@
+"""SecModule sessions: the Figure 1 handshake and per-session state.
+
+A session binds one client process to one handle co-process for the set of
+modules the client's descriptor names.  The establishment sequence follows
+Figure 1 step by step:
+
+1. the client's ``crt0`` asks the kernel whether each needed module exists
+   (``sys_smod_find``), then issues ``sys_smod_start_session``;
+2. the kernel validates the presented credentials against each module's
+   policy, *forcibly forks* the handle process, gives it the secret
+   stack/heap segment, and starts ``smod_std_handle`` on the secret stack;
+3. the handle issues ``sys_smod_session_info``, which force-unmaps its
+   data/heap/stack and maps the client's pages over the same range
+   (``uvmspace_force_share``), loads the module text, and builds the message
+   queues used for synchronization;
+4. the client issues ``sys_smod_handle_info`` to complete the shared
+   synchronization structures, after which its ``crt0`` transfers control to
+   ``smod_client_main()``.
+
+The session also owns the per-call accounting (calls made, quota state) and
+the simplest policy of all — "allow access to m for the lifetime of p" —
+falls out of the session's lifetime being tied to the client's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from ..kernel.proc import Proc, ProcFlag
+from ..kernel.uvm.layout import SHARE_END, SHARE_START
+from ..kernel.uvm.space import uvmspace_force_share
+from ..sim import costs
+from .credentials import Credential, validate_credential
+from .handle import Handle
+from .policy import PolicyContext
+from .protection import ClientTextGuard, ProtectionMode, apply_client_protection
+from .registry import ModuleRegistry, RegisteredModule
+from .stubs import SimStack
+
+
+@dataclass(frozen=True)
+class SessionRequirement:
+    """One module the client wants access to, plus the credential it presents."""
+
+    module_name: str
+    version: int
+    credential: Credential
+
+
+@dataclass
+class SessionDescriptor:
+    """The ``struct smod_session_descriptor`` passed to start_session."""
+
+    requirements: Tuple[SessionRequirement, ...]
+
+    def __post_init__(self) -> None:
+        if not self.requirements:
+            raise SimulationError("session descriptor names no modules")
+
+    @property
+    def words(self) -> int:
+        """Approximate size in 32-bit words (charged as a copyin)."""
+        return 12 * len(self.requirements)
+
+
+@dataclass
+class Session:
+    """One established (or being-established) client/handle pairing."""
+
+    session_id: int
+    client: Proc
+    handle: Handle
+    modules: Dict[int, RegisteredModule] = field(default_factory=dict)
+    guards: Dict[int, ClientTextGuard] = field(default_factory=dict)
+    request_msqid: int = -1
+    reply_msqid: int = -1
+    shared_stack: SimStack = None            # lives in the shared region
+    established: bool = False
+    torn_down: bool = False
+    calls_made: int = 0
+    #: per-module call counters (for quota policies)
+    calls_per_module: Dict[int, int] = field(default_factory=dict)
+    #: credentials presented at establishment, per module id
+    credentials: Dict[int, Credential] = field(default_factory=dict)
+
+    def module_by_name(self, name: str) -> Optional[RegisteredModule]:
+        for module in self.modules.values():
+            if module.name == name:
+                return module
+        return None
+
+    def find_function(self, name: str) -> Optional[Tuple[RegisteredModule, object]]:
+        """Locate a protected function by name across the session's modules."""
+        for module in self.modules.values():
+            if name in module.definition:
+                return module, module.definition.function(name)
+        return None
+
+    def policy_context(self, module: RegisteredModule, function_name: str, *,
+                       now_us: float, args_words: int = 0,
+                       attributes: Optional[dict] = None) -> PolicyContext:
+        credential = self.credentials[module.m_id]
+        return PolicyContext(
+            credential=credential,
+            uid=self.client.cred.uid,
+            gid=self.client.cred.gid,
+            principal=credential.principal,
+            function_name=function_name,
+            now_us=now_us,
+            calls_this_session=self.calls_per_module.get(module.m_id, 0),
+            args_words=args_words,
+            attributes=dict(attributes or {}),
+        )
+
+    def note_call(self, module: RegisteredModule) -> None:
+        self.calls_made += 1
+        self.calls_per_module[module.m_id] = (
+            self.calls_per_module.get(module.m_id, 0) + 1)
+
+    def describe(self) -> str:
+        names = ", ".join(sorted(m.name for m in self.modules.values()))
+        return (f"session {self.session_id}: client pid={self.client.pid} "
+                f"handle pid={self.handle.proc.pid} modules=[{names}] "
+                f"established={self.established} calls={self.calls_made}")
+
+
+class SessionManager:
+    """Kernel-side bookkeeping of every SecModule session."""
+
+    def __init__(self, kernel, registry: ModuleRegistry) -> None:
+        self.kernel = kernel
+        self.registry = registry
+        self._by_id: Dict[int, Session] = {}
+        self._by_client_pid: Dict[int, int] = {}
+        self._by_handle_pid: Dict[int, int] = {}
+        self._next_id = 1
+        self.denied_establishments: List[str] = []
+
+    # ------------------------------------------------------------ lookups
+    def get(self, session_id: int) -> Optional[Session]:
+        return self._by_id.get(session_id)
+
+    def for_client(self, proc: Proc) -> Optional[Session]:
+        session_id = self._by_client_pid.get(proc.pid)
+        return self._by_id.get(session_id) if session_id is not None else None
+
+    def for_handle(self, proc: Proc) -> Optional[Session]:
+        session_id = self._by_handle_pid.get(proc.pid)
+        return self._by_id.get(session_id) if session_id is not None else None
+
+    def active_sessions(self) -> List[Session]:
+        return [s for s in self._by_id.values() if not s.torn_down]
+
+    # ----------------------------------------------------- step 2: start_session
+    def start_session(self, client: Proc,
+                      descriptor: SessionDescriptor) -> Session:
+        """Validate credentials and forcibly fork the handle (Figure 1 step 2).
+
+        Raises PermissionError when any credential fails validation — the
+        syscall wrapper converts that into EACCES.
+        """
+        if self.for_client(client) is not None:
+            raise SimulationError(
+                f"client pid {client.pid} already has an active session")
+        machine = self.kernel.machine
+        now_us = machine.microseconds()
+
+        resolved: List[Tuple[RegisteredModule, Credential]] = []
+        for requirement in descriptor.requirements:
+            module = self.registry.find(requirement.module_name,
+                                        requirement.version)
+            if module is None:
+                raise LookupError(
+                    f"module {requirement.module_name!r} "
+                    f"v{requirement.version} is not registered")
+            machine.charge(costs.SMOD_SESSION_LOOKUP)
+            machine.charge(costs.SMOD_CRED_CHECK)
+            outcome = validate_credential(module.definition.issuer,
+                                          requirement.credential,
+                                          uid=client.cred.uid, now_us=now_us)
+            if not outcome.valid:
+                self.denied_establishments.append(
+                    f"{requirement.module_name}: {outcome.reason}")
+                raise PermissionError(
+                    f"credential rejected for {requirement.module_name!r}: "
+                    f"{outcome.reason}")
+            # Session-establishment policy check (per-call checks also run on
+            # every dispatch; this one gates the fork itself).
+            ctx = PolicyContext(
+                credential=requirement.credential, uid=client.cred.uid,
+                gid=client.cred.gid, principal=requirement.credential.principal,
+                function_name="<session>", now_us=now_us,
+                calls_this_session=0)
+            decision = module.definition.policy.evaluate(ctx)
+            machine.charge(costs.SMOD_POLICY_STEP, decision.steps)
+            if not decision.allowed:
+                self.denied_establishments.append(
+                    f"{requirement.module_name}: {decision.reason}")
+                raise PermissionError(
+                    f"policy denied session for {requirement.module_name!r}: "
+                    f"{decision.reason}")
+            resolved.append((module, requirement.credential))
+
+        machine.trace.emit("smod.session", "smod_start_session",
+                           pid=client.pid,
+                           detail_modules=[m.name for m, _ in resolved])
+
+        # "the kernel forcibly forks the child process, creates a small,
+        # secret heap/stack segment for the handle, and executes the
+        # function smod_std_handle(), using the secret stack."
+        handle_proc = self.kernel.fork_process(
+            client, name=f"smod-handle[{client.name}]",
+            flags=ProcFlag.SMOD_HANDLE | ProcFlag.NOCORE | ProcFlag.NOTRACE)
+        client.set_flag(ProcFlag.SMOD_CLIENT)
+        client.set_flag(ProcFlag.NOCORE)
+        handle_proc.smod_peer = client
+        client.smod_peer = handle_proc
+
+        machine.trace.emit("smod.session", "smod_std_handle",
+                           pid=handle_proc.pid)
+        handle = Handle(self.kernel, handle_proc, client)
+        handle.map_secret_region()
+
+        session = Session(
+            session_id=self._next_id,
+            client=client,
+            handle=handle,
+            shared_stack=SimStack(name=f"shared-stack[s{self._next_id}]",
+                                  machine=machine),
+        )
+        self._next_id += 1
+        for module, credential in resolved:
+            session.modules[module.m_id] = module
+            session.credentials[module.m_id] = credential
+            module.sessions_opened += 1
+        self._by_id[session.session_id] = session
+        self._by_client_pid[client.pid] = session.session_id
+        self._by_handle_pid[handle_proc.pid] = session.session_id
+        client.smod_session = session
+        handle_proc.smod_session = session
+        return session
+
+    # -------------------------------------------------- step 3: smod_session_info
+    def handle_session_info(self, handle_proc: Proc) -> Session:
+        """The handle's half of the handshake (Figure 1 step 3)."""
+        session = self.for_handle(handle_proc)
+        if session is None:
+            raise LookupError(
+                f"pid {handle_proc.pid} is not a SecModule handle")
+        machine = self.kernel.machine
+        machine.trace.emit("smod.session", "smod_session_info",
+                           pid=handle_proc.pid)
+
+        # "forcibly unmaps the entire data, heap, and stack segment of the
+        # handle process and forces it to share the memory pages from the
+        # same address range from the client process."
+        shared_entries = uvmspace_force_share(
+            handle_proc.vmspace, session.client.vmspace,
+            SHARE_START, SHARE_END)
+        machine.trace.emit("smod.uvm", "uvmspace_force_share",
+                           pid=handle_proc.pid,
+                           detail_entries=shared_entries,
+                           detail_range=f"[{SHARE_START:#x},{SHARE_END:#x})")
+
+        for module in session.modules.values():
+            session.handle.load_module_text(module)
+
+        # Synchronization: one request queue (client -> handle) and one reply
+        # queue (handle -> client), via the stock SysV MSG interface.
+        session.request_msqid = self.kernel.msg.msgget(handle_proc, 0)
+        session.reply_msqid = self.kernel.msg.msgget(handle_proc, 0)
+        session.handle.mark_ready()
+        return session
+
+    # --------------------------------------------------- step 4: smod_handle_info
+    def client_handle_info(self, client: Proc) -> Session:
+        """The client's final handshake step (Figure 1 step 4)."""
+        session = self.for_client(client)
+        if session is None:
+            raise LookupError(f"pid {client.pid} has no SecModule session")
+        if not session.handle.ready:
+            raise SimulationError(
+                "smod_handle_info called before the handle completed "
+                "smod_session_info")
+        machine = self.kernel.machine
+        machine.trace.emit("smod.session", "smod_handle_info", pid=client.pid)
+        for module in session.modules.values():
+            guard = apply_client_protection(self.kernel, client, module,
+                                            mode=module.protection)
+            session.guards[module.m_id] = guard
+        session.established = True
+        machine.trace.emit("smod.session", "smod_client_main", pid=client.pid)
+        return session
+
+    # -------------------------------------------------------------- teardown
+    def teardown(self, session: Session, *, kill_handle: bool = True) -> None:
+        """Detach the client, kill the handle, release queues (execve/exit path)."""
+        if session.torn_down:
+            return
+        session.torn_down = True
+        session.established = False
+        client = session.client
+        handle_proc = session.handle.proc
+        client.clear_flag(ProcFlag.SMOD_CLIENT)
+        client.smod_session = None
+        client.smod_peer = None
+        client.vmspace.smod_peer = None
+        handle_proc.smod_session = None
+        for msqid in (session.request_msqid, session.reply_msqid):
+            if msqid >= 0 and self.kernel.msg.lookup(msqid) is not None:
+                try:
+                    self.kernel.msg.msgctl_remove(self.kernel.proc0, msqid)
+                except KeyError:
+                    pass
+        if kill_handle:
+            session.handle.kill()
+        self._by_client_pid.pop(client.pid, None)
+        self._by_handle_pid.pop(handle_proc.pid, None)
+        self.kernel.machine.trace.emit("smod.session", "teardown",
+                                       pid=client.pid,
+                                       detail_session=session.session_id)
+
+    def __len__(self) -> int:
+        return len(self.active_sessions())

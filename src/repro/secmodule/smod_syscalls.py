@@ -1,0 +1,191 @@
+"""The SecModule system-call additions (Figure 4) and kernel wiring.
+
+Figure 4 of the paper lists the new entries added to OpenBSD's
+``syscalls.master``::
+
+    301 sys_smod_find(const char *name, int version)
+    303 sys_smod_session_info(void *sinfo)        ;; handle only
+    304 sys_smod_handle_info(void *hinfo)         ;; client only
+    305 sys_smod_add(void *smodinfo)
+    306 sys_smod_remove(int m_id, void *credential, int credential_size)
+    307 sys_smod_call(void *framep, void *rtnaddr, unsigned m_id, int funcID)
+    320 sys_smod_start_session(struct smod_session_descriptor *descp)
+
+:class:`SmodExtension` is the reproduction's equivalent of the kernel patch:
+it owns the module registry, the session manager and the dispatcher,
+registers the syscalls above into a booted kernel's dispatch table, and
+hooks the process-lifecycle events so ``execve``/``exit``/``fork`` get the
+§4.3 special handling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..kernel.errno import Errno, SyscallResult, fail, ok
+from ..kernel.kernel import Kernel
+from ..kernel.proc import Proc
+from ..kernel.syscall import (
+    SYS_smod_add,
+    SYS_smod_call,
+    SYS_smod_find,
+    SYS_smod_handle_info,
+    SYS_smod_remove,
+    SYS_smod_session_info,
+    SYS_smod_start_session,
+)
+from .dispatch import DispatchConfig, SmodDispatcher
+from .registry import ModuleRegistry
+from .session import SessionDescriptor, SessionManager
+
+#: (number, name) pairs exactly as Figure 4 lists them.
+FIGURE4_SYSCALLS = (
+    (SYS_smod_find, "smod_find"),
+    (SYS_smod_session_info, "smod_session_info"),
+    (SYS_smod_handle_info, "smod_handle_info"),
+    (SYS_smod_add, "smod_add"),
+    (SYS_smod_remove, "smod_remove"),
+    (SYS_smod_call, "smod_call"),
+    (SYS_smod_start_session, "smod_start_session"),
+)
+
+
+class SmodExtension:
+    """The SecModule kernel extension: registry + sessions + dispatcher."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self.registry = ModuleRegistry(kernel)
+        self.sessions = SessionManager(kernel, self.registry)
+        self.dispatcher = SmodDispatcher(kernel)
+        self._installed = False
+
+    # ------------------------------------------------------------- installation
+    def install(self) -> "SmodExtension":
+        """Register the Figure 4 syscalls and the lifecycle hooks."""
+        if self._installed:
+            return self
+        kernel = self.kernel
+
+        kernel.syscalls.register(SYS_smod_find, "smod_find",
+                                 self._sys_smod_find, arg_words=2)
+        kernel.syscalls.register(SYS_smod_session_info, "smod_session_info",
+                                 self._sys_smod_session_info, arg_words=1)
+        kernel.syscalls.register(SYS_smod_handle_info, "smod_handle_info",
+                                 self._sys_smod_handle_info, arg_words=1)
+        kernel.syscalls.register(SYS_smod_add, "smod_add",
+                                 self._sys_smod_add, arg_words=1)
+        kernel.syscalls.register(SYS_smod_remove, "smod_remove",
+                                 self._sys_smod_remove, arg_words=3)
+        kernel.syscalls.register(SYS_smod_call, "smod_call",
+                                 self._sys_smod_call, arg_words=4)
+        kernel.syscalls.register(SYS_smod_start_session, "smod_start_session",
+                                 self._sys_smod_start_session, arg_words=1)
+
+        # §4.3 special handling for execve / fork / exit lives in special.py;
+        # the hooks are registered here so installing the extension is one call.
+        from .special import on_exec, on_exit, on_fork
+        kernel.register_hook("exec", lambda k, proc, plan: on_exec(self, proc, plan))
+        kernel.register_hook("exit", lambda k, proc, status: on_exit(self, proc, status))
+        kernel.register_hook("fork", lambda k, parent, child: on_fork(self, parent, child))
+
+        self._installed = True
+        return self
+
+    @property
+    def installed(self) -> bool:
+        return self._installed
+
+    # ------------------------------------------------------------ syscall bodies
+    def _sys_smod_find(self, kernel, proc: Proc, name: str,
+                       version: int) -> SyscallResult:
+        module = self.registry.find(name, version)
+        kernel.machine.trace.emit("smod.session", "smod_find", pid=proc.pid,
+                                  detail_module=name, detail_version=version,
+                                  detail_found=module is not None)
+        if module is None:
+            return fail(Errno.ENOENT)
+        return ok(module.m_id)
+
+    def _sys_smod_start_session(self, kernel, proc: Proc,
+                                descriptor: SessionDescriptor) -> SyscallResult:
+        if not isinstance(descriptor, SessionDescriptor):
+            return fail(Errno.EINVAL)
+        kernel.copyin(descriptor.words)
+        try:
+            session = self.sessions.start_session(proc, descriptor)
+        except LookupError:
+            return fail(Errno.ENOENT)
+        except PermissionError:
+            return fail(Errno.EACCES)
+        except Exception:
+            return fail(Errno.EINVAL)
+        return ok(session.session_id)
+
+    def _sys_smod_session_info(self, kernel, proc: Proc,
+                               sinfo=None) -> SyscallResult:
+        # "ONLY for the handle process"
+        if not proc.is_smod_handle:
+            return fail(Errno.EPERM)
+        try:
+            session = self.sessions.handle_session_info(proc)
+        except LookupError:
+            return fail(Errno.ESRCH)
+        return ok(session.session_id)
+
+    def _sys_smod_handle_info(self, kernel, proc: Proc,
+                              hinfo=None) -> SyscallResult:
+        # "ONLY for the client process"
+        if proc.is_smod_handle:
+            return fail(Errno.EPERM)
+        try:
+            session = self.sessions.client_handle_info(proc)
+        except LookupError:
+            return fail(Errno.ESRCH)
+        except Exception:
+            return fail(Errno.EINVAL)
+        return ok(session.session_id)
+
+    def _sys_smod_add(self, kernel, proc: Proc, smodinfo) -> SyscallResult:
+        definition = getattr(smodinfo, "definition", smodinfo)
+        protection = getattr(smodinfo, "protection", None)
+        try:
+            if protection is not None:
+                registered = self.registry.register(definition,
+                                                    protection=protection,
+                                                    uid=proc.cred.uid)
+            else:
+                registered = self.registry.register(definition,
+                                                    uid=proc.cred.uid)
+        except PermissionError:
+            return fail(Errno.EPERM)
+        except Exception:
+            return fail(Errno.EEXIST)
+        return ok(registered.m_id)
+
+    def _sys_smod_remove(self, kernel, proc: Proc, m_id: int, credential,
+                         credential_size: int = 0) -> SyscallResult:
+        kernel.copyin(max(0, credential_size // 4))
+        try:
+            removed = self.registry.remove(m_id, credential, uid=proc.cred.uid)
+        except PermissionError:
+            return fail(Errno.EPERM)
+        if not removed:
+            return fail(Errno.ENOENT)
+        return ok(0)
+
+    def _sys_smod_call(self, kernel, proc: Proc, frame, m_id: int,
+                       func_id: int,
+                       config: Optional[DispatchConfig] = None) -> SyscallResult:
+        session = self.sessions.for_client(proc)
+        outcome = self.dispatcher.sys_smod_call(
+            proc, session, frame, m_id, func_id,
+            config=config or DispatchConfig())
+        if not outcome.ok:
+            return fail(outcome.errno)
+        return ok(outcome.value)
+
+
+def install_secmodule(kernel: Kernel) -> SmodExtension:
+    """Boot-time helper: attach the SecModule extension to a booted kernel."""
+    return SmodExtension(kernel).install()

@@ -1,0 +1,113 @@
+"""Special-function handling (§4.3 of the paper).
+
+"Certain function calls in the C library required special handling when
+they were converted over to the SecModule framework":
+
+* ``execve`` — detach the client from the SecModule system, kill the handle,
+  then run the normal exec; if the new image is SecModule-enabled its crt0
+  re-establishes a session;
+* ``fork`` — the child needs its *own* handle ("multiple clients should not
+  share the handle, because a many-to-one mapping ... introduces a
+  performance bottleneck"); part of the work happens outside the kernel,
+  which the reproduction models by leaving the child *without* a session and
+  recording that a re-establishment is required;
+* ``getpid``/``getppid``/signals/``wait`` — must act on the client, never
+  the handle (handled in :mod:`repro.kernel.proc` /
+  :mod:`repro.kernel.signals` via ``effective_client``);
+* process exit — an exiting client must not leave an orphaned handle
+  holding decrypted text.
+
+This module implements the lifecycle hooks the extension installs, plus the
+rule-of-thumb classifier the paper describes ("if they involve scheduling,
+signals or processes, then they will likely need additional work").
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..kernel.proc import Proc, ProcFlag
+
+#: Symbols in the synthetic libc that need §4.3 special handling.
+SPECIAL_FUNCTIONS: Set[str] = {
+    "execve", "fork", "vfork", "getpid", "getppid", "wait", "wait4", "waitpid",
+    "kill", "signal", "sigaction", "sigprocmask", "exit", "_exit", "setpgid",
+    "getpgrp", "sched_yield",
+}
+
+#: Keyword heuristics behind the paper's rule of thumb.
+_SPECIAL_HINTS = ("pid", "fork", "exec", "wait", "sig", "sched", "exit", "kill")
+
+
+def needs_special_handling(symbol: str) -> bool:
+    """The paper's rule of thumb: scheduling/signal/process calls need work."""
+    if symbol in SPECIAL_FUNCTIONS:
+        return True
+    lowered = symbol.lower()
+    return any(hint in lowered for hint in _SPECIAL_HINTS)
+
+
+def classify_symbols(symbols) -> tuple[List[str], List[str]]:
+    """Partition library symbols into (special, ordinary) lists."""
+    special: List[str] = []
+    ordinary: List[str] = []
+    for symbol in symbols:
+        (special if needs_special_handling(symbol) else ordinary).append(symbol)
+    return special, ordinary
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle hooks (installed by SmodExtension.install)
+# ---------------------------------------------------------------------------
+
+def on_exec(extension, proc: Proc, plan) -> None:   # noqa: ARG001 - plan unused
+    """execve: "first detach the requesting client process from the SecModule
+    system, kill the associated handle process, and then run sys_execve as
+    per normal"."""
+    session = extension.sessions.for_client(proc)
+    if session is not None:
+        extension.sessions.teardown(session, kill_handle=True)
+    # An exec *by the handle itself* would be an escape attempt: the handle
+    # must never run anything but smod_std_handle.  Kill it instead.
+    handle_session = extension.sessions.for_handle(proc)
+    if handle_session is not None:
+        extension.sessions.teardown(handle_session, kill_handle=True)
+
+
+def on_exit(extension, proc: Proc, status: int) -> None:   # noqa: ARG001
+    """exit: tear down any session the exiting process participates in."""
+    session = extension.sessions.for_client(proc)
+    if session is not None:
+        extension.sessions.teardown(session, kill_handle=True)
+        return
+    handle_session = extension.sessions.for_handle(proc)
+    if handle_session is not None:
+        # The handle died (crash or kill): the client cannot make protected
+        # calls any more; tear the session down but leave the client running.
+        extension.sessions.teardown(handle_session, kill_handle=False)
+
+
+def on_fork(extension, parent: Proc, child: Proc) -> None:
+    """fork: the child must get its own handle, never share the parent's.
+
+    "The ideal action is to duplicate the child process twice, and force the
+    first child to be the handle for the second.  This task is made complex
+    [...] thus some of the heavy lifting for fork is implemented as
+    handle-side code that sits outside of the kernel."  The reproduction
+    mirrors the end state: the child starts with *no* session (and no
+    SMOD_CLIENT flag); its crt0 — or the userland helper
+    :func:`repro.secmodule.api.SecModuleSystem.fork_client` — re-establishes
+    one, giving it a fresh private handle.
+    """
+    if child.has_flag(ProcFlag.SMOD_HANDLE):
+        # This fork *created* a handle (start_session's forced fork); leave it.
+        return
+    parent_session = extension.sessions.for_client(parent)
+    if parent_session is None:
+        return
+    child.clear_flag(ProcFlag.SMOD_CLIENT)
+    child.smod_session = None
+    child.smod_peer = None
+    # The child's vmspace was fork-copied from the parent; it must not keep a
+    # peer link to the parent's handle either.
+    child.vmspace.smod_peer = None

@@ -1,0 +1,240 @@
+"""Client/handle stubs and the shared-stack calling convention (Figure 3).
+
+The paper dedicates Figure 3 to the stack discipline around a protected
+call, because it is both the correctness argument (the real library function
+sees a perfectly ordinary stack frame) and part of the cost (the stub and
+the kernel duplicate and strip a handful of words per call):
+
+* **step (1)** — inside the client's assembly stub (e.g.
+  ``SMOD_client_malloc``) the stack holds the caller's arguments, the return
+  address and the caller's frame pointer;
+* **step (2)** — the stub pushes the ``(moduleID, funcID)`` pair and then
+  duplicates the return-address/frame-pointer pair so the kernel has a
+  correct view of the frame without architecture-specific digging;
+* **step (3)** — the handle, inside ``smod_stub_receive()`` running on its
+  *secret* stack, pops everything above ``arg1`` and relays to the real
+  function, which therefore sees ``args...`` exactly as a normal call would;
+* **step (4)** — ``smod_stub_receive()`` pushes back the exact same words
+  the client stub had seen so the return lands at the original call site.
+
+The simulation represents the shared stack as an explicit list of typed
+slots so each step above is a small, assertable transformation, and charges
+:data:`~repro.sim.costs.USER_STACK_WORD` /
+:data:`~repro.sim.costs.SMOD_STACK_FIXUP_WORD` per word moved.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from ..sim import costs
+
+
+class SlotKind(enum.Enum):
+    ARG = "arg"
+    RETURN_ADDRESS = "ret"
+    FRAME_POINTER = "fp"
+    MODULE_ID = "m_id"
+    FUNC_ID = "func_id"
+    SAVED = "saved"            # generic spill used by the handle-side stub
+
+
+@dataclass(frozen=True)
+class StackSlot:
+    kind: SlotKind
+    value: Any
+
+    def describe(self) -> str:
+        return f"{self.kind.value}={self.value}"
+
+
+class SimStack:
+    """A downward-growing stack of typed slots.
+
+    ``machine`` may be None for pure unit tests; when present, pushes and
+    pops by *user* code charge USER_STACK_WORD and pushes/pops by the stub
+    fix-up paths charge SMOD_STACK_FIXUP_WORD.
+    """
+
+    def __init__(self, name: str = "stack", machine=None,
+                 capacity: int = 4096) -> None:
+        self.name = name
+        self.machine = machine
+        self.capacity = capacity
+        self.slots: List[StackSlot] = []
+
+    def _charge(self, op: Optional[str], count: int = 1) -> None:
+        if self.machine is not None and op is not None:
+            self.machine.charge(op, count)
+
+    def push(self, kind: SlotKind, value: Any, *,
+             cost_op: Optional[str] = costs.USER_STACK_WORD) -> StackSlot:
+        if len(self.slots) >= self.capacity:
+            raise SimulationError(f"stack {self.name!r} overflow")
+        slot = StackSlot(kind=kind, value=value)
+        self.slots.append(slot)
+        self._charge(cost_op)
+        return slot
+
+    def pop(self, expected: Optional[SlotKind] = None, *,
+            cost_op: Optional[str] = costs.USER_STACK_WORD) -> StackSlot:
+        if not self.slots:
+            raise SimulationError(f"stack {self.name!r} underflow")
+        slot = self.slots.pop()
+        if expected is not None and slot.kind is not expected:
+            raise SimulationError(
+                f"stack discipline violated on {self.name!r}: expected "
+                f"{expected.value}, popped {slot.kind.value}")
+        self._charge(cost_op)
+        return slot
+
+    def peek(self, depth: int = 0) -> StackSlot:
+        if depth >= len(self.slots):
+            raise SimulationError(f"stack {self.name!r} peek past bottom")
+        return self.slots[-1 - depth]
+
+    def snapshot(self) -> Tuple[StackSlot, ...]:
+        """Immutable copy of the slots, bottom first (used by Figure 3)."""
+        return tuple(self.slots)
+
+    def depth(self) -> int:
+        return len(self.slots)
+
+    def describe(self) -> str:
+        if not self.slots:
+            return f"{self.name}: <empty>"
+        rendered = ", ".join(s.describe() for s in self.slots)
+        return f"{self.name} (bottom→top): {rendered}"
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+
+@dataclass
+class StubCallFrame:
+    """Everything the client stub placed on the shared stack for one call."""
+
+    module_id: int
+    func_id: int
+    args: Tuple[Any, ...]
+    return_address: int
+    frame_pointer: int
+    #: snapshots of the shared stack at the four Figure 3 checkpoints
+    checkpoints: Dict[str, Tuple[StackSlot, ...]] = field(default_factory=dict)
+
+
+class ClientStub:
+    """The client-side assembly stub (``smod_stub_call`` / ``SMOD_client_*``).
+
+    One instance is generated per protected function by the toolchain's stub
+    generator; at run time it manipulates the shared stack exactly as
+    Figure 3 steps (1)–(2) describe, then traps into ``sys_smod_call``.
+    """
+
+    def __init__(self, function_name: str, module_id: int, func_id: int, *,
+                 arg_words: int = 1) -> None:
+        self.function_name = function_name
+        self.module_id = module_id
+        self.func_id = func_id
+        self.arg_words = arg_words
+
+    @property
+    def symbol(self) -> str:
+        return f"SMOD_client_{self.function_name}"
+
+    def push_call(self, stack: SimStack, args: Sequence[Any], *,
+                  return_address: int = 0x0804_8123,
+                  frame_pointer: int = 0xCFBF_0000,
+                  record_checkpoints: bool = False) -> StubCallFrame:
+        """Perform Figure 3 steps (1) and (2) on ``stack``."""
+        frame = StubCallFrame(module_id=self.module_id, func_id=self.func_id,
+                              args=tuple(args), return_address=return_address,
+                              frame_pointer=frame_pointer)
+        # Step (1): the ordinary call left args (pushed right-to-left), the
+        # return address, and the saved frame pointer on the stack.
+        for value in reversed(list(args)):
+            stack.push(SlotKind.ARG, value)
+        stack.push(SlotKind.RETURN_ADDRESS, return_address)
+        stack.push(SlotKind.FRAME_POINTER, frame_pointer)
+        if record_checkpoints:
+            frame.checkpoints["step1"] = stack.snapshot()
+        # Step (2): the stub pushes the identifier pair and duplicates the
+        # top two elements so the kernel has the correct view of the frame.
+        stack.push(SlotKind.MODULE_ID, self.module_id,
+                   cost_op=costs.SMOD_STACK_FIXUP_WORD)
+        stack.push(SlotKind.FUNC_ID, self.func_id,
+                   cost_op=costs.SMOD_STACK_FIXUP_WORD)
+        stack.push(SlotKind.RETURN_ADDRESS, return_address,
+                   cost_op=costs.SMOD_STACK_FIXUP_WORD)
+        stack.push(SlotKind.FRAME_POINTER, frame_pointer,
+                   cost_op=costs.SMOD_STACK_FIXUP_WORD)
+        if record_checkpoints:
+            frame.checkpoints["step2"] = stack.snapshot()
+        return frame
+
+    def pop_return(self, stack: SimStack, frame: StubCallFrame) -> None:
+        """Unwind the original step (1) frame after the call returns."""
+        stack.pop(SlotKind.FRAME_POINTER)
+        stack.pop(SlotKind.RETURN_ADDRESS)
+        for _ in frame.args:
+            stack.pop(SlotKind.ARG)
+
+
+def smod_stub_receive(stack: SimStack, frame: StubCallFrame, function,
+                      env, *, secret_stack: Optional[SimStack] = None,
+                      record_checkpoints: bool = False) -> Any:
+    """The handle-side stub (Figure 3 steps (3) and (4), and Figure 5's
+    ``smod_stub_receive(shmsegp, funcp)``).
+
+    ``secret_stack`` is the handle's private stack: the stub's own
+    bookkeeping happens there so it cannot disturb the shared stack (the
+    paper is explicit about this — the stub "sets the stack to the shared
+    stack before relaying the call").
+    """
+    secret = secret_stack if secret_stack is not None else SimStack("secret")
+
+    # Step (3): pop everything above arg1 — the duplicated fp/ret pair and
+    # the identifier pair — saving them on the secret stack, then the
+    # original fp/ret pair so only the args remain visible to the callee.
+    for expected in (SlotKind.FRAME_POINTER, SlotKind.RETURN_ADDRESS,
+                     SlotKind.FUNC_ID, SlotKind.MODULE_ID,
+                     SlotKind.FRAME_POINTER, SlotKind.RETURN_ADDRESS):
+        slot = stack.pop(expected, cost_op=costs.SMOD_STACK_FIXUP_WORD)
+        secret.push(SlotKind.SAVED, slot.value,
+                    cost_op=costs.SMOD_STACK_FIXUP_WORD)
+    if record_checkpoints:
+        frame.checkpoints["step3"] = stack.snapshot()
+
+    # The callee runs against the shared stack: it sees args exactly as a
+    # normal (non-SecModule) call would, and may read/write any client data.
+    result = function.invoke(env, *frame.args)
+
+    # Step (4): restore the exact words the client stub had seen so that the
+    # eventual return lands back at the original call site.
+    for _ in range(6):
+        secret.pop(SlotKind.SAVED, cost_op=costs.SMOD_STACK_FIXUP_WORD)
+    stack.push(SlotKind.RETURN_ADDRESS, frame.return_address,
+               cost_op=costs.SMOD_STACK_FIXUP_WORD)
+    stack.push(SlotKind.FRAME_POINTER, frame.frame_pointer,
+               cost_op=costs.SMOD_STACK_FIXUP_WORD)
+    if record_checkpoints:
+        frame.checkpoints["step4"] = stack.snapshot()
+    return result
+
+
+@dataclass(frozen=True)
+class StubDescriptor:
+    """Metadata the stub generator emits for one protected function."""
+
+    function_name: str
+    client_symbol: str
+    module_name: str
+    func_id: int
+    arg_words: int
+    assembly: str
+
+    def __str__(self) -> str:   # pragma: no cover - cosmetic
+        return f"{self.client_symbol} -> {self.module_name}:{self.func_id}"

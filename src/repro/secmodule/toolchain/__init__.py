@@ -1,0 +1,23 @@
+"""The SecModule toolchain: objdump front end, stub generator, packer,
+registration tool and the custom link step (§4.2 of the paper)."""
+
+from .link import (
+    ClientLinkResult,
+    RUNTIME_PROVIDED_SYMBOLS,
+    link_secmodule_client,
+    link_traditional_client,
+    requirements_from_credentials,
+)
+from .objdump import SymbolExtraction, extract_function_symbols, objdump_pipeline_text
+from .packer import FunctionSpec, PackResult, pack_library
+from .register import RegistrationRecord, RegistrationTool, SmodInfo
+from .stubgen import StubSet, generate_stubs
+
+__all__ = [
+    "ClientLinkResult", "RUNTIME_PROVIDED_SYMBOLS", "link_secmodule_client",
+    "link_traditional_client", "requirements_from_credentials",
+    "SymbolExtraction", "extract_function_symbols", "objdump_pipeline_text",
+    "FunctionSpec", "PackResult", "pack_library",
+    "RegistrationRecord", "RegistrationTool", "SmodInfo",
+    "StubSet", "generate_stubs",
+]

@@ -1,0 +1,107 @@
+"""The SecModule custom link step.
+
+"Using the SecModule libC is nearly identical to the traditional case, save
+that we must specify a custom linking procedure to make sure that the
+special crt0 is linked in, and that the objects that hold the name and
+version of the needed SecModules, as well as the credentials that allow
+access to it, are linked in." (§4.2)
+
+:func:`link_secmodule_client` performs exactly that: it prepends the
+SecModule crt0, appends the generated descriptor object, and forwards to the
+ordinary mini linker, leaving the SecModule client symbols (which resolve at
+run time through ``sys_smod_call``) in the allow-undefined set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ...obj.archive import Archive
+from ...obj.crt0 import (
+    ModuleRequirement,
+    make_module_descriptor_object,
+    make_secmodule_crt0,
+    make_standard_crt0,
+)
+from ...obj.image import ObjectImage
+from ...obj.linker import LinkResult, link
+from ..credentials import Credential
+from ..session import SessionDescriptor, SessionRequirement
+from .stubgen import StubSet
+
+#: Runtime symbols the SecModule crt0 references; they are provided by the
+#: kernel/runtime rather than any linked object.
+RUNTIME_PROVIDED_SYMBOLS = (
+    "smod_find", "smod_start_session", "smod_handle_info",
+    "smod_client_main", "exit", "main",
+)
+
+
+@dataclass
+class ClientLinkResult:
+    """A linked SecModule client plus the runtime descriptor it embeds."""
+
+    link_result: LinkResult
+    descriptor: SessionDescriptor
+    requirements: List[ModuleRequirement]
+
+    @property
+    def image(self) -> ObjectImage:
+        return self.link_result.image
+
+
+def requirements_from_credentials(credentials: Sequence[Credential],
+                                  versions: Sequence[int]) -> List[ModuleRequirement]:
+    """Build descriptor-object records from credentials + module versions."""
+    if len(credentials) != len(versions):
+        raise ValueError("credentials and versions must pair up")
+    return [ModuleRequirement(module_name=c.module_name, version=v,
+                              credential_bytes=c.encode())
+            for c, v in zip(credentials, versions)]
+
+
+def link_secmodule_client(name: str,
+                          client_objects: Sequence[ObjectImage],
+                          credentials: Sequence[Credential],
+                          versions: Sequence[int],
+                          *,
+                          stubs: StubSet | None = None,
+                          archives: Sequence[Archive] = ()) -> ClientLinkResult:
+    """Link a client program the SecModule way.
+
+    The returned :class:`ClientLinkResult` carries both the executable image
+    and the :class:`SessionDescriptor` its crt0 will pass to
+    ``sys_smod_start_session`` — decoded back out of the descriptor object's
+    bytes, so the round trip through the object format is real.
+    """
+    requirements = requirements_from_credentials(credentials, versions)
+    crt0 = make_secmodule_crt0()
+    descriptor_object = make_module_descriptor_object(requirements)
+
+    allow_undefined = list(RUNTIME_PROVIDED_SYMBOLS)
+    if stubs is not None:
+        allow_undefined.extend(d.client_symbol for d in stubs.descriptors.values())
+
+    result = link(name, [crt0, *client_objects, descriptor_object],
+                  archives=archives, entry_symbol="start",
+                  allow_undefined=allow_undefined)
+
+    from ...obj.crt0 import decode_module_descriptors
+    decoded = decode_module_descriptors(descriptor_object)
+    session_requirements = tuple(
+        SessionRequirement(module_name=r.module_name, version=r.version,
+                           credential=Credential.decode(r.credential_bytes))
+        for r in decoded)
+    return ClientLinkResult(link_result=result,
+                            descriptor=SessionDescriptor(session_requirements),
+                            requirements=requirements)
+
+
+def link_traditional_client(name: str,
+                            client_objects: Sequence[ObjectImage],
+                            *, archives: Sequence[Archive] = ()) -> LinkResult:
+    """The ordinary (non-SecModule) link, for baseline comparisons."""
+    crt0 = make_standard_crt0()
+    return link(name, [crt0, *client_objects], archives=archives,
+                entry_symbol="start", allow_undefined=("exit", "main"))

@@ -1,0 +1,67 @@
+"""The toolchain's symbol-extraction front end.
+
+Mirrors the paper's workflow: run ``objdump -t`` over the target archive,
+grep for function symbols, and keep a side list of macro-only entry points
+that objdump cannot see ("for the rest, we used the macro definitions
+already in the headers, as needed").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+from ...obj.archive import Archive
+from ...obj.image import ObjectImage
+from ...obj.symbols import grep_function_symbols, objdump_t
+
+
+@dataclass
+class SymbolExtraction:
+    """The result of scanning a library for functions to protect."""
+
+    library_name: str
+    from_objdump: List[str] = field(default_factory=list)
+    from_headers: List[str] = field(default_factory=list)
+
+    @property
+    def all_symbols(self) -> List[str]:
+        seen = set()
+        out: List[str] = []
+        for name in self.from_objdump + self.from_headers:
+            if name not in seen:
+                seen.add(name)
+                out.append(name)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.all_symbols)
+
+
+def extract_function_symbols(library: Archive | ObjectImage, *,
+                             header_macros: Sequence[str] = ()) -> SymbolExtraction:
+    """Run the objdump|grep pipeline over ``library``.
+
+    ``header_macros`` are the additional names supplied by hand, exactly as
+    the paper describes slowly adding the symbols objdump missed.
+    """
+    if isinstance(library, Archive):
+        name = library.name
+        listings = [objdump_t(member) for member in library.members]
+    else:
+        name = library.name
+        listings = [objdump_t(library)]
+
+    extraction = SymbolExtraction(library_name=name)
+    for listing in listings:
+        extraction.from_objdump.extend(grep_function_symbols(listing))
+    extraction.from_headers.extend(header_macros)
+    return extraction
+
+
+def objdump_pipeline_text(library: Archive | ObjectImage) -> str:
+    """The raw text the pipeline would print (used by docs/examples)."""
+    if isinstance(library, Archive):
+        listings = [objdump_t(member) for member in library.members]
+        return "\n\n".join(listings)
+    return objdump_t(library)

@@ -1,0 +1,145 @@
+"""The SecModule packer: turn an ordinary library into a protectable module.
+
+The packer is the middle of the toolchain pipeline::
+
+    libc.a --objdump/grep--> symbols --stubgen--> stubs
+           \\--link members--> library image --encrypt (skip relocations)-->
+                               SecModuleDefinition ready for registration
+
+Given an :class:`~repro.obj.archive.Archive` (or a pre-linked shared image)
+and a mapping of symbol names to simulated behaviours, it produces a
+:class:`~repro.secmodule.module.SecModuleDefinition` whose backing image
+carries real text bytes and real relocation holes, so registration-time
+encryption has something faithful to operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ...errors import ToolchainError
+from ...obj.archive import Archive
+from ...obj.image import ObjectImage, Section, Symbol, SymbolType
+from ...sim import costs
+from ..module import SecModuleDefinition
+from ..policy import Policy
+from ..special import needs_special_handling
+from .objdump import SymbolExtraction, extract_function_symbols
+from .stubgen import StubSet, generate_stubs
+
+
+@dataclass
+class FunctionSpec:
+    """How one library symbol behaves once protected."""
+
+    impl: Callable
+    cost_op: str = costs.FUNC_BODY_TESTINCR
+    arg_words: int = 1
+    doc: str = ""
+
+
+@dataclass
+class PackResult:
+    """Everything the packer produced for one library."""
+
+    definition: SecModuleDefinition
+    stubs: StubSet
+    extraction: SymbolExtraction
+    skipped_symbols: List[str] = field(default_factory=list)
+    special_symbols: List[str] = field(default_factory=list)
+
+    @property
+    def module_name(self) -> str:
+        return self.definition.name
+
+
+def _merge_archive_image(archive: Archive, module_name: str) -> ObjectImage:
+    """Concatenate archive members into one shared-library style image.
+
+    A lighter-weight merge than the full linker (no relocation resolution —
+    the module's internal relocations stay unresolved, which is realistic
+    for a shared object before load time and gives the encryption path its
+    holes).
+    """
+    image = ObjectImage(name=f"{module_name}.so", kind="shared")
+    text = image.add_section(Section(name=".text", executable=True))
+    data = image.add_section(Section(name=".data", writable=True))
+    for member in archive.members:
+        for section in member.sections.values():
+            target = text if section.executable else data
+            base = target.size
+            target.data.extend(section.data)
+            for symbol in member.symbols:
+                if symbol.section == section.name:
+                    image.add_symbol(Symbol(
+                        name=symbol.name, section=target.name,
+                        offset=base + symbol.offset, size=symbol.size,
+                        sym_type=symbol.sym_type, binding=symbol.binding))
+            for reloc in member.relocations:
+                if reloc.section == section.name:
+                    image.add_relocation(type(reloc)(
+                        section=target.name, offset=base + reloc.offset,
+                        symbol=reloc.symbol, rel_type=reloc.rel_type,
+                        addend=reloc.addend))
+    return image
+
+
+def pack_library(library: Archive | ObjectImage, *,
+                 module_name: Optional[str] = None,
+                 version: int = 1,
+                 behaviours: Dict[str, FunctionSpec],
+                 policy: Optional[Policy] = None,
+                 header_macros: Sequence[str] = (),
+                 include_special: bool = True) -> PackResult:
+    """Convert ``library`` into a SecModule definition plus client stubs.
+
+    Parameters
+    ----------
+    behaviours:
+        Mapping from symbol name to its simulated behaviour.  Symbols found
+        in the library but absent here are recorded as skipped (the paper's
+        "nearly 1500 global text symbols ... auditing them will take some
+        time" — the packer makes the unaudited set explicit).
+    include_special:
+        When False, symbols the §4.3 classifier flags are skipped instead of
+        packed, which is how a cautious operator would start.
+    """
+    module_name = module_name or (
+        library.name[:-2] if library.name.endswith(".a") else library.name)
+    extraction = extract_function_symbols(library, header_macros=header_macros)
+    if not extraction.all_symbols:
+        raise ToolchainError(f"library {library.name!r} exports no functions")
+
+    if isinstance(library, Archive):
+        image = _merge_archive_image(library, module_name)
+    else:
+        image = library.copy()
+        image.kind = "shared"
+
+    definition = SecModuleDefinition(module_name, version, policy=policy,
+                                     library_image=image)
+    skipped: List[str] = []
+    special: List[str] = []
+    for symbol in extraction.all_symbols:
+        spec = behaviours.get(symbol)
+        is_special = needs_special_handling(symbol)
+        if is_special:
+            special.append(symbol)
+            if not include_special:
+                skipped.append(symbol)
+                continue
+        if spec is None:
+            skipped.append(symbol)
+            continue
+        definition.add_function(symbol, spec.impl, cost_op=spec.cost_op,
+                                arg_words=spec.arg_words,
+                                special=is_special, doc=spec.doc)
+
+    if len(definition) == 0:
+        raise ToolchainError(
+            f"no behaviours supplied for any symbol of {library.name!r}")
+    stubs = generate_stubs(definition)
+    return PackResult(definition=definition, stubs=stubs,
+                      extraction=extraction, skipped_symbols=skipped,
+                      special_symbols=special)

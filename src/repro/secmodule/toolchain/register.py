@@ -1,0 +1,76 @@
+"""The userland registration tool.
+
+"Executing the SecModule enabled client must be preceded by the OS kernel's
+recognition of the SecModule about to be requested" (§4.2).  This tool is
+that step: run as the trusted host (root), it hands a packed module to the
+kernel through ``sys_smod_add`` and can later retire it through
+``sys_smod_remove``.  It is deliberately a thin wrapper over the syscalls so
+that registration pays the same trap costs a real tool would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ...errors import ConfigurationError
+from ...kernel.proc import Proc
+from ..credentials import Credential
+from ..module import SecModuleDefinition
+from ..protection import ProtectionMode
+
+
+@dataclass
+class SmodInfo:
+    """The ``void *smodinfo`` argument of ``sys_smod_add``."""
+
+    definition: SecModuleDefinition
+    protection: ProtectionMode = ProtectionMode.ENCRYPT
+
+
+@dataclass
+class RegistrationRecord:
+    """What the tool prints/records after a successful registration."""
+
+    module_name: str
+    version: int
+    m_id: int
+    protection: ProtectionMode
+
+
+class RegistrationTool:
+    """Registers and removes SecModules on behalf of the trusted host."""
+
+    def __init__(self, kernel, extension, operator: Proc) -> None:
+        self.kernel = kernel
+        self.extension = extension
+        self.operator = operator
+        self.records: list[RegistrationRecord] = []
+
+    def register(self, definition: SecModuleDefinition, *,
+                 protection: ProtectionMode = ProtectionMode.ENCRYPT) -> RegistrationRecord:
+        """Register ``definition`` via ``sys_smod_add``; raises on failure."""
+        result = self.kernel.syscall(self.operator, "smod_add",
+                                     SmodInfo(definition=definition,
+                                              protection=protection))
+        if result.failed:
+            raise ConfigurationError(
+                f"sys_smod_add failed for {definition.name!r}: "
+                f"{result.errno.name}")
+        record = RegistrationRecord(module_name=definition.name,
+                                    version=definition.version,
+                                    m_id=result.value, protection=protection)
+        self.records.append(record)
+        return record
+
+    def find(self, name: str, version: int) -> Optional[int]:
+        """Ask the kernel for a module id via ``sys_smod_find``."""
+        result = self.kernel.syscall(self.operator, "smod_find", name, version)
+        return None if result.failed else result.value
+
+    def remove(self, m_id: int, credential: Credential) -> bool:
+        """Unregister via ``sys_smod_remove``."""
+        blob = credential.encode()
+        result = self.kernel.syscall(self.operator, "smod_remove", m_id,
+                                     credential, len(blob))
+        return result.ok

@@ -1,0 +1,38 @@
+"""Simulation substrate: virtual clock, cost model, statistics, tracing.
+
+This package is the foundation everything else charges time to.  See
+``DESIGN.md`` §3 for why the reproduction uses a cycle-accounted simulation
+instead of wall-clock timing.
+"""
+
+from .clock import VirtualClock, ClockCheckpoint, ClockInterval
+from .costs import (
+    ALL_OPERATIONS,
+    CostMeter,
+    CostProfile,
+    MODERN_X86_3GHZ,
+    PENTIUM_III_599,
+    PROFILES,
+    get_profile,
+    total_cycles,
+)
+from .rng import DeterministicRNG
+from .stats import (
+    MeasurementSummary,
+    RunningStats,
+    TrialResult,
+    coefficient_of_variation,
+    mean,
+    stdev,
+)
+from .trace import TraceBuffer, TraceEvent
+
+__all__ = [
+    "VirtualClock", "ClockCheckpoint", "ClockInterval",
+    "ALL_OPERATIONS", "CostMeter", "CostProfile", "MODERN_X86_3GHZ",
+    "PENTIUM_III_599", "PROFILES", "get_profile", "total_cycles",
+    "DeterministicRNG",
+    "MeasurementSummary", "RunningStats", "TrialResult",
+    "coefficient_of_variation", "mean", "stdev",
+    "TraceBuffer", "TraceEvent",
+]

@@ -1,0 +1,102 @@
+"""Virtual cycle clock.
+
+Every privileged operation performed by the simulated kernel charges a number
+of CPU cycles to a :class:`VirtualClock`.  Benchmarks convert accumulated
+cycles to microseconds using the simulated CPU frequency, which is how the
+reproduction regenerates the ``microsec/CALL`` column of the paper's Figure 8
+without depending on Python wall-clock time (which would be dominated by
+interpreter overhead rather than by the protection mechanisms under study).
+
+The clock is deliberately tiny and allocation-free on the hot path: the
+dispatch microbenchmarks advance it millions of times per trial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ClockCheckpoint:
+    """An immutable snapshot of the clock, used to measure intervals."""
+
+    cycles: int
+    events: int
+
+    def __sub__(self, other: "ClockCheckpoint") -> "ClockInterval":
+        return ClockInterval(
+            cycles=self.cycles - other.cycles,
+            events=self.events - other.events,
+        )
+
+
+@dataclass
+class ClockInterval:
+    """The difference between two checkpoints."""
+
+    cycles: int
+    events: int
+
+    def microseconds(self, mhz: float) -> float:
+        """Convert the cycle delta to microseconds at ``mhz`` megahertz."""
+        return self.cycles / float(mhz)
+
+
+@dataclass
+class VirtualClock:
+    """Monotonic virtual cycle counter.
+
+    Attributes
+    ----------
+    cycles:
+        Total cycles charged since construction (or the last :meth:`reset`).
+    events:
+        Number of individual charges; useful for sanity checks such as
+        "the RPC path executes more privileged operations than SecModule".
+    """
+
+    cycles: int = 0
+    events: int = 0
+    _frozen: bool = field(default=False, repr=False)
+
+    def advance(self, cycles: int) -> int:
+        """Charge ``cycles`` to the clock and return the new total.
+
+        Negative charges are rejected: simulated time never runs backwards.
+        """
+        if cycles < 0:
+            raise ValueError(f"cannot advance clock by negative cycles: {cycles}")
+        if self._frozen:
+            return self.cycles
+        self.cycles += cycles
+        self.events += 1
+        return self.cycles
+
+    def checkpoint(self) -> ClockCheckpoint:
+        """Return a snapshot to later measure an interval against."""
+        return ClockCheckpoint(cycles=self.cycles, events=self.events)
+
+    def since(self, mark: ClockCheckpoint) -> ClockInterval:
+        """Return the interval elapsed since ``mark``."""
+        return self.checkpoint() - mark
+
+    def reset(self) -> None:
+        """Zero the clock (used between independent benchmark trials)."""
+        self.cycles = 0
+        self.events = 0
+
+    def freeze(self) -> None:
+        """Stop accumulating charges (used to exclude setup phases)."""
+        self._frozen = True
+
+    def unfreeze(self) -> None:
+        """Resume accumulating charges."""
+        self._frozen = False
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def microseconds(self, mhz: float) -> float:
+        """Total elapsed virtual time in microseconds at ``mhz``."""
+        return self.cycles / float(mhz)

@@ -1,0 +1,146 @@
+"""Event tracing.
+
+The paper explains SecModule with three protocol diagrams — the
+initialization handshake (Figure 1), the address-space layout after the
+handshake (Figure 2) and the stack discipline around ``sys_smod_call``
+(Figure 3).  To regenerate those figures, the simulation emits structured
+trace events at the same protocol points; the benchmark harness then renders
+the recorded event streams as text diagrams and the test suite asserts the
+expected orderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record.
+
+    Attributes
+    ----------
+    cycles:
+        Virtual-clock timestamp at emission.
+    category:
+        Coarse grouping, e.g. ``"smod.session"``, ``"smod.call"``, ``"uvm"``,
+        ``"rpc"``, ``"sched"``.
+    label:
+        Short machine-readable event name, e.g. ``"smod_start_session"``.
+    pid:
+        Simulated process id the event is attributed to, if any.
+    detail:
+        Free-form keyword payload (argument values, address ranges, ...).
+    """
+
+    cycles: int
+    category: str
+    label: str
+    pid: Optional[int] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """Render a single human-readable line for figure output."""
+        pid_part = f"pid={self.pid} " if self.pid is not None else ""
+        detail_part = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"[{self.cycles:>10d}] {self.category:<14s} {pid_part}{self.label} {detail_part}".rstrip()
+
+
+class TraceBuffer:
+    """An append-only list of :class:`TraceEvent` with simple querying.
+
+    Tracing is off by default (``enabled=False``) so that the million-call
+    microbenchmarks do not allocate an event per dispatch; the protocol
+    tests and the Figure 1–3 reproductions flip it on for the handful of
+    operations they examine.
+    """
+
+    def __init__(self, clock, enabled: bool = False, capacity: int | None = None) -> None:
+        self._clock = clock
+        self.enabled = enabled
+        self.capacity = capacity
+        self._events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def emit(self, category: str, label: str, *, pid: Optional[int] = None,
+             **detail: Any) -> Optional[TraceEvent]:
+        """Record an event if tracing is enabled; return it (or ``None``)."""
+        if not self.enabled:
+            return None
+        if self.capacity is not None and len(self._events) >= self.capacity:
+            self.dropped += 1
+            return None
+        event = TraceEvent(
+            cycles=self._clock.cycles,
+            category=category,
+            label=label,
+            pid=pid,
+            detail=dict(detail),
+        )
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+    # -- queries -------------------------------------------------------------
+    def filter(self, *, category: str | None = None, label: str | None = None,
+               pid: int | None = None,
+               predicate: Callable[[TraceEvent], bool] | None = None) -> List[TraceEvent]:
+        """Return events matching all supplied criteria, in emission order."""
+        out = []
+        for event in self._events:
+            if category is not None and event.category != category:
+                continue
+            if label is not None and event.label != label:
+                continue
+            if pid is not None and event.pid != pid:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            out.append(event)
+        return out
+
+    def labels(self, category: str | None = None) -> List[str]:
+        """Return the ordered label sequence (optionally within a category)."""
+        return [e.label for e in self._events
+                if category is None or e.category == category]
+
+    def first(self, label: str) -> Optional[TraceEvent]:
+        for event in self._events:
+            if event.label == label:
+                return event
+        return None
+
+    def assert_order(self, labels: List[str], category: str | None = None) -> bool:
+        """Check that ``labels`` appear in the buffer in the given relative order.
+
+        Other events may be interleaved.  Returns True/False rather than
+        raising, so it can be used both by tests and by report generation.
+        """
+        seq = self.labels(category)
+        position = 0
+        for wanted in labels:
+            try:
+                position = seq.index(wanted, position) + 1
+            except ValueError:
+                return False
+        return True
+
+    def render(self, *, category: str | None = None) -> str:
+        """Render events as a text block (used for figure regeneration)."""
+        lines = [e.describe() for e in self._events
+                 if category is None or e.category == category]
+        return "\n".join(lines)

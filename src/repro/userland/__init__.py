@@ -1,0 +1,6 @@
+"""User-level runtime: programs, the synthetic libc and syscall stubs."""
+
+from .libc import MallocArena
+from .process import CrtStartupRecord, Program
+
+__all__ = ["MallocArena", "CrtStartupRecord", "Program"]

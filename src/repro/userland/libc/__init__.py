@@ -1,0 +1,20 @@
+"""The synthetic user-level C library (malloc, string routines, syscall stubs)."""
+
+from . import string, syscall_stubs
+from .malloc import ALIGNMENT, Block, GROWTH_QUANTUM, MallocArena
+from .string import (
+    load_c_string,
+    memcmp,
+    memcpy,
+    memset,
+    store_c_string,
+    strcpy,
+    strlen,
+)
+
+__all__ = [
+    "string", "syscall_stubs",
+    "ALIGNMENT", "Block", "GROWTH_QUANTUM", "MallocArena",
+    "load_c_string", "memcmp", "memcpy", "memset", "store_c_string",
+    "strcpy", "strlen",
+]

@@ -1,0 +1,185 @@
+"""A user-level ``malloc`` built on ``obreak``.
+
+The paper's headline retrofit example is ``malloc()``: because the handle
+shares the client's entire data/heap/stack, even the allocator — whose whole
+job is handing out addresses *inside the client's heap* — can be moved into
+a SecModule and keep "working identically to its man-page specification".
+
+This allocator is a simple first-fit free-list arena over the process break:
+it grows the heap through the ``obreak`` syscall (so heap growth triggers
+the modified ``sys_obreak``/``uvm_map`` shared-mapping path when the caller
+is half of a SecModule pair), carves blocks out of the grown region, and
+coalesces neighbours on free.  It is used three ways:
+
+* directly by ordinary simulated programs (the baseline);
+* as the *implementation* behind the SecModule libc's protected ``malloc``;
+* by the property-based tests, which hammer it with allocate/free sequences
+  and check the structural invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...errors import SimulationError
+from ...sim import costs
+
+#: Allocation granularity (bytes); mirrors the 16-byte alignment of phkmalloc.
+ALIGNMENT = 16
+#: How much extra heap to request from obreak per growth, minimum.
+GROWTH_QUANTUM = 16 * 4096
+
+
+def _align(size: int) -> int:
+    return (size + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+@dataclass
+class Block:
+    """One block in the arena (allocated or free)."""
+
+    address: int
+    size: int
+    free: bool = True
+
+    @property
+    def end(self) -> int:
+        return self.address + self.size
+
+
+class MallocArena:
+    """First-fit allocator over a process's heap."""
+
+    def __init__(self, kernel, proc) -> None:
+        self.kernel = kernel
+        self.proc = proc
+        self.blocks: List[Block] = []
+        self.heap_start: Optional[int] = None
+        self.heap_end: Optional[int] = None
+        self.allocations = 0
+        self.frees = 0
+        self.failed_allocations = 0
+
+    # ------------------------------------------------------------------ helpers
+    def _grow(self, at_least: int) -> None:
+        """Extend the heap through obreak by at least ``at_least`` bytes."""
+        want = max(at_least, GROWTH_QUANTUM)
+        current_break = self.proc.vmspace.brk
+        result = self.kernel.syscall(self.proc, "obreak", current_break + want)
+        if result.failed:
+            raise MemoryError("simulated obreak failed")
+        new_break = result.value
+        if self.heap_start is None:
+            self.heap_start = current_break
+        start = current_break if self.heap_end is None else self.heap_end
+        self.blocks.append(Block(address=start, size=new_break - start, free=True))
+        self.heap_end = new_break
+
+    def _find_free(self, size: int) -> Optional[Block]:
+        for block in self.blocks:
+            if block.free and block.size >= size:
+                return block
+        return None
+
+    def _coalesce(self) -> None:
+        self.blocks.sort(key=lambda b: b.address)
+        merged: List[Block] = []
+        for block in self.blocks:
+            if merged and merged[-1].free and block.free and merged[-1].end == block.address:
+                merged[-1].size += block.size
+            else:
+                merged.append(block)
+        self.blocks = merged
+
+    # ------------------------------------------------------------------ API
+    def malloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns the simulated address.
+
+        Raises :class:`MemoryError` when the heap cannot grow.
+        """
+        if size <= 0:
+            raise SimulationError("malloc of non-positive size")
+        self.kernel.machine.charge(costs.MALLOC_BODY)
+        size = _align(size)
+        block = self._find_free(size)
+        if block is None:
+            try:
+                self._grow(size)
+            except MemoryError:
+                self.failed_allocations += 1
+                raise
+            self._coalesce()
+            block = self._find_free(size)
+            if block is None:
+                self.failed_allocations += 1
+                raise MemoryError("arena could not satisfy allocation after growth")
+        if block.size > size:
+            remainder = Block(address=block.address + size,
+                              size=block.size - size, free=True)
+            block.size = size
+            self.blocks.append(remainder)
+            self.blocks.sort(key=lambda b: b.address)
+        block.free = False
+        self.allocations += 1
+        return block.address
+
+    def free(self, address: int) -> None:
+        """Release a previously allocated block; double free raises."""
+        self.kernel.machine.charge(costs.MALLOC_BODY)
+        for block in self.blocks:
+            if block.address == address:
+                if block.free:
+                    raise SimulationError(f"double free at {address:#x}")
+                block.free = True
+                self.frees += 1
+                self._coalesce()
+                return
+        raise SimulationError(f"free of unknown address {address:#x}")
+
+    def calloc(self, count: int, size: int) -> int:
+        """Allocate and zero ``count * size`` bytes."""
+        total = count * size
+        address = self.malloc(total)
+        self.proc.vmspace.write(address, bytes(min(total, 4096)))
+        return address
+
+    def realloc(self, address: int, new_size: int) -> int:
+        """Grow/shrink an allocation, copying the old contents."""
+        old = self.block_at(address)
+        if old is None or old.free:
+            raise SimulationError(f"realloc of unallocated address {address:#x}")
+        new_address = self.malloc(new_size)
+        copy_len = min(old.size, _align(new_size), 4096)
+        data = self.proc.vmspace.read(address, copy_len)
+        self.proc.vmspace.write(new_address, data)
+        self.kernel.machine.charge_words(costs.COPY_WORD, copy_len // 4)
+        self.free(address)
+        return new_address
+
+    # ------------------------------------------------------------------ queries
+    def block_at(self, address: int) -> Optional[Block]:
+        for block in self.blocks:
+            if block.address == address:
+                return block
+        return None
+
+    def allocated_bytes(self) -> int:
+        return sum(b.size for b in self.blocks if not b.free)
+
+    def free_bytes(self) -> int:
+        return sum(b.size for b in self.blocks if b.free)
+
+    def check_invariants(self) -> None:
+        """Structural invariants the property tests assert after every step."""
+        ordered = sorted(self.blocks, key=lambda b: b.address)
+        for first, second in zip(ordered, ordered[1:]):
+            if first.end > second.address:
+                raise SimulationError(
+                    f"overlapping heap blocks at {first.address:#x} and "
+                    f"{second.address:#x}")
+        if self.heap_start is not None and self.heap_end is not None:
+            total = sum(b.size for b in self.blocks)
+            if total != self.heap_end - self.heap_start:
+                raise SimulationError(
+                    "heap blocks do not tile the grown region exactly")

@@ -1,0 +1,92 @@
+"""String/memory routines of the synthetic libc.
+
+These exist so that the SecModule conversion protects a libc with a
+realistic mix of entry points: pure-computation routines (strlen, memcmp),
+routines that read and write *client* memory through the shared mapping
+(memcpy, memset, strcpy), and the allocator family in
+:mod:`repro.userland.libc.malloc`.  Each routine charges a cost proportional
+to the bytes it touches, so argument-size sweeps show the expected scaling.
+"""
+
+from __future__ import annotations
+
+from ...errors import SimulationError
+from ...sim import costs
+
+#: Longest string the simulated routines will scan before declaring the
+#: buffer unterminated (protects the tests from runaway loops).
+MAX_SCAN = 64 * 1024
+
+
+def _charge_bytes(kernel, nbytes: int) -> None:
+    kernel.machine.charge_words(costs.COPY_WORD, max(1, nbytes // 4))
+
+
+def memset(kernel, proc, address: int, value: int, length: int) -> int:
+    """Fill ``length`` bytes at ``address`` with ``value``; returns address."""
+    if length < 0:
+        raise SimulationError("memset with negative length")
+    proc.vmspace.write(address, bytes([value & 0xFF]) * length)
+    _charge_bytes(kernel, length)
+    return address
+
+
+def memcpy(kernel, proc, dest: int, src: int, length: int) -> int:
+    """Copy ``length`` bytes from ``src`` to ``dest``; returns dest."""
+    if length < 0:
+        raise SimulationError("memcpy with negative length")
+    data = proc.vmspace.read(src, length)
+    proc.vmspace.write(dest, data)
+    _charge_bytes(kernel, 2 * length)
+    return dest
+
+
+def memcmp(kernel, proc, a: int, b: int, length: int) -> int:
+    """Compare ``length`` bytes; returns <0, 0 or >0 like the C routine."""
+    left = proc.vmspace.read(a, length)
+    right = proc.vmspace.read(b, length)
+    _charge_bytes(kernel, 2 * length)
+    if left == right:
+        return 0
+    return -1 if left < right else 1
+
+
+def strlen(kernel, proc, address: int) -> int:
+    """Length of the NUL-terminated string at ``address``."""
+    length = 0
+    cursor = address
+    while length < MAX_SCAN:
+        chunk = proc.vmspace.read(cursor, 64)
+        nul = chunk.find(b"\0")
+        if nul >= 0:
+            length += nul
+            _charge_bytes(kernel, length + 1)
+            return length
+        length += len(chunk)
+        cursor += len(chunk)
+    raise SimulationError("unterminated string passed to strlen")
+
+
+def strcpy(kernel, proc, dest: int, src: int) -> int:
+    """Copy the NUL-terminated string at ``src`` to ``dest``."""
+    length = strlen(kernel, proc, src)
+    data = proc.vmspace.read(src, length + 1)
+    proc.vmspace.write(dest, data)
+    _charge_bytes(kernel, length + 1)
+    return dest
+
+
+def store_c_string(proc, address: int, text: str) -> int:
+    """Test/example helper: place a NUL-terminated string in client memory."""
+    encoded = text.encode("utf-8") + b"\0"
+    proc.vmspace.write(address, encoded)
+    return len(encoded)
+
+
+def load_c_string(proc, address: int, max_length: int = 4096) -> str:
+    """Test/example helper: read a NUL-terminated string from client memory."""
+    raw = proc.vmspace.read(address, max_length)
+    nul = raw.find(b"\0")
+    if nul < 0:
+        raise SimulationError("unterminated string in load_c_string")
+    return raw[:nul].decode("utf-8")

@@ -1,0 +1,50 @@
+"""Thin user-level wrappers over the simulated system calls.
+
+These play the role of the libc syscall stubs (``getpid()``, ``fork()``,
+``brk()``...) that a C program calls without thinking about trap mechanics.
+Keeping them as functions (rather than methods on Proc) mirrors the layering
+of the real system and gives the SecModule libc conversion its "native"
+implementations to wrap.
+"""
+
+from __future__ import annotations
+
+from ...kernel.errno import SyscallResult
+
+
+def getpid(kernel, proc) -> int:
+    """Return the calling process's pid (the paper's baseline benchmark)."""
+    return kernel.syscall(proc, "getpid").unwrap()
+
+
+def getppid(kernel, proc) -> int:
+    return kernel.syscall(proc, "getppid").unwrap()
+
+
+def fork(kernel, proc) -> int:
+    """Fork; returns the child pid (the simulation has no 'return twice')."""
+    return kernel.syscall(proc, "fork").unwrap()
+
+
+def brk(kernel, proc, new_break: int) -> int:
+    return kernel.syscall(proc, "obreak", new_break).unwrap()
+
+
+def kill(kernel, proc, pid: int, signo: int) -> SyscallResult:
+    return kernel.syscall(proc, "kill", pid, signo)
+
+
+def wait4(kernel, proc, pid: int) -> SyscallResult:
+    return kernel.syscall(proc, "wait4", pid)
+
+
+def msgget(kernel, proc, key: int, flags: int = 0) -> int:
+    return kernel.syscall(proc, "msgget", key, flags).unwrap()
+
+
+def msgsnd(kernel, proc, msqid: int, mtype: int, payload=()) -> SyscallResult:
+    return kernel.syscall(proc, "msgsnd", msqid, mtype, tuple(payload))
+
+
+def msgrcv(kernel, proc, msqid: int, mtype: int = 0) -> SyscallResult:
+    return kernel.syscall(proc, "msgrcv", msqid, mtype)

@@ -1,0 +1,28 @@
+"""Benchmark workload drivers (Figure 8 rows, policy sweeps, ...)."""
+
+from .microbench import (
+    BenchmarkSpec,
+    DEFAULT_SAMPLE_CALLS,
+    PAPER_SPECS,
+    run_native_getpid,
+    run_rpc_testincr,
+    run_smod_function,
+    run_smod_getpid,
+    run_smod_testincr,
+)
+from .policies import (
+    DEFAULT_CHAIN_LENGTHS,
+    PolicySweepPoint,
+    PolicySweepResult,
+    deep_delegation_engine,
+    run_keynote_policy,
+    run_policy_chain_sweep,
+)
+
+__all__ = [
+    "BenchmarkSpec", "DEFAULT_SAMPLE_CALLS", "PAPER_SPECS",
+    "run_native_getpid", "run_rpc_testincr", "run_smod_function",
+    "run_smod_getpid", "run_smod_testincr",
+    "DEFAULT_CHAIN_LENGTHS", "PolicySweepPoint", "PolicySweepResult",
+    "deep_delegation_engine", "run_keynote_policy", "run_policy_chain_sweep",
+]

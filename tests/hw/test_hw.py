@@ -1,0 +1,128 @@
+"""Tests for the hardware substrate: CPU rings, machine spec, TSC."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hw.cpu import CPU, CPUFeatureFlags, Ring
+from repro.hw.machine import (
+    MACHINES,
+    Machine,
+    MODERN_WORKSTATION,
+    OPENBSD36_PIII,
+    PAGE_SIZE,
+    make_modern_machine,
+    make_paper_machine,
+)
+from repro.hw.tsc import TimestampCounter
+from repro.sim import costs
+
+
+class TestRings:
+    def test_four_levels_exist(self):
+        """The paper's background: the 386 defined four privilege rings."""
+        assert [r.value for r in Ring] == [0, 1, 2, 3]
+
+    def test_kernel_more_privileged_than_user(self):
+        assert Ring.KERNEL.more_privileged_than(Ring.USER)
+        assert not Ring.USER.more_privileged_than(Ring.KERNEL)
+
+    def test_access_rules(self):
+        assert Ring.KERNEL.may_access(Ring.USER)
+        assert Ring.KERNEL.may_access(Ring.KERNEL)
+        assert not Ring.USER.may_access(Ring.KERNEL)
+        assert not Ring.SERVICE.may_access(Ring.DRIVER)
+
+
+class TestCPU:
+    def test_defaults_match_figure7(self):
+        cpu = CPU()
+        assert cpu.mhz == pytest.approx(599.0)
+        assert cpu.l2_cache_kb == 512
+        assert cpu.ring is Ring.USER
+
+    def test_feature_flags(self):
+        flags = CPUFeatureFlags()
+        assert flags.has("TSC")
+        assert flags.has("sse")
+        assert not flags.has("AVX")
+        assert "SEP" in flags.as_string()
+
+    def test_ring_transitions(self):
+        cpu = CPU()
+        previous = cpu.enter_ring(Ring.KERNEL)
+        assert previous is Ring.USER
+        assert cpu.ring is Ring.KERNEL
+        cpu.require_ring(Ring.KERNEL)
+        cpu.enter_ring(previous)
+        with pytest.raises(SimulationError):
+            cpu.require_ring(Ring.KERNEL)
+
+    def test_identity_line_mentions_model_and_mhz(self):
+        line = CPU().identity_line()
+        assert "Pentium III" in line and "599" in line
+
+
+class TestMachineSpec:
+    def test_paper_machine_fields(self):
+        assert OPENBSD36_PIII.mhz == pytest.approx(599.0)
+        assert OPENBSD36_PIII.hz == 100
+        assert OPENBSD36_PIII.real_mem_bytes == 536_440_832
+        assert OPENBSD36_PIII.l2_cache_kb == 512
+        assert "OpenBSD 3.6" in OPENBSD36_PIII.os_version
+
+    def test_dmesg_contains_figure7_lines(self):
+        text = "\n".join(OPENBSD36_PIII.dmesg())
+        assert "OpenBSD 3.6" in text
+        assert "Pentium III" in text
+        assert "CLOCK_TICK_PER_SECOND is 100" in text
+        assert "IBM-DPTA-372730" in text
+
+    def test_physical_pages(self):
+        assert OPENBSD36_PIII.num_physical_pages == OPENBSD36_PIII.real_mem_bytes // PAGE_SIZE
+
+    def test_registry_contains_both_machines(self):
+        assert OPENBSD36_PIII.name in MACHINES
+        assert MODERN_WORKSTATION.name in MACHINES
+
+
+class TestMachineInstance:
+    def test_machine_wires_clock_meter_trace(self):
+        machine = make_paper_machine()
+        machine.charge(costs.TRAP_ENTRY)
+        assert machine.clock.cycles == machine.spec.profile.cost(costs.TRAP_ENTRY)
+        assert machine.meter.count(costs.TRAP_ENTRY) == 1
+        assert machine.page_size == PAGE_SIZE
+
+    def test_trace_disabled_by_default(self):
+        machine = make_paper_machine()
+        assert machine.trace.emit("c", "x") is None
+        traced = make_paper_machine(trace_enabled=True)
+        assert traced.trace.emit("c", "x") is not None
+
+    def test_charge_words(self):
+        machine = make_paper_machine()
+        machine.charge_words(costs.COPY_WORD, 8)
+        assert machine.meter.count(costs.COPY_WORD) == 8
+
+    def test_modern_machine_uses_its_own_profile(self):
+        machine = make_modern_machine()
+        assert machine.spec.profile.mhz == pytest.approx(3000.0)
+
+    def test_microseconds_passthrough(self):
+        machine = make_paper_machine()
+        machine.clock.advance(599)
+        assert machine.microseconds() == pytest.approx(1.0)
+
+
+class TestTSC:
+    def test_read_and_elapsed(self):
+        machine = make_paper_machine()
+        tsc = TimestampCounter(machine.clock, machine.spec.mhz)
+        start = tsc.read()
+        machine.clock.advance(1198)
+        assert tsc.elapsed_cycles(start) == 1198
+        assert tsc.elapsed_microseconds(start) == pytest.approx(2.0)
+
+    def test_conversions_roundtrip(self):
+        tsc = TimestampCounter(clock=Machine().clock, mhz=599.0)
+        assert tsc.microseconds_to_cycles(tsc.cycles_to_microseconds(599)) == 599

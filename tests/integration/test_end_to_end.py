@@ -1,0 +1,141 @@
+"""Integration tests: whole-system flows across every layer."""
+
+import pytest
+
+from repro.kernel.errno import Errno
+from repro.kernel.proc import ProcFlag
+from repro.kernel.ptrace import PtraceRequest
+from repro.kernel.signals import Signal
+from repro.secmodule.api import SecModuleSystem
+from repro.secmodule.module import SecModuleDefinition
+from repro.secmodule.policy import CallQuotaPolicy
+from repro.secmodule.protection import ProtectionMode, handle_plaintext_view
+from repro.sim import costs
+
+
+class TestFullSystemBringUp:
+    def test_create_registers_modules_and_establishes_session(self):
+        system = SecModuleSystem.create(seed=60)
+        assert system.report.registered_modules == ["libc", "libtest"]
+        assert system.report.session_id == 1
+        assert system.report.stub_count == len(system.libc_pack.definition)
+        assert system.session.established
+        assert "SecModule system" in system.describe()
+
+    def test_quickstart_flow(self):
+        system = SecModuleSystem.create(seed=61)
+        assert system.call("test_incr", 41) == 42
+        address = system.call("malloc", 64)
+        system.client.write_memory(address, b"end-to-end")
+        assert system.handle_proc.vmspace.read(address, 10) == b"end-to-end"
+        assert system.call("getpid") == system.native_getpid()
+        assert system.elapsed_microseconds() > 0
+        assert costs.CONTEXT_SWITCH in system.operation_counts()
+
+    def test_custom_module_alongside_builtin_ones(self):
+        billing = SecModuleDefinition("libbilling", 1,
+                                      policy=CallQuotaPolicy(max_calls=3))
+        billing.add_function("charge", lambda env, cents: cents * 2,
+                             doc="double the amount, as a stand-in for work")
+        system = SecModuleSystem.create(extra_modules=[billing], seed=62)
+        assert system.call("charge", 50) == 100
+        assert system.call("charge", 10) == 20
+        assert system.call("charge", 10) == 20
+        denied = system.call_outcome("charge", 10)
+        assert denied.errno is Errno.EACCES
+        # other modules in the same session are unaffected by that quota
+        assert system.call("test_incr", 1) == 2
+
+    def test_teardown_then_no_more_calls(self):
+        system = SecModuleSystem.create(seed=63)
+        system.teardown()
+        assert not system.handle_proc.alive
+        outcome = system.call_outcome("test_incr", 1)
+        assert not outcome.ok
+
+    def test_two_independent_systems_do_not_interfere(self):
+        a = SecModuleSystem.create(seed=64)
+        b = SecModuleSystem.create(seed=65)
+        assert a.call("test_incr", 1) == 2
+        assert b.call("test_incr", 10) == 11
+        assert a.kernel is not b.kernel
+        assert a.session.session_id == b.session.session_id == 1
+
+
+class TestSecurityProperties:
+    """The paper's three questions, asked of the running system."""
+
+    def test_client_never_holds_plaintext_module_text(self):
+        system = SecModuleSystem.create(protection=ProtectionMode.ENCRYPT, seed=70)
+        module = system.session.module_by_name("libtest")
+        plaintext = handle_plaintext_view(module)
+        for entry in system.client_proc.vmspace.vm_map:
+            if entry.uobj is None or entry.name == "client:.text":
+                continue
+            assert plaintext[:32] not in bytes(entry.uobj.data)
+
+    def test_handle_cannot_be_ptraced_or_dump_core(self):
+        system = SecModuleSystem.create(seed=71)
+        handle = system.handle_proc
+        result = system.kernel.syscall(system.client_proc, "ptrace",
+                                       PtraceRequest.ATTACH, handle.pid)
+        assert result.errno is Errno.EPERM
+        assert system.kernel.coredump.dump(handle) is None
+
+    def test_signals_to_handle_land_on_client(self):
+        system = SecModuleSystem.create(seed=72)
+        target = system.kernel.signals.post(system.handle_proc, Signal.SIGUSR1)
+        assert target is system.client_proc
+
+    def test_handle_flags_always_present_for_all_sessions(self):
+        system = SecModuleSystem.create(seed=74)
+        forked = system.fork_client()
+        for handle in (system.handle_proc, forked.handle_proc):
+            assert handle.has_flag(ProcFlag.SMOD_HANDLE)
+            assert handle.has_flag(ProcFlag.NOCORE)
+            assert handle.has_flag(ProcFlag.NOTRACE)
+
+    def test_calls_per_module_accounted_separately(self):
+        system = SecModuleSystem.create(seed=75)
+        system.call("test_incr", 1)
+        system.call("test_incr", 2)
+        system.call("malloc", 16)
+        per_module = system.session.calls_per_module
+        libtest = system.session.module_by_name("libtest")
+        libc = system.session.module_by_name("libc")
+        assert per_module[libtest.m_id] == 2
+        assert per_module[libc.m_id] == 1
+
+
+class TestLatencyShapeEndToEnd:
+    """Single-call latencies carry the Figure 8 shape end to end."""
+
+    def test_ordering_native_smod_rpc(self):
+        from repro.kernel.cred import unprivileged
+        from repro.kernel.kernel import make_booted_kernel
+        from repro.rpc.rpcgen import generate_service
+        from repro.rpc.rpcgen import testincr_interface as make_iface
+
+        system = SecModuleSystem.create(seed=80)
+        system.native_getpid()
+        mark = system.machine.clock.checkpoint()
+        system.native_getpid()
+        native = system.machine.clock.since(mark).cycles
+
+        system.call("test_incr", 0)
+        mark = system.machine.clock.checkpoint()
+        system.call("test_incr", 1)
+        smod = system.machine.clock.since(mark).cycles
+
+        kernel = make_booted_kernel()
+        service = generate_service(kernel, make_iface())
+        proc = kernel.create_process("c", cred=unprivileged(1000))
+        rpc_client = service.make_client(kernel, proc)
+        rpc_client.test_incr(0)
+        mark = kernel.machine.clock.checkpoint()
+        rpc_client.test_incr(1)
+        rpc = kernel.machine.clock.since(mark).cycles
+
+        assert native < smod < rpc
+        assert 5 <= smod / native <= 20
+        assert 5 <= rpc / smod <= 20

@@ -1,0 +1,171 @@
+"""Tests for the kernel facade, the trap layer and the standard syscalls."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hw.cpu import Ring
+from repro.kernel.cred import unprivileged
+from repro.kernel.errno import Errno, SyscallResult, fail, ok
+from repro.kernel.kernel import Kernel, make_booted_kernel
+from repro.kernel.proc import ProcState
+from repro.kernel.syscall import SYS_getpid
+from repro.obj.image import make_function_image
+from repro.obj.linker import link
+from repro.obj.loader import build_load_plan
+from repro.sim import costs
+
+
+@pytest.fixture
+def kernel():
+    return make_booted_kernel()
+
+
+@pytest.fixture
+def proc(kernel):
+    return kernel.create_process("user", cred=unprivileged(1000))
+
+
+class TestSyscallResult:
+    def test_ok_and_fail(self):
+        assert ok(5).unwrap() == 5
+        result = fail(Errno.ENOENT)
+        assert result.failed and not result.ok
+        with pytest.raises(OSError):
+            result.unwrap()
+
+
+class TestTrapLayer:
+    def test_unbooted_kernel_rejects_syscalls(self):
+        kernel = Kernel()
+        with pytest.raises(SimulationError):
+            kernel.create_process("x")
+
+    def test_boot_idempotent(self, kernel):
+        assert kernel.boot() is kernel
+
+    def test_getpid_by_name_and_number(self, kernel, proc):
+        assert kernel.syscall(proc, "getpid").value == proc.pid
+        assert kernel.syscall(proc, SYS_getpid).value == proc.pid
+
+    def test_unknown_syscall_is_enosys(self, kernel, proc):
+        assert kernel.syscall(proc, "not_a_syscall").errno is Errno.ENOSYS
+
+    def test_trap_costs_charged(self, kernel, proc):
+        before = kernel.machine.clock.checkpoint()
+        kernel.syscall(proc, "getpid")
+        cycles = kernel.machine.clock.since(before).cycles
+        expected = (kernel.machine.spec.profile.cost(costs.TRAP_ENTRY)
+                    + kernel.machine.spec.profile.cost(costs.SYSCALL_DEMUX)
+                    + kernel.machine.spec.profile.cost(costs.FUNC_BODY_GETPID)
+                    + kernel.machine.spec.profile.cost(costs.TRAP_EXIT))
+        assert cycles == expected
+
+    def test_native_getpid_matches_paper_latency(self, kernel, proc):
+        mark = kernel.machine.clock.checkpoint()
+        kernel.syscall(proc, "getpid")
+        us = kernel.machine.clock.since(mark).microseconds(kernel.machine.spec.mhz)
+        assert us == pytest.approx(0.658, abs=0.01)
+
+    def test_ring_restored_after_syscall(self, kernel, proc):
+        kernel.syscall(proc, "getpid")
+        assert kernel.machine.cpu.ring is Ring.USER
+
+    def test_invocation_counter(self, kernel, proc):
+        kernel.syscall(proc, "getpid")
+        kernel.syscall(proc, "getpid")
+        assert kernel.syscalls.count("getpid") == 2
+
+    def test_dead_process_cannot_syscall(self, kernel, proc):
+        kernel.exit_process(proc)
+        with pytest.raises(SimulationError):
+            kernel.syscall(proc, "getpid")
+
+    def test_duplicate_registration_rejected(self, kernel):
+        with pytest.raises(SimulationError):
+            kernel.syscalls.register(20, "getpid", lambda *a: ok(0))
+
+    def test_handler_must_return_syscall_result(self, kernel, proc):
+        kernel.syscalls.register(999, "bad_call", lambda k, p: 42)
+        with pytest.raises(SimulationError):
+            kernel.syscall(proc, "bad_call")
+
+
+class TestProcessLifecycle:
+    def test_create_process_layout(self, kernel, proc):
+        assert proc.pid >= 2
+        assert proc.state in (ProcState.RUNNABLE, ProcState.RUNNING)
+        names = [e.name for e in proc.vmspace.vm_map]
+        assert "data" in names and "stack" in names
+
+    def test_fork_returns_child_with_copied_memory(self, kernel, proc):
+        from repro.kernel.uvm.layout import DATA_BASE
+        proc.vmspace.write(DATA_BASE, b"parent!")
+        result = kernel.syscall(proc, "fork")
+        child = kernel.procs.lookup(result.value)
+        assert child.ppid == proc.pid
+        assert child.vmspace.read(DATA_BASE, 7) == b"parent!"
+        child.vmspace.write(DATA_BASE, b"child!!")
+        assert proc.vmspace.read(DATA_BASE, 7) == b"parent!"
+
+    def test_getppid(self, kernel, proc):
+        child = kernel.fork_process(proc)
+        assert kernel.syscall(child, "getppid").value == proc.pid
+
+    def test_exit_and_wait(self, kernel, proc):
+        child = kernel.fork_process(proc)
+        assert kernel.syscall(proc, "wait4", child.pid).errno is Errno.EAGAIN
+        kernel.syscall(child, "exit", 7)
+        assert child.state is ProcState.ZOMBIE
+        assert kernel.syscall(proc, "wait4", child.pid).value == 7
+        assert kernel.procs.lookup(child.pid) is None
+
+    def test_wait_for_non_child(self, kernel, proc):
+        stranger = kernel.create_process("stranger", cred=unprivileged(1000))
+        assert kernel.syscall(proc, "wait4", stranger.pid).errno is Errno.ESRCH
+
+    def test_exec_replaces_image_and_runs_hooks(self, kernel, proc):
+        events = []
+        kernel.register_hook("exec", lambda k, p, plan: events.append(p.pid))
+        obj = make_function_image("prog.o", {"start": 32, "main": 32, "exit": 16},
+                                  calls=[("start", "main")])
+        plan = build_load_plan(link("newprog", [obj],
+                                    allow_undefined=["exit"]).image)
+        result = kernel.syscall(proc, "execve", plan, "newprog")
+        assert result.ok
+        assert proc.name == "newprog"
+        assert events == [proc.pid]
+        assert any(e.uobj is not None for e in proc.vmspace.vm_map)
+
+    def test_exec_with_no_plan_fails(self, kernel, proc):
+        assert kernel.syscall(proc, "execve", None).errno is Errno.EINVAL
+
+    def test_exit_reparents_children(self, kernel, proc):
+        child = kernel.fork_process(proc)
+        grandchild = kernel.fork_process(child)
+        kernel.exit_process(child)
+        assert grandchild.ppid == 0
+
+    def test_unknown_hook_event_rejected(self, kernel):
+        with pytest.raises(SimulationError):
+            kernel.register_hook("bogus", lambda: None)
+
+
+class TestMemorySyscalls:
+    def test_obreak_grows_and_returns_break(self, kernel, proc):
+        old = proc.vmspace.brk
+        result = kernel.syscall(proc, "obreak", old + 8192)
+        assert result.ok and result.value >= old + 8192
+
+    def test_obreak_rejects_huge_request(self, kernel, proc):
+        assert kernel.syscall(proc, "obreak", 0x9000_0000).errno is Errno.ENOMEM
+
+    def test_mmap_and_munmap(self, kernel, proc):
+        addr = 0x2000_0000
+        result = kernel.syscall(proc, "mmap", addr, 8192)
+        assert result.ok and result.value == addr
+        proc.vmspace.write(addr, b"mapped")
+        assert kernel.syscall(proc, "munmap", addr, 8192).ok
+        assert kernel.syscall(proc, "munmap", addr, 8192).errno is Errno.EINVAL
+
+    def test_mmap_rejects_unaligned(self, kernel, proc):
+        assert kernel.syscall(proc, "mmap", 0x2000_0001, 4096).errno is Errno.EINVAL

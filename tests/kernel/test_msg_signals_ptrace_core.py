@@ -1,0 +1,190 @@
+"""Tests for SysV message queues, signals, ptrace policy and core dumps."""
+
+import pytest
+
+from repro.kernel.coredump import CoreDumpPolicy
+from repro.kernel.cred import unprivileged
+from repro.kernel.errno import Errno
+from repro.kernel.kernel import make_booted_kernel
+from repro.kernel.proc import ProcFlag, ProcState
+from repro.kernel.ptrace import PtraceRequest
+from repro.kernel.signals import Signal
+from repro.kernel.sysv_msg import IPC_CREAT, IPC_NOWAIT, IPC_PRIVATE, Message
+from repro.sim import costs
+
+
+@pytest.fixture
+def kernel():
+    return make_booted_kernel()
+
+
+@pytest.fixture
+def proc(kernel):
+    return kernel.create_process("user", cred=unprivileged(1000))
+
+
+class TestSysVMsg:
+    def test_private_queues_are_distinct(self, kernel, proc):
+        q1 = kernel.msg.msgget(proc, IPC_PRIVATE)
+        q2 = kernel.msg.msgget(proc, IPC_PRIVATE)
+        assert q1 != q2
+
+    def test_keyed_queue_reuse(self, kernel, proc):
+        q1 = kernel.msg.msgget(proc, 1234, IPC_CREAT)
+        q2 = kernel.msg.msgget(proc, 1234)
+        assert q1 == q2
+
+    def test_missing_keyed_queue_without_creat(self, kernel, proc):
+        with pytest.raises(KeyError):
+            kernel.msg.msgget(proc, 9999)
+
+    def test_send_recv_roundtrip_charges_costs(self, kernel, proc):
+        msqid = kernel.msg.msgget(proc, IPC_PRIVATE)
+        before_send = kernel.machine.meter.count(costs.MSGQ_SEND)
+        kernel.msg.msgsnd(proc, msqid, Message(mtype=1, payload=(1, 2, 3)))
+        assert kernel.machine.meter.count(costs.MSGQ_SEND) == before_send + 1
+        message = kernel.msg.msgrcv(proc, msqid, 1)
+        assert message.payload == (1, 2, 3)
+        assert kernel.machine.meter.count(costs.MSGQ_RECV) >= 1
+
+    def test_recv_by_type(self, kernel, proc):
+        msqid = kernel.msg.msgget(proc, IPC_PRIVATE)
+        kernel.msg.msgsnd(proc, msqid, Message(mtype=1, payload=(1,)))
+        kernel.msg.msgsnd(proc, msqid, Message(mtype=2, payload=(2,)))
+        assert kernel.msg.msgrcv(proc, msqid, 2).payload == (2,)
+        assert kernel.msg.msgrcv(proc, msqid, 0).payload == (1,)
+
+    def test_recv_empty_nowait_raises(self, kernel, proc):
+        msqid = kernel.msg.msgget(proc, IPC_PRIVATE)
+        with pytest.raises(BlockingIOError):
+            kernel.msg.msgrcv(proc, msqid, 0, IPC_NOWAIT)
+
+    def test_recv_empty_blocking_returns_none(self, kernel, proc):
+        msqid = kernel.msg.msgget(proc, IPC_PRIVATE)
+        assert kernel.msg.msgrcv(proc, msqid, 0) is None
+
+    def test_send_wakes_blocked_receiver(self, kernel, proc):
+        other = kernel.create_process("receiver", cred=unprivileged(1000))
+        msqid = kernel.msg.msgget(proc, IPC_PRIVATE)
+        kernel.msg.block_receiver(other, msqid)
+        assert other.state is ProcState.SLEEPING
+        kernel.msg.msgsnd(proc, msqid, Message(mtype=1))
+        assert other.state is ProcState.RUNNABLE
+
+    def test_remove_requires_owner_or_root(self, kernel, proc):
+        other = kernel.create_process("other", cred=unprivileged(2000))
+        msqid = kernel.msg.msgget(proc, IPC_PRIVATE)
+        with pytest.raises(PermissionError):
+            kernel.msg.msgctl_remove(other, msqid)
+        kernel.msg.msgctl_remove(proc, msqid)
+        assert kernel.msg.lookup(msqid) is None
+
+    def test_queue_full_nowait(self, kernel, proc):
+        msqid = kernel.msg.msgget(proc, IPC_PRIVATE)
+        queue = kernel.msg.lookup(msqid)
+        queue.max_bytes = 8
+        kernel.msg.msgsnd(proc, msqid, Message(mtype=1, payload=(1, 2)))
+        with pytest.raises(BlockingIOError):
+            kernel.msg.msgsnd(proc, msqid, Message(mtype=1, payload=(3,)),
+                              flags=IPC_NOWAIT)
+
+    def test_syscall_wrappers(self, kernel, proc):
+        msqid = kernel.syscall(proc, "msgget", IPC_PRIVATE).unwrap()
+        assert kernel.syscall(proc, "msgsnd", msqid, 7, (9,)).ok
+        message = kernel.syscall(proc, "msgrcv", msqid, 7).unwrap()
+        assert message.payload == (9,)
+        assert kernel.syscall(proc, "msgctl", msqid).ok
+        assert kernel.syscall(proc, "msgrcv", 999).errno is Errno.EINVAL
+
+
+class TestSignals:
+    def test_post_to_handle_redirects_to_client(self, kernel, proc):
+        handle = kernel.fork_process(proc, flags=ProcFlag.SMOD_HANDLE)
+        handle.smod_peer = proc
+        target = kernel.signals.post(handle, Signal.SIGTERM)
+        assert target is proc
+        assert Signal.SIGTERM in kernel.signals.pending(proc)
+        assert not kernel.signals.pending(handle)
+
+    def test_fatal_default_kills_process(self, kernel, proc):
+        kernel.signals.post(proc, Signal.SIGTERM)
+        kernel.signals.deliver_pending(proc)
+        assert proc.state is ProcState.ZOMBIE
+        assert proc.exit_status == 128 + int(Signal.SIGTERM)
+
+    def test_ignored_signal_is_dropped(self, kernel, proc):
+        kernel.signals.set_action(proc, Signal.SIGTERM, "ignore")
+        kernel.signals.post(proc, Signal.SIGTERM)
+        kernel.signals.deliver_pending(proc)
+        assert proc.alive
+
+    def test_handler_invoked(self, kernel, proc):
+        seen = []
+        kernel.signals.set_action(proc, Signal.SIGUSR1,
+                                  lambda p, s: seen.append((p.pid, s)))
+        kernel.signals.post(proc, Signal.SIGUSR1)
+        kernel.signals.deliver_pending(proc)
+        assert seen == [(proc.pid, Signal.SIGUSR1)]
+        assert proc.alive
+
+    def test_sigkill_cannot_be_caught(self, kernel, proc):
+        with pytest.raises(PermissionError):
+            kernel.signals.set_action(proc, Signal.SIGKILL, "ignore")
+
+    def test_kill_syscall_permissions(self, kernel, proc):
+        victim = kernel.create_process("victim", cred=unprivileged(2000))
+        result = kernel.syscall(proc, "kill", victim.pid, int(Signal.SIGTERM))
+        assert result.errno is Errno.EPERM
+        root_proc = kernel.create_process("rootproc")
+        assert kernel.syscall(root_proc, "kill", victim.pid,
+                              int(Signal.SIGTERM)).ok
+        assert kernel.syscall(proc, "kill", 9999, int(Signal.SIGTERM)).errno is Errno.ESRCH
+
+
+class TestPtracePolicy:
+    def test_handle_cannot_be_traced_even_by_root(self, kernel, proc):
+        handle = kernel.fork_process(proc, flags=ProcFlag.SMOD_HANDLE | ProcFlag.NOTRACE)
+        root_proc = kernel.create_process("debugger")          # root cred
+        decision = kernel.ptrace.check(root_proc, handle, PtraceRequest.ATTACH)
+        assert not decision.allowed
+        assert decision.errno is Errno.EPERM
+        assert kernel.ptrace.denials
+
+    def test_same_uid_may_trace_ordinary_process(self, kernel, proc):
+        tracer = kernel.create_process("tracer", cred=unprivileged(1000))
+        assert kernel.ptrace.check(tracer, proc, PtraceRequest.ATTACH).allowed
+
+    def test_different_uid_denied(self, kernel, proc):
+        tracer = kernel.create_process("tracer", cred=unprivileged(2000))
+        assert not kernel.ptrace.check(tracer, proc, PtraceRequest.ATTACH).allowed
+
+    def test_ptrace_syscall(self, kernel, proc):
+        handle = kernel.fork_process(proc, flags=ProcFlag.SMOD_HANDLE)
+        result = kernel.syscall(proc, "ptrace", PtraceRequest.ATTACH, handle.pid)
+        assert result.errno is Errno.EPERM
+        assert kernel.syscall(proc, "ptrace", PtraceRequest.ATTACH, 9999).errno is Errno.ESRCH
+
+
+class TestCoreDumps:
+    def test_handle_never_dumps(self, kernel, proc):
+        handle = kernel.fork_process(proc, flags=ProcFlag.SMOD_HANDLE | ProcFlag.NOCORE)
+        policy = kernel.coredump
+        assert policy.dump(handle) is None
+        assert handle.pid in policy.suppressed
+
+    def test_smod_client_suppressed_too(self, kernel, proc):
+        proc.set_flag(ProcFlag.SMOD_CLIENT)
+        assert kernel.coredump.dump(proc) is None
+
+    def test_ordinary_process_dumps_without_nocore_entries(self, kernel, proc):
+        proc.vmspace.map_secret_region()          # a no_core entry
+        image = kernel.coredump.dump(proc)
+        assert image is not None
+        names = [name for name, _, _ in image.segments]
+        assert "smod_secret" not in names
+        assert image.total_bytes > 0
+
+    def test_crash_process_uses_policy(self, kernel, proc):
+        handle = kernel.fork_process(proc, flags=ProcFlag.SMOD_HANDLE)
+        assert kernel.crash_process(handle) is None
+        assert not handle.alive

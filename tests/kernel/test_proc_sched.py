@@ -1,0 +1,180 @@
+"""Tests for processes, credentials, the process table and the scheduler."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hw.machine import make_paper_machine
+from repro.kernel.cred import ROOT, Ucred, unprivileged
+from repro.kernel.proc import Proc, ProcFlag, ProcState, ProcTable
+from repro.kernel.sched import Scheduler
+from repro.kernel.uvm.page import PageAllocator
+from repro.kernel.uvm.space import VMSpace
+from repro.sim import costs
+
+
+def make_proc(pid=10, name="p", flags=ProcFlag.NONE, cred=None):
+    machine = make_paper_machine()
+    vmspace = VMSpace(machine=machine, allocator=PageAllocator(128), name=name)
+    return Proc(pid=pid, name=name, cred=cred or unprivileged(1000),
+                vmspace=vmspace, state=ProcState.RUNNABLE, flags=flags)
+
+
+class TestUcred:
+    def test_root(self):
+        assert ROOT.is_root
+        assert not unprivileged(5).is_root
+
+    def test_unprivileged_rejects_uid_zero(self):
+        with pytest.raises(ValueError):
+            unprivileged(0)
+
+    def test_group_membership(self):
+        cred = Ucred(uid=5, gid=5, groups=(10, 20))
+        assert cred.member_of(5) and cred.member_of(20)
+        assert not cred.member_of(99)
+
+    def test_with_uid_and_describe(self):
+        cred = unprivileged(7, groups=(1,))
+        assert cred.with_uid(8).uid == 8
+        assert "uid=7" in cred.describe()
+
+
+class TestProc:
+    def test_flags(self):
+        proc = make_proc()
+        assert not proc.is_smod_handle
+        proc.set_flag(ProcFlag.SMOD_HANDLE)
+        assert proc.is_smod_handle
+        proc.clear_flag(ProcFlag.SMOD_HANDLE)
+        assert not proc.is_smod_handle
+
+    def test_effective_client_for_handle(self):
+        client = make_proc(pid=1, name="client")
+        handle = make_proc(pid=2, name="handle", flags=ProcFlag.SMOD_HANDLE)
+        handle.smod_peer = client
+        assert handle.effective_client() is client
+        assert client.effective_client() is client
+
+    def test_effective_client_without_peer_is_self(self):
+        handle = make_proc(pid=2, flags=ProcFlag.SMOD_HANDLE)
+        assert handle.effective_client() is handle
+
+    def test_alive_and_describe(self):
+        proc = make_proc()
+        assert proc.alive
+        proc.state = ProcState.ZOMBIE
+        assert not proc.alive
+        assert "zombie" in proc.describe()
+
+
+class TestProcTable:
+    def test_pid_allocation_monotonic(self):
+        table = ProcTable()
+        assert table.allocate_pid() == ProcTable.FIRST_USER_PID
+        assert table.allocate_pid() == ProcTable.FIRST_USER_PID + 1
+
+    def test_insert_lookup_remove(self):
+        table = ProcTable()
+        proc = make_proc(pid=table.allocate_pid())
+        table.insert(proc)
+        assert table.lookup(proc.pid) is proc
+        assert proc.pid in table
+        table.remove(proc.pid)
+        assert table.lookup(proc.pid) is None
+
+    def test_duplicate_pid_rejected(self):
+        table = ProcTable()
+        proc = make_proc(pid=5)
+        table.insert(proc)
+        with pytest.raises(SimulationError):
+            table.insert(make_proc(pid=5))
+
+    def test_children_of(self):
+        table = ProcTable()
+        parent = make_proc(pid=5)
+        child = make_proc(pid=6)
+        child.ppid = 5
+        table.insert(parent)
+        table.insert(child)
+        assert [p.pid for p in table.children_of(5)] == [6]
+
+    def test_capacity_enforced(self):
+        table = ProcTable(max_procs=1)
+        table.insert(make_proc(pid=table.allocate_pid()))
+        with pytest.raises(SimulationError):
+            table.allocate_pid()
+
+
+class TestScheduler:
+    @pytest.fixture
+    def machine(self):
+        return make_paper_machine()
+
+    @pytest.fixture
+    def sched(self, machine):
+        return Scheduler(machine)
+
+    def test_switch_charges_context_switch(self, sched, machine):
+        a, b = make_proc(pid=1), make_proc(pid=2)
+        sched.switch_to(a)
+        before = machine.meter.count(costs.CONTEXT_SWITCH)
+        sched.switch_to(b)
+        assert machine.meter.count(costs.CONTEXT_SWITCH) == before + 1
+        assert sched.current is b
+        assert a.state is ProcState.RUNNABLE
+        assert b.state is ProcState.RUNNING
+
+    def test_switch_to_self_is_free(self, sched, machine):
+        a = make_proc(pid=1)
+        sched.switch_to(a)
+        count = machine.meter.count(costs.CONTEXT_SWITCH)
+        sched.switch_to(a)
+        assert machine.meter.count(costs.CONTEXT_SWITCH) == count
+
+    def test_switch_to_dead_rejected(self, sched):
+        a = make_proc(pid=1)
+        a.state = ProcState.ZOMBIE
+        with pytest.raises(SimulationError):
+            sched.switch_to(a)
+
+    def test_sleep_and_wakeup(self, sched):
+        a = make_proc(pid=1)
+        sched.switch_to(a)
+        sched.sleep(a, "msgwait:1")
+        assert a.state is ProcState.SLEEPING
+        assert sched.current is None
+        assert sched.sleeping_on("msgwait:1") == [a]
+        woken = sched.wakeup("msgwait:1")
+        assert woken == [a]
+        assert a.state is ProcState.RUNNABLE
+        assert sched.run_queue_length() == 1
+
+    def test_wakeup_empty_channel(self, sched):
+        assert sched.wakeup("nothing") == []
+
+    def test_make_runnable_idempotent(self, sched):
+        a = make_proc(pid=1)
+        sched.make_runnable(a)
+        sched.make_runnable(a)
+        assert sched.run_queue_length() == 1
+
+    def test_suspend_keeps_process_off_ready_queue(self, sched):
+        """The §4.4 'remove the client from the ready queue' hardening."""
+        a = make_proc(pid=1)
+        sched.make_runnable(a)
+        sched.suspend(a)
+        assert sched.run_queue_length() == 0
+        sched.sleep(a, "w")
+        sched.wakeup("w")
+        assert sched.run_queue_length() == 0    # still suspended
+        sched.resume(a)
+        assert sched.run_queue_length() == 1
+        assert not sched.is_suspended(a)
+
+    def test_remove_cleans_all_structures(self, sched):
+        a = make_proc(pid=1)
+        sched.make_runnable(a)
+        sched.switch_to(a)
+        sched.remove(a)
+        assert sched.current is None
+        assert sched.run_queue_length() == 0

@@ -1,0 +1,217 @@
+"""Tests for uvm_fault (including the forced-share path) and VMSpace."""
+
+import pytest
+
+from repro.errors import SimulatedFault, SimulationError
+from repro.hw.machine import make_paper_machine
+from repro.kernel.uvm.fault import FaultOutcome, FaultType, fault_or_die, uvm_fault
+from repro.kernel.uvm.layout import (
+    DATA_BASE,
+    PAGE_SIZE,
+    SECRET_BASE,
+    SHARE_END,
+    SHARE_START,
+    STACK_TOP,
+    in_secret_region,
+    in_share_region,
+    page_align_down,
+    page_align_up,
+    pages_in,
+)
+from repro.kernel.uvm.map import Protection
+from repro.kernel.uvm.page import PageAllocator
+from repro.kernel.uvm.space import VMSpace, uvmspace_fork, uvmspace_force_share
+
+
+@pytest.fixture
+def machine():
+    return make_paper_machine()
+
+
+@pytest.fixture
+def allocator():
+    return PageAllocator(total_pages=4096)
+
+
+def make_space(machine, allocator, name="proc"):
+    space = VMSpace(machine=machine, allocator=allocator, name=name)
+    space.map_data("data", 4 * PAGE_SIZE, base=DATA_BASE)
+    space.map_stack(pages=4)
+    return space
+
+
+class TestLayoutHelpers:
+    def test_alignment_helpers(self):
+        assert page_align_down(0x1234) == 0x1000
+        assert page_align_up(0x1234) == 0x2000
+        assert page_align_up(0x2000) == 0x2000
+        assert pages_in(0x1000, 0x3000) == 2
+        assert pages_in(0x3000, 0x1000) == 0
+
+    def test_share_and_secret_regions_disjoint(self):
+        assert in_share_region(DATA_BASE)
+        assert in_share_region(STACK_TOP - 1)
+        assert not in_share_region(STACK_TOP)
+        assert not in_share_region(0x1000)
+        assert in_secret_region(SECRET_BASE)
+        assert not in_share_region(SECRET_BASE)
+
+    def test_share_window_matches_figure2(self):
+        """Shared range runs from the data segment to the stack top."""
+        assert SHARE_START == DATA_BASE
+        assert SHARE_END == STACK_TOP
+
+
+class TestUvmFault:
+    def test_fault_on_existing_anon_entry_zero_fills(self, machine, allocator):
+        space = make_space(machine, allocator)
+        result = uvm_fault(space.vm_map, DATA_BASE, FaultType.INVALID,
+                           Protection.WRITE)
+        assert result.outcome is FaultOutcome.RESOLVED_ZERO_FILL
+        result2 = uvm_fault(space.vm_map, DATA_BASE, FaultType.INVALID,
+                            Protection.WRITE)
+        assert result2.outcome is FaultOutcome.RESOLVED_EXISTING
+
+    def test_protection_fault_is_fatal(self, machine, allocator):
+        space = VMSpace(machine=machine, allocator=allocator)
+        space.vm_map.uvm_map(DATA_BASE, PAGE_SIZE, Protection.READ, name="ro")
+        result = uvm_fault(space.vm_map, DATA_BASE, FaultType.PROTECTION,
+                           Protection.WRITE)
+        assert result.fatal
+
+    def test_object_entry_fault_resolves(self, machine, allocator):
+        space = VMSpace(machine=machine, allocator=allocator)
+        space.map_text("lib.text", b"\x90" * 64, base=0x1000)
+        result = uvm_fault(space.vm_map, 0x1000, FaultType.INVALID,
+                           Protection.READ)
+        assert result.outcome is FaultOutcome.RESOLVED_OBJECT
+
+    def test_unmapped_without_peer_is_fatal(self, machine, allocator):
+        space = make_space(machine, allocator)
+        result = uvm_fault(space.vm_map, DATA_BASE + 0x100000, FaultType.INVALID,
+                           Protection.READ)
+        assert result.fatal
+
+    def test_peer_share_resolution(self, machine, allocator):
+        """The paper's modified uvm_fault: map the peer's entry as a share."""
+        client = make_space(machine, allocator, "client")
+        handle = make_space(machine, allocator, "handle")
+        # the client grows a region the handle has never seen
+        client.vm_map.uvm_map(DATA_BASE + 0x100000, PAGE_SIZE, Protection.rw(),
+                              name="late-heap")
+        client.write(DATA_BASE + 0x100000, b"late data")
+        result = uvm_fault(handle.vm_map, DATA_BASE + 0x100000,
+                           FaultType.INVALID, Protection.READ,
+                           peer_map=client.vm_map)
+        assert result.outcome is FaultOutcome.RESOLVED_PEER_SHARE
+        assert handle.read(DATA_BASE + 0x100000, 9) == b"late data"
+
+    def test_peer_share_only_inside_window(self, machine, allocator):
+        client = make_space(machine, allocator, "client")
+        handle = make_space(machine, allocator, "handle")
+        client.map_text("client-text", b"\xcc" * 32, base=0x2000)
+        result = uvm_fault(handle.vm_map, 0x2000, FaultType.INVALID,
+                           Protection.READ, peer_map=client.vm_map)
+        assert result.fatal
+
+    def test_fault_or_die_raises(self, machine, allocator):
+        space = make_space(machine, allocator)
+        with pytest.raises(SimulatedFault):
+            fault_or_die(space.vm_map, 0xB0000000, Protection.READ, pid=42)
+
+    def test_fault_charges_cycles(self, machine, allocator):
+        space = make_space(machine, allocator)
+        before = machine.clock.cycles
+        uvm_fault(space.vm_map, DATA_BASE, FaultType.INVALID, Protection.READ)
+        assert machine.clock.cycles > before
+
+
+class TestVMSpace:
+    def test_layout_summary(self, machine, allocator):
+        space = make_space(machine, allocator)
+        layout = space.layout_summary()
+        assert layout.data_start == DATA_BASE
+        assert layout.stack_top == STACK_TOP
+        assert not layout.has_secret_region
+        text = space.map_secret_region()
+        assert space.layout_summary().has_secret_region
+        assert "secret" in space.layout_summary().describe()
+
+    def test_obreak_grows_heap(self, machine, allocator):
+        space = make_space(machine, allocator)
+        old_break = space.brk
+        new_break = space.sys_obreak(old_break + 3 * PAGE_SIZE)
+        assert new_break == old_break + 3 * PAGE_SIZE
+        space.write(old_break, b"heap bytes")
+        assert space.read(old_break, 10) == b"heap bytes"
+
+    def test_obreak_shrink_is_noop(self, machine, allocator):
+        space = make_space(machine, allocator)
+        grown = space.sys_obreak(space.brk + PAGE_SIZE)
+        assert space.sys_obreak(grown - PAGE_SIZE) == grown
+
+    def test_obreak_limit_enforced(self, machine, allocator):
+        space = make_space(machine, allocator)
+        with pytest.raises(SimulationError):
+            space.sys_obreak(0x9000_0000)
+
+    def test_obreak_smod_pair_shares_growth(self, machine, allocator):
+        client = make_space(machine, allocator, "client")
+        handle = make_space(machine, allocator, "handle")
+        uvmspace_force_share(handle, client)
+        old_break = client.brk
+        client.sys_obreak(old_break + PAGE_SIZE, smod_pair=True)
+        client.write(old_break, b"grown")
+        assert handle.read(old_break, 5) == b"grown"
+        assert handle.brk == client.brk
+
+    def test_stack_growth_capped(self, machine, allocator):
+        space = make_space(machine, allocator)
+        space.grow_stack(pages=4)
+        with pytest.raises(SimulationError):
+            space.grow_stack(pages=10_000)
+
+    def test_fork_copies_private_memory(self, machine, allocator):
+        parent = make_space(machine, allocator, "parent")
+        parent.write(DATA_BASE, b"parent data")
+        child = uvmspace_fork(parent)
+        child.write(DATA_BASE, b"child  data")
+        assert parent.read(DATA_BASE, 11) == b"parent data"
+        assert child.read(DATA_BASE, 11) == b"child  data"
+
+    def test_fork_shares_text_objects(self, machine, allocator):
+        parent = make_space(machine, allocator, "parent")
+        entry = parent.map_text("lib.text", b"\x90" * 64, base=0x1000)
+        child = uvmspace_fork(parent)
+        child_entry = child.vm_map.lookup(0x1000)
+        assert child_entry is not None and child_entry.uobj is entry.uobj
+
+    def test_fork_preserves_shared_mappings(self, machine, allocator):
+        parent = make_space(machine, allocator, "parent")
+        shared = parent.vm_map.uvm_map(DATA_BASE + 0x200000, PAGE_SIZE,
+                                       Protection.rw(), shared=True, name="shm")
+        child = uvmspace_fork(parent)
+        parent.write(DATA_BASE + 0x200000, b"both see")
+        assert child.read(DATA_BASE + 0x200000, 8) == b"both see"
+
+    def test_force_share_gives_handle_client_view(self, machine, allocator):
+        client = make_space(machine, allocator, "client")
+        handle = make_space(machine, allocator, "handle")
+        client.write(DATA_BASE, b"precious client state")
+        shared_count = uvmspace_force_share(handle, client)
+        assert shared_count >= 2     # data + stack at minimum
+        assert handle.read(DATA_BASE, 21) == b"precious client state"
+        assert handle.smod_peer is client and client.smod_peer is handle
+
+    def test_force_share_does_not_share_text(self, machine, allocator):
+        client = make_space(machine, allocator, "client")
+        client.map_text("client:.text", b"\xAA" * 64, base=0x1000)
+        handle = make_space(machine, allocator, "handle")
+        uvmspace_force_share(handle, client)
+        assert handle.vm_map.lookup(0x1000) is None
+
+    def test_force_share_empty_range_rejected(self, machine, allocator):
+        client = make_space(machine, allocator, "client")
+        handle = make_space(machine, allocator, "handle")
+        with pytest.raises(SimulationError):
+            uvmspace_force_share(handle, client, 0x2000, 0x2000)

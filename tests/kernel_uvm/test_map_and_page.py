@@ -1,0 +1,221 @@
+"""Tests for UVM pages/amaps and the vm_map layer."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hw.machine import make_paper_machine
+from repro.kernel.uvm.layout import PAGE_SIZE
+from repro.kernel.uvm.map import (
+    EntryKind,
+    Protection,
+    VMMap,
+    read_memory,
+    uvm_force_share,
+    uvm_map_shared_internal,
+    write_memory,
+)
+from repro.kernel.uvm.page import AMap, Anon, PageAllocator, PhysicalPage, UVMObject
+
+
+@pytest.fixture
+def machine():
+    return make_paper_machine()
+
+
+@pytest.fixture
+def allocator():
+    return PageAllocator(total_pages=1024)
+
+
+@pytest.fixture
+def vmmap(machine, allocator):
+    return VMMap(machine, allocator, name="test")
+
+
+class TestPhysicalPage:
+    def test_lazy_allocation_and_rw(self):
+        page = PhysicalPage(frame_number=0)
+        assert not page.touched
+        assert page.read(0, 8) == bytes(8)
+        page.write(4, b"abcd")
+        assert page.touched
+        assert page.read(4, 4) == b"abcd"
+
+    def test_bounds_checked(self):
+        page = PhysicalPage(frame_number=0)
+        with pytest.raises(SimulationError):
+            page.write(PAGE_SIZE - 2, b"abcd")
+        with pytest.raises(SimulationError):
+            page.read(-1, 4)
+
+
+class TestPageAllocator:
+    def test_budget_enforced(self):
+        allocator = PageAllocator(total_pages=2)
+        allocator.alloc()
+        allocator.alloc()
+        with pytest.raises(SimulationError):
+            allocator.alloc()
+
+    def test_free_returns_budget(self):
+        allocator = PageAllocator(total_pages=1)
+        page = allocator.alloc()
+        allocator.free(page)
+        assert allocator.free_pages == 1
+        allocator.alloc()
+
+    def test_overfree_rejected(self):
+        allocator = PageAllocator(total_pages=1)
+        page = allocator.alloc()
+        allocator.free(page)
+        with pytest.raises(SimulationError):
+            allocator.free(page)
+
+
+class TestAnonAndAMap:
+    def test_refcounting_releases_pages(self, allocator):
+        anon = Anon(page=allocator.alloc())
+        anon.ref()
+        anon.unref(allocator)
+        assert allocator.allocated == 1
+        anon.unref(allocator)
+        assert allocator.allocated == 0
+        with pytest.raises(SimulationError):
+            anon.unref(allocator)
+
+    def test_amap_ensure_and_lookup(self, allocator):
+        amap = AMap()
+        assert amap.lookup(0) is None
+        anon = amap.ensure(0, allocator)
+        assert amap.ensure(0, allocator) is anon
+        assert len(amap) == 1
+
+    def test_amap_shared_refcount(self, allocator):
+        amap = AMap()
+        amap.ensure(0, allocator)
+        amap.ref()
+        amap.unref(allocator)
+        assert allocator.allocated == 1
+        amap.unref(allocator)
+        assert allocator.allocated == 0
+
+    def test_amap_copy_is_deep(self, allocator):
+        amap = AMap()
+        anon = amap.ensure(0, allocator)
+        anon.page.write(0, b"orig")
+        clone = amap.copy(allocator)
+        clone.lookup(0).page.write(0, b"copy")
+        assert anon.page.read(0, 4) == b"orig"
+
+    def test_duplicate_slot_rejected(self, allocator):
+        amap = AMap()
+        amap.add(0, Anon(page=allocator.alloc()))
+        with pytest.raises(SimulationError):
+            amap.add(0, Anon(page=allocator.alloc()))
+
+
+class TestVMMap:
+    def test_map_and_lookup(self, vmmap):
+        entry = vmmap.uvm_map(0x1000, PAGE_SIZE * 2, Protection.rw(), name="data")
+        assert vmmap.lookup(0x1000) is entry
+        assert vmmap.lookup(0x1000 + 2 * PAGE_SIZE) is None
+        assert entry.pages == 2
+
+    def test_overlap_rejected(self, vmmap):
+        vmmap.uvm_map(0x1000, PAGE_SIZE, Protection.rw())
+        with pytest.raises(SimulationError, match="overlaps"):
+            vmmap.uvm_map(0x1000, PAGE_SIZE, Protection.rw())
+
+    def test_unaligned_entry_rejected(self, machine, allocator):
+        with pytest.raises(SimulationError):
+            from repro.kernel.uvm.map import VMMapEntry
+            VMMapEntry(start=0x1001, end=0x2000, protection=Protection.rw(),
+                       kind=EntryKind.ANON)
+
+    def test_object_entry_requires_uobj(self):
+        from repro.kernel.uvm.map import VMMapEntry
+        with pytest.raises(SimulationError):
+            VMMapEntry(start=0x1000, end=0x2000, protection=Protection.rx(),
+                       kind=EntryKind.OBJECT)
+
+    def test_unmap_removes_and_charges(self, vmmap, machine):
+        vmmap.uvm_map(0x1000, PAGE_SIZE, Protection.rw(), name="a")
+        vmmap.uvm_map(0x3000, PAGE_SIZE, Protection.rw(), name="b")
+        before = machine.clock.cycles
+        removed = vmmap.uvm_unmap(0x0, 0x2000)
+        assert removed == 1
+        assert vmmap.lookup(0x1000) is None
+        assert vmmap.lookup(0x3000) is not None
+        assert machine.clock.cycles > before
+
+    def test_partial_unmap_rejected(self, vmmap):
+        vmmap.uvm_map(0x1000, PAGE_SIZE * 4, Protection.rw())
+        with pytest.raises(SimulationError, match="partial unmap"):
+            vmmap.uvm_unmap(0x1000, 0x2000)
+
+    def test_protect_changes_protection(self, vmmap):
+        entry = vmmap.uvm_map(0x1000, PAGE_SIZE, Protection.rw())
+        changed = vmmap.protect(0x1000, 0x2000, Protection.READ)
+        assert changed == 1
+        assert not entry.protection.allows(Protection.WRITE)
+
+    def test_entries_iteration_sorted(self, vmmap):
+        vmmap.uvm_map(0x5000, PAGE_SIZE, Protection.rw(), name="high")
+        vmmap.uvm_map(0x1000, PAGE_SIZE, Protection.rw(), name="low")
+        assert [e.name for e in vmmap] == ["low", "high"]
+        assert vmmap.total_mapped_bytes() == 2 * PAGE_SIZE
+
+    def test_read_write_memory_through_map(self, vmmap):
+        vmmap.uvm_map(0x1000, PAGE_SIZE * 2, Protection.rw())
+        write_memory(vmmap, 0x1ffc, b"spanning pages!!")
+        assert read_memory(vmmap, 0x1ffc, 16) == b"spanning pages!!"
+
+    def test_write_to_readonly_rejected(self, vmmap):
+        vmmap.uvm_map(0x1000, PAGE_SIZE, Protection.READ)
+        with pytest.raises(SimulationError, match="read-only"):
+            write_memory(vmmap, 0x1000, b"x")
+
+    def test_write_to_unmapped_rejected(self, vmmap):
+        with pytest.raises(SimulationError, match="unmapped"):
+            write_memory(vmmap, 0x9000, b"x")
+
+    def test_read_object_backed_memory(self, vmmap):
+        uobj = UVMObject(name="lib.text", data=b"\x90" * 64)
+        vmmap.uvm_map(0x1000, PAGE_SIZE, Protection.rx(), kind=EntryKind.OBJECT,
+                      uobj=uobj, name="text")
+        assert read_memory(vmmap, 0x1000, 4) == b"\x90" * 4
+        # past the object's data, zero fill
+        assert read_memory(vmmap, 0x1000 + 100, 4) == bytes(4)
+
+
+class TestSharedMappings:
+    def test_uvm_map_shared_internal_shares_pages(self, machine, allocator):
+        map1 = VMMap(machine, allocator, name="client")
+        map2 = VMMap(machine, allocator, name="handle")
+        uvm_map_shared_internal(map1, map2, 0x8000000, PAGE_SIZE, Protection.rw(),
+                                name="heap")
+        write_memory(map1, 0x8000000, b"shared-bytes")
+        assert read_memory(map2, 0x8000000, 12) == b"shared-bytes"
+
+    def test_uvm_force_share_replaces_handle_entries(self, machine, allocator):
+        client = VMMap(machine, allocator, name="client")
+        handle = VMMap(machine, allocator, name="handle")
+        client.uvm_map(0x8000000, PAGE_SIZE, Protection.rw(), name="data")
+        handle.uvm_map(0x8000000, PAGE_SIZE, Protection.rw(), name="old-data")
+        write_memory(client, 0x8000000, b"client view")
+        shared = uvm_force_share(handle, client, 0x8000000, 0x9000000)
+        assert shared == 1
+        assert read_memory(handle, 0x8000000, 11) == b"client view"
+        # and writes made by the handle become visible to the client
+        write_memory(handle, 0x8000000, b"HANDLE")
+        assert read_memory(client, 0x8000000, 6) == b"HANDLE"
+
+    def test_force_share_skips_object_entries(self, machine, allocator):
+        client = VMMap(machine, allocator, name="client")
+        handle = VMMap(machine, allocator, name="handle")
+        uobj = UVMObject(name="libc.text", data=b"\xcc" * 32)
+        client.uvm_map(0x8000000, PAGE_SIZE, Protection.rx(),
+                       kind=EntryKind.OBJECT, uobj=uobj, name="text-in-window")
+        shared = uvm_force_share(handle, client, 0x8000000, 0x9000000)
+        assert shared == 0
+        assert handle.lookup(0x8000000) is None

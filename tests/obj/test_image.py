@@ -1,0 +1,135 @@
+"""Tests for the miniature object-file format."""
+
+import pytest
+
+from repro.errors import ToolchainError
+from repro.obj.image import (
+    ObjectImage,
+    Relocation,
+    RelocationType,
+    Section,
+    Symbol,
+    SymbolBinding,
+    SymbolType,
+    WORD_SIZE,
+    make_function_image,
+)
+
+
+class TestSection:
+    def test_word_roundtrip(self):
+        section = Section(name=".data", data=bytearray(16), writable=True)
+        section.write_word(4, 0xDEADBEEF)
+        assert section.read_word(4) == 0xDEADBEEF
+
+    def test_out_of_range_read_write(self):
+        section = Section(name=".data", data=bytearray(8))
+        with pytest.raises(ToolchainError):
+            section.read_word(6)
+        with pytest.raises(ToolchainError):
+            section.write_word(-1, 0)
+
+    def test_copy_is_independent(self):
+        section = Section(name=".text", data=bytearray(b"abcd"), executable=True)
+        clone = section.copy()
+        clone.data[0] = 0
+        assert section.data[0] == ord("a")
+
+
+class TestObjectImage:
+    def _image(self):
+        image = ObjectImage(name="a.o")
+        image.add_section(Section(name=".text", data=bytearray(64), executable=True))
+        image.add_section(Section(name=".data", data=bytearray(32), writable=True))
+        return image
+
+    def test_duplicate_section_rejected(self):
+        image = self._image()
+        with pytest.raises(ToolchainError):
+            image.add_section(Section(name=".text"))
+
+    def test_missing_section_lookup(self):
+        image = self._image()
+        with pytest.raises(ToolchainError):
+            image.get_section(".bss")
+
+    def test_symbol_must_fit_inside_section(self):
+        image = self._image()
+        image.add_symbol(Symbol(name="f", section=".text", offset=0, size=32))
+        with pytest.raises(ToolchainError):
+            image.add_symbol(Symbol(name="g", section=".text", offset=60, size=16))
+        with pytest.raises(ToolchainError):
+            image.add_symbol(Symbol(name="h", section=".bss", offset=0, size=4))
+
+    def test_relocation_bounds_checked(self):
+        image = self._image()
+        image.add_relocation(Relocation(section=".text", offset=8, symbol="x"))
+        with pytest.raises(ToolchainError):
+            image.add_relocation(Relocation(section=".text", offset=62, symbol="x"))
+        with pytest.raises(ToolchainError):
+            image.add_relocation(Relocation(section=".missing", offset=0, symbol="x"))
+
+    def test_function_symbol_queries(self):
+        image = self._image()
+        image.add_symbol(Symbol(name="f", section=".text", offset=0, size=16))
+        image.add_symbol(Symbol(name="datum", section=".data", offset=0, size=4,
+                                sym_type=SymbolType.OBJECT))
+        image.add_symbol(Symbol(name="local", section=".text", offset=16, size=8,
+                                binding=SymbolBinding.LOCAL))
+        assert [s.name for s in image.function_symbols()] == ["f", "local"]
+        assert image.global_function_names() == ["f"]
+        assert image.find_symbol("datum").sym_type is SymbolType.OBJECT
+        assert image.find_symbol("missing") is None
+
+    def test_relocation_offsets_cover_word_span(self):
+        image = self._image()
+        image.add_relocation(Relocation(section=".text", offset=8, symbol="x"))
+        assert image.relocation_offsets(".text") == [8, 9, 10, 11]
+        assert image.relocation_offsets(".data") == []
+
+    def test_total_size_and_text_sections(self):
+        image = self._image()
+        assert image.total_size() == 96
+        assert [s.name for s in image.text_sections()] == [".text"]
+
+    def test_copy_deep(self):
+        image = self._image()
+        image.notes["k"] = 1
+        clone = image.copy()
+        clone.get_section(".text").data[0] = 0xFF
+        clone.notes["k"] = 2
+        assert image.get_section(".text").data[0] == 0
+        assert image.notes["k"] == 1
+
+
+class TestMakeFunctionImage:
+    def test_symbols_and_sizes(self):
+        image = make_function_image("lib.o", {"f": 32, "g": 48})
+        assert image.find_symbol("f").size == 32
+        assert image.find_symbol("g").offset == 32
+        assert image.get_section(".text").size == 80
+
+    def test_call_relocations_planted(self):
+        image = make_function_image("lib.o", {"f": 32, "g": 48},
+                                    calls=[("f", "g")])
+        assert len(image.relocations) == 1
+        reloc = image.relocations[0]
+        assert reloc.symbol == "g"
+        assert reloc.rel_type is RelocationType.PCREL32
+        # planted one word into f's body
+        assert reloc.offset == image.find_symbol("f").offset + WORD_SIZE
+
+    def test_too_small_function_rejected(self):
+        with pytest.raises(ToolchainError):
+            make_function_image("lib.o", {"tiny": 4})
+
+    def test_unknown_caller_rejected(self):
+        with pytest.raises(ToolchainError):
+            make_function_image("lib.o", {"f": 32}, calls=[("nope", "f")])
+
+    def test_deterministic_given_seed(self):
+        a = make_function_image("lib.o", {"f": 32}, seed=3)
+        b = make_function_image("lib.o", {"f": 32}, seed=3)
+        c = make_function_image("lib.o", {"f": 32}, seed=4)
+        assert bytes(a.get_section(".text").data) == bytes(b.get_section(".text").data)
+        assert bytes(a.get_section(".text").data) != bytes(c.get_section(".text").data)

@@ -1,0 +1,138 @@
+"""Tests for the mini linker, the loader plan builder and the crt0 objects."""
+
+import pytest
+
+from repro.errors import ToolchainError
+from repro.obj.archive import build_archive
+from repro.obj.crt0 import (
+    ModuleRequirement,
+    SECMODULE_CRT0_CALLS,
+    decode_module_descriptors,
+    make_module_descriptor_object,
+    make_secmodule_crt0,
+    make_standard_crt0,
+)
+from repro.obj.image import make_function_image
+from repro.obj.linker import DEFAULT_TEXT_BASE, link
+from repro.obj.loader import build_load_plan
+
+
+def _program_objects():
+    main_obj = make_function_image("main.o", {"start": 32, "main": 64},
+                                   calls=[("start", "main"), ("main", "helper")])
+    helper_obj = make_function_image("helper.o", {"helper": 48, "exit": 32})
+    return main_obj, helper_obj
+
+
+class TestLinker:
+    def test_link_resolves_symbols_and_relocations(self):
+        main_obj, helper_obj = _program_objects()
+        result = link("prog", [main_obj, helper_obj])
+        assert result.image.kind == "executable"
+        assert result.address_of("main") > DEFAULT_TEXT_BASE
+        assert result.address_of("helper") != result.address_of("main")
+        # relocations were recorded in the output (for the SecModule packer)
+        assert len(result.image.relocations) == 2
+
+    def test_undefined_reference_fails(self):
+        main_obj, _ = _program_objects()
+        with pytest.raises(ToolchainError, match="undefined references"):
+            link("prog", [main_obj])
+
+    def test_allow_undefined(self):
+        main_obj, _ = _program_objects()
+        result = link("prog", [main_obj], allow_undefined=["helper", "exit"])
+        assert result.address_of("start") == DEFAULT_TEXT_BASE
+
+    def test_archive_members_pulled_on_demand(self):
+        main_obj, helper_obj = _program_objects()
+        unused = make_function_image("unused.o", {"unused_fn": 32})
+        archive = build_archive("libhelp.a", [helper_obj, unused])
+        result = link("prog", [main_obj], archives=[archive])
+        assert result.address_of("helper")
+        member_names = {entry.input_image for entry in result.link_map}
+        assert "helper.o" in member_names
+        assert "unused.o" not in member_names
+
+    def test_duplicate_definition_rejected(self):
+        a = make_function_image("a.o", {"start": 32, "main": 32, "exit": 16,
+                                        "helper": 16})
+        b = make_function_image("b.o", {"main": 32})
+        with pytest.raises(ToolchainError, match="multiple definition"):
+            link("prog", [a, b])
+
+    def test_missing_entry_symbol_rejected(self):
+        helper = make_function_image("helper.o", {"helper": 48})
+        with pytest.raises(ToolchainError, match="entry symbol"):
+            link("prog", [helper])
+
+    def test_zero_inputs_rejected(self):
+        with pytest.raises(ToolchainError):
+            link("prog", [])
+
+    def test_link_map_offsets_are_disjoint(self):
+        main_obj, helper_obj = _program_objects()
+        result = link("prog", [main_obj, helper_obj])
+        text_entries = sorted((e.output_offset, e.size) for e in result.link_map
+                              if e.output_section == ".text")
+        for (off1, size1), (off2, _) in zip(text_entries, text_entries[1:]):
+            assert off1 + size1 <= off2
+
+
+class TestLoader:
+    def _linked(self):
+        main_obj, helper_obj = _program_objects()
+        return link("prog", [main_obj, helper_obj]).image
+
+    def test_plan_segments_and_entry(self):
+        plan = build_load_plan(self._linked())
+        assert plan.entry_address is not None
+        assert plan.overlaps() == []
+        assert plan.text_segments() and plan.data_segments()
+        assert plan.total_pages() >= 2
+
+    def test_symbol_addresses_present(self):
+        plan = build_load_plan(self._linked())
+        assert "main" in plan.symbol_addresses
+        assert plan.symbol_addresses["main"] != plan.symbol_addresses["helper"]
+
+    def test_relocatable_input_rejected(self):
+        with pytest.raises(ToolchainError):
+            build_load_plan(make_function_image("a.o", {"f": 32}))
+
+    def test_segment_lookup(self):
+        plan = build_load_plan(self._linked())
+        seg = plan.segment("prog:.text")
+        assert seg.executable and not seg.writable
+        with pytest.raises(ToolchainError):
+            plan.segment("missing")
+
+
+class TestCrt0:
+    def test_standard_crt0_calls_main_and_exit(self):
+        crt0 = make_standard_crt0()
+        targets = {r.symbol for r in crt0.relocations}
+        assert targets == {"main", "exit"}
+        assert crt0.find_symbol("start") is not None
+
+    def test_secmodule_crt0_encodes_handshake_order(self):
+        crt0 = make_secmodule_crt0()
+        targets = [r.symbol for r in sorted(crt0.relocations, key=lambda r: r.offset)]
+        assert targets == list(SECMODULE_CRT0_CALLS)
+        assert "smod_start_session" in targets
+        assert targets.index("smod_find") < targets.index("smod_start_session")
+        assert targets.index("smod_handle_info") < targets.index("smod_client_main")
+
+    def test_module_descriptor_roundtrip(self):
+        requirements = [
+            ModuleRequirement("libc", 1, b"cred-bytes-1"),
+            ModuleRequirement("libtest", 3, b"longer credential payload!"),
+        ]
+        descriptor = make_module_descriptor_object(requirements)
+        decoded = decode_module_descriptors(descriptor)
+        assert [(r.module_name, r.version, r.credential_bytes) for r in decoded] == \
+               [(r.module_name, r.version, r.credential_bytes) for r in requirements]
+
+    def test_empty_descriptor_decodes_empty(self):
+        descriptor = make_module_descriptor_object([])
+        assert decode_module_descriptors(descriptor) == []

@@ -1,0 +1,107 @@
+"""Tests for symbol tables, objdump listings and archives."""
+
+import pytest
+
+from repro.errors import ToolchainError
+from repro.obj.archive import Archive, build_archive
+from repro.obj.image import ObjectImage, Section, Symbol, SymbolBinding, make_function_image
+from repro.obj.symbols import SymbolTable, grep_function_symbols, objdump_t
+
+
+class TestObjdumpListing:
+    def test_listing_contains_function_markers(self):
+        image = make_function_image("m.o", {"alpha": 32, "beta": 32})
+        listing = objdump_t(image)
+        assert "SYMBOL TABLE:" in listing
+        assert " F " in listing
+        assert "alpha" in listing and "beta" in listing
+
+    def test_grep_filter_matches_paper_pipeline(self):
+        image = make_function_image("m.o", {"alpha": 32, "beta": 32})
+        names = grep_function_symbols(objdump_t(image))
+        assert names == ["alpha", "beta"]
+
+    def test_grep_ignores_non_function_lines(self):
+        image = ObjectImage(name="d.o")
+        image.add_section(Section(name=".data", data=bytearray(16), writable=True))
+        image.add_symbol(Symbol(name="table", section=".data", offset=0, size=8,
+                                sym_type=__import__("repro.obj.image", fromlist=["SymbolType"]).SymbolType.OBJECT))
+        assert grep_function_symbols(objdump_t(image)) == []
+
+
+class TestSymbolTable:
+    def test_from_images_and_lookup(self):
+        a = make_function_image("a.o", {"f": 32})
+        b = make_function_image("b.o", {"g": 32})
+        table = SymbolTable.from_images([a, b])
+        assert len(table) == 2
+        assert "f" in table and table.require("g").name == "g"
+        assert table.origin["f"] == "a.o"
+
+    def test_duplicate_symbol_rejected(self):
+        a = make_function_image("a.o", {"f": 32})
+        b = make_function_image("b.o", {"f": 32})
+        with pytest.raises(ToolchainError):
+            SymbolTable.from_images([a, b])
+        table = SymbolTable.from_images([a, b], allow_duplicates=True)
+        assert table.origin["f"] == "a.o"
+
+    def test_local_symbols_excluded(self):
+        image = make_function_image("a.o", {"f": 32})
+        image.add_symbol(Symbol(name="helper", section=".text", offset=0, size=8,
+                                binding=SymbolBinding.LOCAL))
+        table = SymbolTable.from_images([image])
+        assert "helper" not in table
+
+    def test_require_missing_raises(self):
+        table = SymbolTable.from_images([make_function_image("a.o", {"f": 32})])
+        with pytest.raises(ToolchainError):
+            table.require("missing")
+
+    def test_undefined_references(self):
+        caller = make_function_image("a.o", {"f": 32}, calls=[("f", "external")])
+        table = SymbolTable.from_images([caller])
+        assert table.undefined_references([caller]) == {"external"}
+
+
+class TestArchive:
+    def test_build_and_index(self):
+        archive = build_archive("libx.a", [
+            make_function_image("one.o", {"f": 32}),
+            make_function_image("two.o", {"g": 32, "h": 32}),
+        ])
+        assert len(archive) == 2
+        assert archive.global_symbols() == ["f", "g", "h"]
+        assert archive.member_defining("g").name == "two.o"
+        assert archive.member_defining("missing") is None
+        assert archive.member("one.o").name == "one.o"
+
+    def test_member_lookup_missing(self):
+        archive = Archive(name="lib.a")
+        with pytest.raises(ToolchainError):
+            archive.member("nope.o")
+
+    def test_duplicate_member_rejected(self):
+        archive = Archive(name="lib.a")
+        archive.add_member(make_function_image("one.o", {"f": 32}))
+        with pytest.raises(ToolchainError):
+            archive.add_member(make_function_image("one.o", {"g": 32}))
+
+    def test_non_relocatable_member_rejected(self):
+        archive = Archive(name="lib.a")
+        image = make_function_image("exe", {"f": 32}, kind="executable")
+        with pytest.raises(ToolchainError):
+            archive.add_member(image)
+
+    def test_first_definition_wins(self):
+        first = make_function_image("one.o", {"f": 32})
+        second = make_function_image("two.o", {"f": 32})
+        archive = Archive(name="lib.a")
+        archive.add_member(first)
+        archive.add_member(second)
+        assert archive.member_defining("f").name == "one.o"
+
+    def test_text_bytes_and_function_symbols(self):
+        archive = build_archive("lib.a", [make_function_image("one.o", {"f": 32, "g": 64})])
+        assert archive.total_text_bytes() == 96
+        assert sorted(s.name for s in archive.function_symbols()) == ["f", "g"]

@@ -1,0 +1,205 @@
+"""Property-based tests (hypothesis) over the core data structures.
+
+Targets the invariants the rest of the system leans on: the cipher round
+trip with relocation holes, XDR round trips, the malloc arena's structural
+invariants under arbitrary allocate/free sequences, the Figure 3 stack
+discipline under arbitrary argument vectors, the Welford statistics
+accumulator, and the KeyNote condition evaluator's totality over generated
+expressions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.kernel import make_booted_kernel
+from repro.obj.image import Section, make_function_image
+from repro.rpc.xdr import XdrDecoder, XdrEncoder
+from repro.secmodule.crypto import (
+    ModuleKey,
+    decrypt_bytes,
+    decrypt_section_in_place,
+    encrypt_bytes,
+    encrypt_section_in_place,
+)
+from repro.secmodule.keynote import evaluate_condition
+from repro.secmodule.module import CallEnvironment, SecModuleDefinition
+from repro.secmodule.stubs import ClientStub, SimStack, smod_stub_receive
+from repro.sim.stats import RunningStats
+from repro.userland.libc.malloc import ALIGNMENT, MallocArena
+
+KEY = ModuleKey(material=bytes(range(16)))
+
+#: Hypothesis profile: the default example counts are fine, but several of
+#: these properties build a simulated kernel per example, which trips the
+#: (wall-clock based) too_slow health check on slower machines.
+RELAXED = settings(suppress_health_check=[HealthCheck.too_slow], deadline=None,
+                   max_examples=30)
+
+
+class TestCipherProperties:
+    @given(data=st.binary(min_size=0, max_size=512))
+    def test_roundtrip_identity(self, data):
+        assert decrypt_bytes(encrypt_bytes(data, KEY), KEY) == data
+
+    @given(data=st.binary(min_size=16, max_size=256))
+    def test_ciphertext_never_equals_plaintext_for_nontrivial_input(self, data):
+        assert encrypt_bytes(data, KEY) != data
+
+    @given(data=st.binary(min_size=0, max_size=256))
+    def test_length_preserved(self, data):
+        assert len(encrypt_bytes(data, KEY)) == len(data)
+
+    @given(size=st.integers(min_value=16, max_value=256),
+           holes=st.sets(st.integers(min_value=0, max_value=255), max_size=40))
+    def test_section_encrypt_skips_holes_and_roundtrips(self, size, holes):
+        holes = {h for h in holes if h < size}
+        section = Section(name=".text", executable=True,
+                          data=bytearray((i * 37) % 256 for i in range(size)))
+        original = bytes(section.data)
+        info = encrypt_section_in_place(section, sorted(holes), KEY)
+        for hole in holes:
+            assert section.data[hole] == original[hole]
+        assert info.bytes_protected + info.bytes_skipped == size
+        decrypt_section_in_place(section, info, KEY)
+        assert bytes(section.data) == original
+
+
+class TestXdrProperties:
+    @given(values=st.lists(st.integers(min_value=-2**31, max_value=2**31 - 1),
+                           max_size=64))
+    def test_int_array_roundtrip(self, values):
+        data = XdrEncoder().put_int_array(values).getvalue()
+        decoder = XdrDecoder(data)
+        assert decoder.get_int_array() == values
+        assert decoder.done()
+
+    @given(blob=st.binary(max_size=128), text=st.text(max_size=64))
+    def test_opaque_and_string_roundtrip(self, blob, text):
+        encoder = XdrEncoder()
+        encoder.put_opaque(blob)
+        encoder.put_string(text)
+        decoder = XdrDecoder(encoder.getvalue())
+        assert decoder.get_opaque() == blob
+        assert decoder.get_string() == text
+
+    @given(blob=st.binary(max_size=64))
+    def test_encoding_is_word_aligned(self, blob):
+        data = XdrEncoder().put_opaque(blob).getvalue()
+        assert len(data) % 4 == 0
+
+
+class TestMallocProperties:
+    @RELAXED
+    @given(ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("malloc"), st.integers(min_value=1, max_value=8192)),
+            st.tuples(st.just("free"), st.integers(min_value=0, max_value=30)),
+        ),
+        max_size=60))
+    def test_arena_invariants_hold_under_arbitrary_sequences(self, ops):
+        kernel = make_booted_kernel()
+        from repro.kernel.cred import unprivileged
+        proc = kernel.create_process("heap", cred=unprivileged(1000))
+        arena = MallocArena(kernel, proc)
+        live = []
+        for op, value in ops:
+            if op == "malloc":
+                address = arena.malloc(value)
+                assert address % ALIGNMENT == 0
+                assert all(address != other for other in live)
+                live.append(address)
+            elif live:
+                index = value % len(live)
+                arena.free(live.pop(index))
+            arena.check_invariants()
+        # everything still live is backed by a non-free block of adequate size
+        for address in live:
+            block = arena.block_at(address)
+            assert block is not None and not block.free
+
+
+class TestStackDisciplineProperties:
+    @RELAXED
+    @given(args=st.lists(st.integers(min_value=-2**31, max_value=2**31 - 1),
+                         min_size=0, max_size=8),
+           ret=st.integers(min_value=0, max_value=2**32 - 1),
+           fp=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_figure3_protocol_balances_for_any_arguments(self, args, ret, fp):
+        module = SecModuleDefinition("m", 1)
+        function = module.add_function("sum_all", lambda env, *a: sum(a) & 0xFFFFFFFF,
+                                       arg_words=max(1, len(args)))
+
+        class _FakeKernel:
+            from repro.hw.machine import make_paper_machine as _mk
+            machine = _mk()
+
+        env = CallEnvironment(kernel=_FakeKernel(), session=None, client=None,
+                              handle=None)
+        stack = SimStack()
+        stub = ClientStub("sum_all", 1, function.func_id, arg_words=len(args))
+        frame = stub.push_call(stack, args, return_address=ret, frame_pointer=fp)
+        result = smod_stub_receive(stack, frame, function, env)
+        assert result == sum(args) & 0xFFFFFFFF
+        # after the receive, the stack holds exactly the original step-1 frame
+        kinds = [slot.kind.name for slot in stack.snapshot()]
+        assert kinds == ["ARG"] * len(args) + ["RETURN_ADDRESS", "FRAME_POINTER"]
+        stub.pop_return(stack, frame)
+        assert stack.depth() == 0
+
+
+class TestStatsProperties:
+    @given(xs=st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                                 allow_nan=False, allow_infinity=False),
+                       min_size=2, max_size=200))
+    def test_welford_matches_naive_formulas(self, xs):
+        stats = RunningStats()
+        stats.extend(xs)
+        naive_mean = sum(xs) / len(xs)
+        naive_var = sum((x - naive_mean) ** 2 for x in xs) / (len(xs) - 1)
+        assert stats.mean == pytest.approx(naive_mean, rel=1e-9, abs=1e-6)
+        assert stats.variance == pytest.approx(naive_var, rel=1e-6, abs=1e-6)
+        assert stats.minimum == min(xs)
+        assert stats.maximum == max(xs)
+
+    @given(xs=st.lists(st.floats(min_value=0, max_value=1e3, allow_nan=False),
+                       min_size=2, max_size=50),
+           ys=st.lists(st.floats(min_value=0, max_value=1e3, allow_nan=False),
+                       min_size=2, max_size=50))
+    def test_merge_is_equivalent_to_concatenation(self, xs, ys):
+        left, right, combined = RunningStats(), RunningStats(), RunningStats()
+        left.extend(xs)
+        right.extend(ys)
+        combined.extend(xs + ys)
+        merged = left.merge(right)
+        assert merged.n == combined.n
+        assert merged.mean == pytest.approx(combined.mean, rel=1e-9, abs=1e-9)
+        assert merged.stdev == pytest.approx(combined.stdev, rel=1e-6, abs=1e-6)
+
+
+class TestKeyNoteConditionProperties:
+    _names = st.sampled_from(["uid", "calls", "load", "app_domain", "function"])
+
+    @given(name=_names,
+           value=st.integers(min_value=-100, max_value=100),
+           threshold=st.integers(min_value=-100, max_value=100))
+    def test_numeric_comparisons_agree_with_python(self, name, value, threshold):
+        attrs = {name: value}
+        for op, expected in (("<", value < threshold), ("<=", value <= threshold),
+                             (">", value > threshold), (">=", value >= threshold),
+                             ("==", value == threshold), ("!=", value != threshold)):
+            result, steps = evaluate_condition(f"{name} {op} {threshold}", attrs)
+            assert result is expected
+            assert steps >= 1
+
+    @given(a=st.booleans(), b=st.booleans())
+    def test_boolean_connectives(self, a, b):
+        attrs = {"a": a, "b": b}
+        assert evaluate_condition("a && b", attrs)[0] is (a and b)
+        assert evaluate_condition("a || b", attrs)[0] is (a or b)
+        assert evaluate_condition("!a", attrs)[0] is (not a)
+        assert evaluate_condition("!(a && b) || (a && b)", attrs)[0] is True

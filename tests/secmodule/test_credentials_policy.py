@@ -1,0 +1,176 @@
+"""Tests for SecModule credentials and the policy engine."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.secmodule.credentials import (
+    Credential,
+    CredentialIssuer,
+    validate_credential,
+)
+from repro.secmodule.policy import (
+    AlwaysAllowPolicy,
+    AttributePredicatePolicy,
+    CallQuotaPolicy,
+    CompositePolicy,
+    DenyAllPolicy,
+    FunctionDenyPolicy,
+    PolicyContext,
+    PrincipalAllowPolicy,
+    TimeWindowPolicy,
+    UidAllowPolicy,
+    synthetic_chain,
+)
+
+
+@pytest.fixture
+def issuer():
+    return CredentialIssuer(module_name="libc", secret=b"very-secret")
+
+
+def make_ctx(credential=None, *, uid=1000, function="test_incr", now_us=10.0,
+             calls=0, attributes=None):
+    credential = credential or Credential(principal="alice", module_name="libc")
+    return PolicyContext(credential=credential, uid=uid, gid=uid,
+                         principal=credential.principal, function_name=function,
+                         now_us=now_us, calls_this_session=calls,
+                         attributes=attributes or {})
+
+
+class TestCredentials:
+    def test_issue_and_verify(self, issuer):
+        credential = issuer.issue("alice", uid=1000)
+        assert issuer.verify(credential)
+        assert credential.module_name == "libc"
+
+    def test_tampered_credential_rejected(self, issuer):
+        credential = issuer.issue("alice", uid=1000)
+        forged = Credential(principal="mallory", module_name="libc",
+                            issued_to_uid=1000, token=credential.token)
+        assert not issuer.verify(forged)
+
+    def test_wrong_issuer_secret_rejected(self, issuer):
+        other = CredentialIssuer(module_name="libc", secret=b"different")
+        credential = other.issue("alice")
+        assert not issuer.verify(credential)
+
+    def test_wrong_module_rejected(self, issuer):
+        other = CredentialIssuer(module_name="libm", secret=b"very-secret")
+        assert not issuer.verify(other.issue("alice"))
+
+    def test_unsigned_credential_rejected(self, issuer):
+        assert not issuer.verify(Credential(principal="alice", module_name="libc"))
+
+    def test_validate_uid_binding(self, issuer):
+        credential = issuer.issue("alice", uid=1000)
+        good = validate_credential(issuer, credential, uid=1000, now_us=0.0)
+        bad = validate_credential(issuer, credential, uid=2000, now_us=0.0)
+        assert good.valid and not bad.valid
+        assert "uid" in bad.reason
+
+    def test_validate_expiry(self, issuer):
+        credential = issuer.issue("alice", expires_at_us=100.0)
+        assert validate_credential(issuer, credential, uid=1, now_us=50.0).valid
+        assert not validate_credential(issuer, credential, uid=1, now_us=150.0).valid
+
+    def test_validate_call_quota(self, issuer):
+        credential = issuer.issue("alice", max_calls=5)
+        assert validate_credential(issuer, credential, uid=1, now_us=0,
+                                   calls_made=4).valid
+        assert not validate_credential(issuer, credential, uid=1, now_us=0,
+                                       calls_made=5).valid
+
+    def test_encode_decode_roundtrip(self, issuer):
+        credential = issuer.issue("alice", uid=1000, max_calls=7,
+                                  expires_at_us=123.5)
+        decoded = Credential.decode(credential.encode())
+        assert decoded == credential
+        assert issuer.verify(decoded)
+
+    def test_decode_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            Credential.decode(b"not|enough|fields")
+
+
+class TestSimplePolicies:
+    def test_always_allow_costs_nothing(self):
+        decision = AlwaysAllowPolicy().evaluate(make_ctx())
+        assert decision.allowed and decision.steps == 0
+
+    def test_deny_all(self):
+        decision = DenyAllPolicy().evaluate(make_ctx())
+        assert not decision.allowed and decision.steps == 1
+
+    def test_uid_allowlist(self):
+        policy = UidAllowPolicy([1000, 1001])
+        assert policy.evaluate(make_ctx(uid=1000)).allowed
+        assert not policy.evaluate(make_ctx(uid=2000)).allowed
+        with pytest.raises(PolicyError):
+            UidAllowPolicy([])
+
+    def test_principal_allowlist(self):
+        policy = PrincipalAllowPolicy(["alice"])
+        assert policy.evaluate(make_ctx()).allowed
+        mallory = Credential(principal="mallory", module_name="libc")
+        assert not policy.evaluate(make_ctx(mallory)).allowed
+
+    def test_function_denylist(self):
+        policy = FunctionDenyPolicy(["execve"])
+        assert policy.evaluate(make_ctx(function="malloc")).allowed
+        assert not policy.evaluate(make_ctx(function="execve")).allowed
+
+    def test_call_quota(self):
+        policy = CallQuotaPolicy(3)
+        assert policy.evaluate(make_ctx(calls=2)).allowed
+        assert not policy.evaluate(make_ctx(calls=3)).allowed
+        with pytest.raises(PolicyError):
+            CallQuotaPolicy(0)
+
+    def test_time_window(self):
+        policy = TimeWindowPolicy(10.0, 20.0)
+        assert policy.evaluate(make_ctx(now_us=15.0)).allowed
+        assert not policy.evaluate(make_ctx(now_us=25.0)).allowed
+        with pytest.raises(PolicyError):
+            TimeWindowPolicy(5.0, 5.0)
+
+    def test_attribute_predicate_weight(self):
+        policy = AttributePredicatePolicy("load-ok",
+                                          lambda attrs: attrs.get("load", 0) < 5,
+                                          weight=3)
+        allowed = policy.evaluate(make_ctx(attributes={"load": 1}))
+        denied = policy.evaluate(make_ctx(attributes={"load": 9}))
+        assert allowed.allowed and allowed.steps == 3
+        assert not denied.allowed
+        with pytest.raises(PolicyError):
+            AttributePredicatePolicy("x", lambda a: True, weight=0)
+
+
+class TestCompositePolicy:
+    def test_steps_accumulate(self):
+        policy = CompositePolicy([UidAllowPolicy([1000]),
+                                  CallQuotaPolicy(10),
+                                  FunctionDenyPolicy(["execve"])])
+        decision = policy.evaluate(make_ctx())
+        assert decision.allowed and decision.steps == 3
+        assert len(policy) == 3
+
+    def test_short_circuit_on_denial(self):
+        policy = CompositePolicy([UidAllowPolicy([42]), CallQuotaPolicy(10)])
+        decision = policy.evaluate(make_ctx(uid=1000))
+        assert not decision.allowed
+        assert decision.steps == 1            # second clause never evaluated
+        assert "uid" in decision.reason
+
+    def test_empty_composite_rejected(self):
+        with pytest.raises(PolicyError):
+            CompositePolicy([])
+
+    def test_synthetic_chain_length(self):
+        assert isinstance(synthetic_chain(0), AlwaysAllowPolicy)
+        chain = synthetic_chain(8)
+        decision = chain.evaluate(make_ctx())
+        assert decision.allowed and decision.steps == 8
+
+    def test_describe_mentions_clauses(self):
+        policy = CompositePolicy([UidAllowPolicy([1]), DenyAllPolicy()])
+        assert "uid-allowlist" in policy.describe()

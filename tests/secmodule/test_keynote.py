@@ -1,0 +1,144 @@
+"""Tests for the KeyNote-style trust-management engine."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.secmodule.credentials import Credential
+from repro.secmodule.keynote import (
+    Assertion,
+    KeyNoteEngine,
+    KeyNotePolicy,
+    MAX_TRUST,
+    MIN_TRUST,
+    POLICY_AUTHORIZER,
+    evaluate_condition,
+    example_policy_set,
+    tokenize_condition,
+)
+from repro.secmodule.policy import PolicyContext
+
+
+def make_ctx(principal="alice", attributes=None, function="malloc", calls=0):
+    credential = Credential(principal=principal, module_name="libc")
+    return PolicyContext(credential=credential, uid=1000, gid=1000,
+                         principal=principal, function_name=function,
+                         now_us=0.0, calls_this_session=calls,
+                         attributes=attributes or {})
+
+
+class TestConditionLanguage:
+    def test_tokenize_rejects_garbage(self):
+        with pytest.raises(PolicyError):
+            tokenize_condition('foo @ bar')
+
+    @pytest.mark.parametrize("expr,attrs,expected", [
+        ('app_domain == "SecModule"', {"app_domain": "SecModule"}, True),
+        ('app_domain == "SecModule"', {"app_domain": "Other"}, False),
+        ('calls < 10', {"calls": 3}, True),
+        ('calls < 10', {"calls": 30}, False),
+        ('calls <= 10 && uid >= 1000', {"calls": 10, "uid": 1000}, True),
+        ('calls > 5 || uid == 0', {"calls": 1, "uid": 0}, True),
+        ('!(uid == 0)', {"uid": 1000}, True),
+        ('missing_attr == "x"', {}, False),
+        ('flag', {"flag": True}, True),
+        ('flag', {}, False),
+        ('level != 3', {"level": 2}, True),
+        ('(a == 1 && b == 2) || c == 3', {"a": 9, "b": 9, "c": 3}, True),
+        ('true', {}, True),
+        ('false || true', {}, True),
+        ('count >= 2.5', {"count": "3.0"}, True),
+    ])
+    def test_expression_evaluation(self, expr, attrs, expected):
+        result, steps = evaluate_condition(expr, attrs)
+        assert result is expected
+        assert steps >= 1
+
+    def test_empty_condition_is_true(self):
+        assert evaluate_condition("", {}) == (True, 1)
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(PolicyError):
+            evaluate_condition("(a == 1", {"a": 1})
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(PolicyError):
+            evaluate_condition('a == 1 b', {"a": 1})
+
+
+class TestComplianceChecking:
+    def test_direct_grant(self):
+        engine = example_policy_set("alice")
+        result = engine.query("alice", {"app_domain": "SecModule",
+                                        "function": "malloc", "calls": 3})
+        assert result.value == MAX_TRUST
+        assert result.steps > 0
+
+    def test_condition_failure_gives_min_trust(self):
+        engine = example_policy_set("alice")
+        result = engine.query("alice", {"app_domain": "SecModule",
+                                        "function": "free", "calls": 3})
+        assert result.value == MIN_TRUST
+
+    def test_unknown_principal(self):
+        engine = example_policy_set("alice")
+        result = engine.query("mallory", {"app_domain": "SecModule",
+                                          "function": "malloc", "calls": 0})
+        assert result.value == MIN_TRUST
+
+    def test_delegation_capped_at_intermediate_value(self):
+        engine = example_policy_set("alice", delegate="bob")
+        result = engine.query("bob", {"app_domain": "SecModule"})
+        assert result.value == "approve_with_log"
+        assert result.at_least(MIN_TRUST)
+        assert not result.at_least(MAX_TRUST)
+
+    def test_transitive_delegation(self):
+        engine = KeyNoteEngine([
+            Assertion(POLICY_AUTHORIZER, ("owner",)),
+            Assertion("owner", ("reseller",)),
+            Assertion("reseller", ("alice",), conditions="calls < 5"),
+        ])
+        assert engine.query("alice", {"calls": 1}).value == MAX_TRUST
+        assert engine.query("alice", {"calls": 9}).value == MIN_TRUST
+
+    def test_assertion_from_untrusted_authorizer_ignored(self):
+        engine = KeyNoteEngine([
+            Assertion(POLICY_AUTHORIZER, ("owner",)),
+            Assertion("mallory", ("alice",)),       # mallory was never empowered
+        ])
+        assert engine.query("alice", {}).value == MIN_TRUST
+
+    def test_empty_engine_rejected(self):
+        with pytest.raises(PolicyError):
+            KeyNoteEngine([])
+
+    def test_unknown_compliance_value_rejected(self):
+        with pytest.raises(PolicyError):
+            KeyNoteEngine([Assertion(POLICY_AUTHORIZER, ("x",),
+                                     compliance="not-a-value")])
+
+
+class TestKeyNotePolicyAdapter:
+    def test_allows_and_denies_based_on_context(self):
+        policy = KeyNotePolicy(example_policy_set("alice"))
+        allowed = policy.evaluate(make_ctx(function="malloc"))
+        denied = policy.evaluate(make_ctx(function="free"))
+        assert allowed.allowed and allowed.steps > 0
+        assert not denied.allowed
+
+    def test_call_count_feeds_conditions(self):
+        policy = KeyNotePolicy(example_policy_set("alice"))
+        assert policy.evaluate(make_ctx(calls=10)).allowed
+        assert not policy.evaluate(make_ctx(calls=10_000)).allowed
+
+    def test_required_value_threshold(self):
+        engine = example_policy_set("alice", delegate="bob")
+        strict = KeyNotePolicy(engine, required_value=MAX_TRUST)
+        lenient = KeyNotePolicy(engine, required_value="approve_with_log")
+        bob_ctx = make_ctx(principal="bob")
+        assert not strict.evaluate(bob_ctx).allowed
+        assert lenient.evaluate(bob_ctx).allowed
+
+    def test_describe(self):
+        policy = KeyNotePolicy(example_policy_set("alice"))
+        assert "keynote" in policy.describe()

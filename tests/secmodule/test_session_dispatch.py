@@ -1,0 +1,239 @@
+"""Tests for session establishment (Figure 1) and the dispatch path."""
+
+import pytest
+
+from repro.kernel.errno import Errno
+from repro.kernel.proc import ProcFlag, ProcState
+from repro.secmodule.api import SecModuleSystem
+from repro.secmodule.dispatch import DispatchConfig, HardeningMode, MarshallingMode
+from repro.secmodule.libc_conversion import build_test_module
+from repro.secmodule.policy import CallQuotaPolicy, DenyAllPolicy, UidAllowPolicy
+from repro.secmodule.protection import ProtectionMode
+from repro.secmodule.session import SessionDescriptor, SessionRequirement
+from repro.secmodule.smod_syscalls import install_secmodule
+from repro.kernel.kernel import make_booted_kernel
+from repro.userland.process import Program
+from repro.sim import costs
+
+
+def build_manual_system(*, policy=None, uid=1000, principal="alice"):
+    """A hand-wired system (kernel + one test module + client) for tests that
+    need to tamper with individual handshake steps."""
+    kernel = make_booted_kernel()
+    extension = install_secmodule(kernel)
+    module = build_test_module(policy=policy)
+    registered = extension.registry.register(module, uid=0)
+    credential = registered.definition.issuer.issue(principal, uid=uid)
+    descriptor = SessionDescriptor((SessionRequirement(
+        module_name="libtest", version=1, credential=credential),))
+    client = Program.spawn(kernel, "client", uid=uid)
+    return kernel, extension, client, descriptor, registered
+
+
+class TestSessionEstablishment:
+    def test_handshake_creates_established_session(self):
+        kernel, extension, client, descriptor, _ = build_manual_system()
+        session_id = client.smod_crt0_startup(extension, descriptor)
+        session = extension.sessions.get(session_id)
+        assert session.established and not session.torn_down
+        assert client.crt_record.handshake_complete
+        assert client.crt_record.found_modules == [1]
+
+    def test_handle_process_flags_and_pairing(self):
+        kernel, extension, client, descriptor, _ = build_manual_system()
+        session = extension.sessions.get(
+            client.smod_crt0_startup(extension, descriptor))
+        handle_proc = session.handle.proc
+        assert handle_proc.has_flag(ProcFlag.SMOD_HANDLE)
+        assert handle_proc.has_flag(ProcFlag.NOCORE)
+        assert handle_proc.has_flag(ProcFlag.NOTRACE)
+        assert handle_proc.smod_peer is client.proc
+        assert client.proc.is_smod_client
+        assert extension.sessions.for_handle(handle_proc) is session
+        assert extension.sessions.for_client(client.proc) is session
+
+    def test_handle_shares_client_memory_after_handshake(self):
+        kernel, extension, client, descriptor, _ = build_manual_system()
+        from repro.kernel.uvm.layout import DATA_BASE
+        client.proc.vmspace.write(DATA_BASE, b"client secret state")
+        session = extension.sessions.get(
+            client.smod_crt0_startup(extension, descriptor))
+        assert session.handle.proc.vmspace.read(DATA_BASE, 19) == b"client secret state"
+
+    def test_secret_region_not_visible_to_client(self):
+        kernel, extension, client, descriptor, _ = build_manual_system()
+        session = extension.sessions.get(
+            client.smod_crt0_startup(extension, descriptor))
+        from repro.kernel.uvm.layout import SECRET_BASE
+        assert session.handle.proc.vmspace.vm_map.lookup(SECRET_BASE) is not None
+        assert client.proc.vmspace.vm_map.lookup(SECRET_BASE) is None
+
+    def test_unregistered_module_fails_with_enoent(self):
+        kernel, extension, client, _, registered = build_manual_system()
+        credential = registered.definition.issuer.issue("alice", uid=1000)
+        descriptor = SessionDescriptor((SessionRequirement(
+            module_name="libmissing", version=1, credential=credential),))
+        result = kernel.syscall(client.proc, "smod_start_session", descriptor)
+        assert result.errno is Errno.ENOENT
+
+    def test_bad_credential_rejected_with_eacces(self):
+        kernel, extension, client, _, registered = build_manual_system()
+        # credential bound to a different uid than the presenting client
+        credential = registered.definition.issuer.issue("alice", uid=4242)
+        descriptor = SessionDescriptor((SessionRequirement(
+            module_name="libtest", version=1, credential=credential),))
+        result = kernel.syscall(client.proc, "smod_start_session", descriptor)
+        assert result.errno is Errno.EACCES
+        assert extension.sessions.denied_establishments
+
+    def test_policy_denial_blocks_session(self):
+        kernel, extension, client, descriptor, _ = build_manual_system(
+            policy=DenyAllPolicy())
+        result = kernel.syscall(client.proc, "smod_start_session", descriptor)
+        assert result.errno is Errno.EACCES
+
+    def test_session_info_restricted_to_handle(self):
+        kernel, extension, client, descriptor, _ = build_manual_system()
+        assert kernel.syscall(client.proc, "smod_session_info", None).errno is Errno.EPERM
+
+    def test_handle_info_restricted_to_client(self):
+        kernel, extension, client, descriptor, _ = build_manual_system()
+        session = extension.sessions.get(
+            client.smod_crt0_startup(extension, descriptor))
+        result = kernel.syscall(session.handle.proc, "smod_handle_info", None)
+        assert result.errno is Errno.EPERM
+
+    def test_handle_info_before_session_info_fails(self):
+        kernel, extension, client, descriptor, _ = build_manual_system()
+        kernel.syscall(client.proc, "smod_start_session", descriptor)
+        result = kernel.syscall(client.proc, "smod_handle_info", None)
+        assert result.errno is Errno.EINVAL
+
+    def test_second_session_for_same_client_rejected(self):
+        kernel, extension, client, descriptor, _ = build_manual_system()
+        client.smod_crt0_startup(extension, descriptor)
+        result = kernel.syscall(client.proc, "smod_start_session", descriptor)
+        assert result.failed
+
+    def test_teardown_kills_handle_and_clears_flags(self):
+        kernel, extension, client, descriptor, _ = build_manual_system()
+        session = extension.sessions.get(
+            client.smod_crt0_startup(extension, descriptor))
+        handle_proc = session.handle.proc
+        extension.sessions.teardown(session)
+        assert session.torn_down
+        assert not handle_proc.alive
+        assert not client.proc.is_smod_client
+        assert extension.sessions.for_client(client.proc) is None
+        assert len(extension.sessions) == 0
+
+
+class TestDispatch:
+    def test_call_returns_value_and_counts(self, system):
+        assert system.call("test_incr", 41) == 42
+        assert system.call("test_add", 2, 3) == 5
+        assert system.session.calls_made == 2
+        assert system.extension.dispatcher.calls_dispatched == 2
+
+    def test_call_charges_two_context_switches(self, system):
+        before = system.machine.meter.count(costs.CONTEXT_SWITCH)
+        system.call("test_incr", 1)
+        assert system.machine.meter.count(costs.CONTEXT_SWITCH) == before + 2
+
+    def test_call_uses_message_queues(self, system):
+        before_send = system.machine.meter.count(costs.MSGQ_SEND)
+        before_recv = system.machine.meter.count(costs.MSGQ_RECV)
+        system.call("test_incr", 1)
+        assert system.machine.meter.count(costs.MSGQ_SEND) == before_send + 2
+        assert system.machine.meter.count(costs.MSGQ_RECV) == before_recv + 2
+
+    def test_unknown_function_is_enoent(self, system):
+        outcome = system.call_outcome("not_a_function", 1)
+        assert outcome.errno is Errno.ENOENT
+        with pytest.raises(PermissionError):
+            system.call("not_a_function", 1)
+
+    def test_shared_stack_balanced_after_calls(self, system):
+        for i in range(5):
+            system.call("test_incr", i)
+        assert system.session.shared_stack.depth() == 0
+
+    def test_shared_stack_balanced_after_denied_call(self):
+        system = SecModuleSystem.create(policy=CallQuotaPolicy(2), seed=20)
+        assert system.call("test_incr", 1) == 2
+        assert system.call("test_incr", 2) == 3
+        outcome = system.call_outcome("test_incr", 3)
+        assert outcome.errno is Errno.EACCES
+        assert system.session.shared_stack.depth() == 0
+        assert system.extension.dispatcher.calls_denied >= 1
+
+    def test_uid_policy_allows_matching_uid(self):
+        system = SecModuleSystem.create(policy=UidAllowPolicy([1000]), seed=21)
+        assert system.call("test_incr", 1) == 2
+
+    def test_policy_denied_session_creation_raises(self):
+        with pytest.raises(PermissionError):
+            SecModuleSystem.create(policy=UidAllowPolicy([7]), seed=23, uid=1000)
+
+    def test_smod_getpid_returns_client_pid(self, system):
+        assert system.call("getpid") == system.client_proc.pid
+        assert system.call("getpid") != system.handle_proc.pid
+
+    def test_dispatch_latency_matches_paper(self, system):
+        system.call("test_incr", 0)
+        mark = system.machine.clock.checkpoint()
+        system.call("test_incr", 1)
+        us = system.machine.clock.since(mark).microseconds(system.machine.spec.mhz)
+        assert us == pytest.approx(6.407, abs=0.35)
+
+    def test_hardening_modes_cost_more(self, system):
+        def cost_of(config):
+            system.call("test_incr", 0, config=config)
+            mark = system.machine.clock.checkpoint()
+            system.call("test_incr", 1, config=config)
+            return system.machine.clock.since(mark).cycles
+
+        base = cost_of(DispatchConfig())
+        suspend = cost_of(DispatchConfig(hardening=HardeningMode.SUSPEND_CLIENT))
+        unmap = cost_of(DispatchConfig(hardening=HardeningMode.UNMAP_CLIENT))
+        assert base < suspend < unmap   # paper: unmapping has higher kernel overhead
+
+    def test_explicit_copy_marshalling_costs_more(self, system):
+        shared = DispatchConfig(marshalling=MarshallingMode.SHARED_VM)
+        copied = DispatchConfig(marshalling=MarshallingMode.EXPLICIT_COPY)
+        system.call("test_add", 1, 2, config=shared)
+        mark = system.machine.clock.checkpoint()
+        system.call("test_add", 1, 2, config=shared)
+        shared_cycles = system.machine.clock.since(mark).cycles
+        mark = system.machine.clock.checkpoint()
+        system.call("test_add", 1, 2, config=copied)
+        copied_cycles = system.machine.clock.since(mark).cycles
+        assert copied_cycles > shared_cycles
+
+    def test_call_against_foreign_session_rejected(self):
+        """The handle answers only its own client (paper question 2)."""
+        system_a = SecModuleSystem.create(seed=31)
+        system_b = SecModuleSystem.create(seed=32)
+        found = system_a.session.find_function("test_incr")
+        module, function = found
+        stub_frame_stack = system_a.session.shared_stack
+        from repro.secmodule.stubs import ClientStub
+        stub = ClientStub("test_incr", module.m_id, function.func_id)
+        frame = stub.push_call(stub_frame_stack, (1,))
+        # a different process presenting someone else's session
+        outcome = system_a.extension.dispatcher.sys_smod_call(
+            system_b.client_proc, system_a.session, frame, module.m_id,
+            function.func_id)
+        assert outcome.errno is Errno.EPERM
+
+    def test_call_before_handshake_rejected(self):
+        kernel, extension, client, descriptor, registered = build_manual_system()
+        kernel.syscall(client.proc, "smod_start_session", descriptor)
+        # skip steps 3 and 4 and try to call directly
+        session = extension.sessions.for_client(client.proc)
+        outcome = extension.dispatcher.call(session, "test_incr", 1)
+        assert outcome.errno is Errno.EINVAL
+
+    def test_per_call_policy_can_be_disabled(self, system):
+        config = DispatchConfig(per_call_policy_check=False)
+        assert system.call("test_incr", 1, config=config) == 2

@@ -1,0 +1,150 @@
+"""Tests for the shared-stack stubs (the Figure 3 discipline)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hw.machine import make_paper_machine
+from repro.secmodule.module import CallEnvironment, SecModuleDefinition
+from repro.secmodule.stubs import (
+    ClientStub,
+    SimStack,
+    SlotKind,
+    StubCallFrame,
+    smod_stub_receive,
+)
+
+
+def make_function(name="test_incr"):
+    module = SecModuleDefinition("libtest", 1)
+    return module.add_function(name, lambda env, x: x + 1)
+
+
+def make_env():
+    class _FakeKernel:
+        machine = make_paper_machine()
+    return CallEnvironment(kernel=_FakeKernel(), session=None, client=None,
+                           handle=None)
+
+
+class TestSimStack:
+    def test_push_pop_lifo(self):
+        stack = SimStack()
+        stack.push(SlotKind.ARG, 1)
+        stack.push(SlotKind.ARG, 2)
+        assert stack.pop(SlotKind.ARG).value == 2
+        assert stack.pop(SlotKind.ARG).value == 1
+
+    def test_underflow_and_overflow(self):
+        stack = SimStack(capacity=1)
+        with pytest.raises(SimulationError):
+            stack.pop()
+        stack.push(SlotKind.ARG, 1)
+        with pytest.raises(SimulationError):
+            stack.push(SlotKind.ARG, 2)
+
+    def test_typed_pop_mismatch(self):
+        stack = SimStack()
+        stack.push(SlotKind.ARG, 1)
+        with pytest.raises(SimulationError, match="discipline"):
+            stack.pop(SlotKind.FRAME_POINTER)
+
+    def test_peek_and_snapshot(self):
+        stack = SimStack()
+        stack.push(SlotKind.ARG, 1)
+        stack.push(SlotKind.FRAME_POINTER, 2)
+        assert stack.peek().kind is SlotKind.FRAME_POINTER
+        assert stack.peek(1).value == 1
+        snap = stack.snapshot()
+        stack.pop()
+        assert len(snap) == 2          # snapshot unaffected by later pops
+        with pytest.raises(SimulationError):
+            stack.peek(5)
+
+    def test_describe(self):
+        stack = SimStack(name="shared")
+        assert "empty" in stack.describe()
+        stack.push(SlotKind.ARG, 41)
+        assert "arg=41" in stack.describe()
+
+    def test_costs_charged_when_machine_attached(self):
+        machine = make_paper_machine()
+        stack = SimStack(machine=machine)
+        before = machine.clock.cycles
+        stack.push(SlotKind.ARG, 1)
+        stack.pop()
+        assert machine.clock.cycles > before
+
+
+class TestClientStub:
+    def test_push_call_builds_figure3_step2_frame(self):
+        stack = SimStack()
+        stub = ClientStub("malloc", module_id=3, func_id=7, arg_words=2)
+        frame = stub.push_call(stack, (256, 1), record_checkpoints=True)
+        kinds = [slot.kind for slot in stack.snapshot()]
+        assert kinds == [SlotKind.ARG, SlotKind.ARG, SlotKind.RETURN_ADDRESS,
+                         SlotKind.FRAME_POINTER, SlotKind.MODULE_ID,
+                         SlotKind.FUNC_ID, SlotKind.RETURN_ADDRESS,
+                         SlotKind.FRAME_POINTER]
+        # args are pushed right-to-left so arg1 is deepest... the first arg
+        # ends up closest to the ids, matching cdecl layout
+        assert stack.snapshot()[0].value == 1
+        assert stack.snapshot()[1].value == 256
+        assert frame.module_id == 3 and frame.func_id == 7
+        assert "step1" in frame.checkpoints and "step2" in frame.checkpoints
+        assert len(frame.checkpoints["step1"]) == 4
+        assert len(frame.checkpoints["step2"]) == 8
+
+    def test_duplicated_words_match_originals(self):
+        stack = SimStack()
+        stub = ClientStub("f", 1, 1)
+        frame = stub.push_call(stack, (9,), return_address=0x1234,
+                               frame_pointer=0x5678)
+        snapshot = stack.snapshot()
+        assert snapshot[1].value == snapshot[5].value == 0x1234
+        assert snapshot[2].value == snapshot[6].value == 0x5678
+
+    def test_symbol_name(self):
+        assert ClientStub("malloc", 1, 2).symbol == "SMOD_client_malloc"
+
+    def test_pop_return_restores_empty_stack(self):
+        stack = SimStack()
+        stub = ClientStub("f", 1, 1)
+        frame = stub.push_call(stack, (9,))
+        function = make_function()
+        smod_stub_receive(stack, frame, function, make_env())
+        stub.pop_return(stack, frame)
+        assert stack.depth() == 0
+
+
+class TestStubReceive:
+    def test_callee_sees_only_args(self):
+        stack = SimStack()
+        stub = ClientStub("test_incr", 1, 1)
+        frame = stub.push_call(stack, (41,), record_checkpoints=True)
+        result = smod_stub_receive(stack, frame, make_function(), make_env(),
+                                   record_checkpoints=True)
+        assert result == 42
+        step3 = frame.checkpoints["step3"]
+        assert [s.kind for s in step3] == [SlotKind.ARG]
+        step4 = frame.checkpoints["step4"]
+        assert [s.kind for s in step4] == [SlotKind.ARG, SlotKind.RETURN_ADDRESS,
+                                           SlotKind.FRAME_POINTER]
+        assert step4[1].value == frame.return_address
+        assert step4[2].value == frame.frame_pointer
+
+    def test_secret_stack_used_and_drained(self):
+        stack = SimStack()
+        secret = SimStack(name="secret")
+        stub = ClientStub("test_incr", 1, 1)
+        frame = stub.push_call(stack, (1,))
+        smod_stub_receive(stack, frame, make_function(), make_env(),
+                          secret_stack=secret)
+        assert secret.depth() == 0     # all spills popped back off
+
+    def test_corrupted_stack_detected(self):
+        stack = SimStack()
+        stub = ClientStub("test_incr", 1, 1)
+        frame = stub.push_call(stack, (1,))
+        stack.pop()                    # someone smashed the top of the frame
+        with pytest.raises(SimulationError):
+            smod_stub_receive(stack, frame, make_function(), make_env())

@@ -1,0 +1,193 @@
+"""Tests for the SecModule toolchain: objdump front end, stubgen, packer,
+registration tool and the custom link step."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ToolchainError
+from repro.kernel.kernel import make_booted_kernel
+from repro.secmodule.libc_conversion import build_libc_archive, libc_behaviours
+from repro.secmodule.module import simple_module
+from repro.secmodule.protection import ProtectionMode
+from repro.secmodule.smod_syscalls import install_secmodule
+from repro.secmodule.toolchain.link import (
+    link_secmodule_client,
+    link_traditional_client,
+)
+from repro.secmodule.toolchain.objdump import (
+    extract_function_symbols,
+    objdump_pipeline_text,
+)
+from repro.secmodule.toolchain.packer import FunctionSpec, pack_library
+from repro.secmodule.toolchain.register import RegistrationTool
+from repro.secmodule.toolchain.stubgen import generate_stubs
+from repro.obj.image import make_function_image
+
+
+class TestObjdumpFrontEnd:
+    def test_extraction_from_archive(self):
+        archive = build_libc_archive()
+        extraction = extract_function_symbols(archive,
+                                              header_macros=("isdigit",))
+        assert "malloc" in extraction.from_objdump
+        assert "isdigit" in extraction.from_headers
+        assert "isdigit" in extraction.all_symbols
+        assert len(extraction) == len(extraction.all_symbols)
+
+    def test_extraction_from_single_image(self):
+        image = make_function_image("m.o", {"f": 32})
+        extraction = extract_function_symbols(image)
+        assert extraction.all_symbols == ["f"]
+
+    def test_deduplication_preserves_order(self):
+        image = make_function_image("m.o", {"f": 32})
+        extraction = extract_function_symbols(image, header_macros=("f", "g"))
+        assert extraction.all_symbols == ["f", "g"]
+
+    def test_pipeline_text_rendering(self):
+        archive = build_libc_archive()
+        text = objdump_pipeline_text(archive)
+        assert "SYMBOL TABLE:" in text and "malloc" in text
+
+
+class TestStubGenerator:
+    def test_stub_per_function(self):
+        module = simple_module()
+        stubs = generate_stubs(module)
+        assert len(stubs) == len(module)
+        descriptor = stubs.descriptor("test_incr")
+        assert descriptor.client_symbol == "SMOD_client_test_incr"
+        assert "sys_smod_call" in descriptor.assembly or "307" in descriptor.assembly
+
+    def test_subset_generation_and_unknown_rejected(self):
+        module = simple_module()
+        stubs = generate_stubs(module, symbols=["test_incr"])
+        assert len(stubs) == 1
+        with pytest.raises(ToolchainError):
+            generate_stubs(module, symbols=["nope"])
+        with pytest.raises(ToolchainError):
+            stubs.descriptor("missing")
+
+    def test_override_header_defines_every_stub(self):
+        module = simple_module()
+        stubs = generate_stubs(module)
+        header = stubs.override_header()
+        assert "#define test_incr SMOD_client_test_incr" in header
+        # one #define per protected function plus the include guard itself
+        assert header.count("#define") == len(module) + 1
+
+    def test_runtime_stub_instantiation(self):
+        module = simple_module()
+        stubs = generate_stubs(module)
+        stub = stubs.client_stub("test_add", module_id=5)
+        assert stub.module_id == 5
+        assert stub.arg_words == 2
+
+
+class TestPacker:
+    def test_pack_libc_archive(self):
+        archive = build_libc_archive()
+        pack = pack_library(archive, module_name="libc",
+                            behaviours=libc_behaviours())
+        assert pack.module_name == "libc"
+        assert "malloc" in pack.definition
+        assert pack.definition.library_image.kind == "shared"
+        # merged image keeps relocation holes for the encryption pass
+        assert pack.definition.library_image.relocations
+        assert "printf" in pack.skipped_symbols
+
+    def test_pack_requires_some_behaviour(self):
+        archive = build_libc_archive()
+        with pytest.raises(ToolchainError):
+            pack_library(archive, behaviours={})
+
+    def test_pack_single_image(self):
+        image = make_function_image("libwidget.a", {"widget_new": 48,
+                                                    "widget_free": 48})
+        pack = pack_library(image, behaviours={
+            "widget_new": FunctionSpec(lambda env: 1),
+            "widget_free": FunctionSpec(lambda env, h: 0),
+        })
+        assert len(pack.definition) == 2
+        # a trailing ".a" is stripped from the derived module name
+        assert pack.definition.name == "libwidget"
+
+    def test_empty_library_rejected(self):
+        from repro.obj.image import ObjectImage, Section
+        empty = ObjectImage(name="empty.a")
+        empty.add_section(Section(name=".text", executable=True))
+        with pytest.raises(ToolchainError):
+            pack_library(empty, behaviours={"x": FunctionSpec(lambda env: 0)})
+
+
+class TestRegistrationTool:
+    @pytest.fixture
+    def tooling(self):
+        kernel = make_booted_kernel()
+        extension = install_secmodule(kernel)
+        tool = RegistrationTool(kernel, extension, kernel.proc0)
+        return kernel, extension, tool
+
+    def test_register_and_find(self, tooling):
+        kernel, extension, tool = tooling
+        record = tool.register(simple_module(), protection=ProtectionMode.ENCRYPT)
+        assert record.m_id == 1
+        assert tool.find("libdemo", 1) == 1
+        assert tool.find("libdemo", 9) is None
+        assert tool.records
+
+    def test_register_twice_fails(self, tooling):
+        _, _, tool = tooling
+        tool.register(simple_module())
+        with pytest.raises(ConfigurationError):
+            tool.register(simple_module())
+
+    def test_unprivileged_operator_rejected(self, tooling):
+        kernel, extension, _ = tooling
+        from repro.kernel.cred import unprivileged
+        user = kernel.create_process("user", cred=unprivileged(1000))
+        tool = RegistrationTool(kernel, extension, user)
+        with pytest.raises(ConfigurationError):
+            tool.register(simple_module())
+
+    def test_remove(self, tooling):
+        _, extension, tool = tooling
+        module = simple_module()
+        record = tool.register(module)
+        credential = module.issuer.issue("owner")
+        assert tool.remove(record.m_id, credential)
+        assert tool.find("libdemo", 1) is None
+
+
+class TestSecModuleLink:
+    def _client_objects(self):
+        return [make_function_image("client.o",
+                                    {"main": 64, "smod_client_main": 64},
+                                    calls=[("main", "smod_client_main")])]
+
+    def test_link_includes_crt0_and_descriptors(self):
+        module = simple_module()
+        credential = module.issuer.issue("alice", uid=1000)
+        result = link_secmodule_client("client", self._client_objects(),
+                                       [credential], [1])
+        image = result.image
+        assert image.kind == "executable"
+        assert image.find_symbol("start") is not None
+        assert image.find_symbol("__smod_requirements") is not None
+        # the descriptor embedded in the binary round-trips the credential
+        assert len(result.descriptor.requirements) == 1
+        requirement = result.descriptor.requirements[0]
+        assert requirement.module_name == "libdemo"
+        assert module.issuer.verify(requirement.credential)
+
+    def test_link_mismatched_credentials_versions(self):
+        module = simple_module()
+        credential = module.issuer.issue("alice")
+        with pytest.raises(ValueError):
+            link_secmodule_client("client", self._client_objects(),
+                                  [credential], [1, 2])
+
+    def test_traditional_link_baseline(self):
+        objects = [make_function_image("prog.o", {"main": 64})]
+        result = link_traditional_client("prog", objects)
+        assert result.image.find_symbol("start") is not None
+        assert result.image.find_symbol("__smod_requirements") is None

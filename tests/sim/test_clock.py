@@ -1,0 +1,69 @@
+"""Tests for the virtual cycle clock."""
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        clock = VirtualClock()
+        assert clock.cycles == 0
+        assert clock.events == 0
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(100)
+        clock.advance(250)
+        assert clock.cycles == 350
+        assert clock.events == 2
+
+    def test_advance_zero_counts_as_event(self):
+        clock = VirtualClock()
+        clock.advance(0)
+        assert clock.cycles == 0
+        assert clock.events == 1
+
+    def test_negative_advance_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_checkpoint_and_since(self):
+        clock = VirtualClock()
+        clock.advance(100)
+        mark = clock.checkpoint()
+        clock.advance(42)
+        clock.advance(8)
+        interval = clock.since(mark)
+        assert interval.cycles == 50
+        assert interval.events == 2
+
+    def test_interval_microseconds_conversion(self):
+        clock = VirtualClock()
+        mark = clock.checkpoint()
+        clock.advance(599)
+        assert clock.since(mark).microseconds(599.0) == pytest.approx(1.0)
+
+    def test_reset(self):
+        clock = VirtualClock()
+        clock.advance(1000)
+        clock.reset()
+        assert clock.cycles == 0
+        assert clock.events == 0
+
+    def test_freeze_suppresses_charges(self):
+        clock = VirtualClock()
+        clock.advance(10)
+        clock.freeze()
+        assert clock.frozen
+        clock.advance(1000)
+        assert clock.cycles == 10
+        clock.unfreeze()
+        clock.advance(5)
+        assert clock.cycles == 15
+
+    def test_microseconds_total(self):
+        clock = VirtualClock()
+        clock.advance(1198)
+        assert clock.microseconds(599.0) == pytest.approx(2.0)

@@ -1,0 +1,116 @@
+"""Tests for the deterministic RNG and the trace buffer."""
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+from repro.sim.rng import DeterministicRNG
+from repro.sim.trace import TraceBuffer
+
+
+class TestDeterministicRNG:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRNG(123)
+        b = DeterministicRNG(123)
+        assert [a.uniform() for _ in range(5)] == [b.uniform() for _ in range(5)]
+
+    def test_different_seed_different_stream(self):
+        a = DeterministicRNG(1)
+        b = DeterministicRNG(2)
+        assert [a.uniform() for _ in range(5)] != [b.uniform() for _ in range(5)]
+
+    def test_child_streams_are_stable_and_independent(self):
+        parent = DeterministicRNG(99)
+        child1 = parent.child("alpha")
+        child2 = parent.child("beta")
+        again = DeterministicRNG(99).child("alpha")
+        assert child1.uniform() == again.uniform()
+        assert child1.seed != child2.seed
+
+    def test_integer_bounds(self):
+        rng = DeterministicRNG(7)
+        values = [rng.integer(3, 5) for _ in range(200)]
+        assert set(values) <= {3, 4, 5}
+        assert {3, 5} <= set(values)
+
+    def test_choice(self):
+        rng = DeterministicRNG(7)
+        assert rng.choice([42]) == 42
+        with pytest.raises(ValueError):
+            rng.choice([])
+
+    def test_lognormal_factor_positive_and_near_one(self):
+        rng = DeterministicRNG(7)
+        values = [rng.lognormal_factor(0.01) for _ in range(100)]
+        assert all(v > 0 for v in values)
+        assert abs(sum(values) / len(values) - 1.0) < 0.05
+
+    def test_bytes_length(self):
+        rng = DeterministicRNG(7)
+        assert len(rng.bytes(16)) == 16
+
+    def test_permutation(self):
+        rng = DeterministicRNG(7)
+        perm = rng.permutation(10)
+        assert sorted(perm.tolist()) == list(range(10))
+
+
+class TestTraceBuffer:
+    def _buffer(self, enabled=True):
+        clock = VirtualClock()
+        return TraceBuffer(clock, enabled=enabled), clock
+
+    def test_disabled_buffer_records_nothing(self):
+        buffer, _ = self._buffer(enabled=False)
+        assert buffer.emit("cat", "label") is None
+        assert len(buffer) == 0
+
+    def test_emit_records_clock_and_detail(self):
+        buffer, clock = self._buffer()
+        clock.advance(123)
+        event = buffer.emit("smod.session", "smod_find", pid=7, detail_module="libc")
+        assert event.cycles == 123
+        assert event.pid == 7
+        assert event.detail["detail_module"] == "libc"
+
+    def test_filter_by_category_label_pid(self):
+        buffer, _ = self._buffer()
+        buffer.emit("a", "x", pid=1)
+        buffer.emit("a", "y", pid=2)
+        buffer.emit("b", "x", pid=1)
+        assert len(buffer.filter(category="a")) == 2
+        assert len(buffer.filter(label="x")) == 2
+        assert len(buffer.filter(category="a", pid=1)) == 1
+        assert len(buffer.filter(predicate=lambda e: e.pid == 2)) == 1
+
+    def test_assert_order(self):
+        buffer, _ = self._buffer()
+        for label in ("one", "noise", "two", "three"):
+            buffer.emit("seq", label)
+        assert buffer.assert_order(["one", "two", "three"])
+        assert not buffer.assert_order(["two", "one"])
+        assert not buffer.assert_order(["one", "missing"])
+
+    def test_capacity_limits_and_counts_drops(self):
+        clock = VirtualClock()
+        buffer = TraceBuffer(clock, enabled=True, capacity=2)
+        buffer.emit("c", "1")
+        buffer.emit("c", "2")
+        buffer.emit("c", "3")
+        assert len(buffer) == 2
+        assert buffer.dropped == 1
+
+    def test_first_and_labels_and_render(self):
+        buffer, _ = self._buffer()
+        buffer.emit("c", "alpha", pid=3)
+        buffer.emit("c", "beta")
+        assert buffer.first("alpha").pid == 3
+        assert buffer.first("missing") is None
+        assert buffer.labels() == ["alpha", "beta"]
+        rendered = buffer.render()
+        assert "alpha" in rendered and "beta" in rendered
+
+    def test_clear(self):
+        buffer, _ = self._buffer()
+        buffer.emit("c", "alpha")
+        buffer.clear()
+        assert len(buffer) == 0

@@ -1,0 +1,169 @@
+"""Tests for the user-level runtime: malloc arena, string routines, Program."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.kernel.kernel import make_booted_kernel
+from repro.userland.libc.malloc import ALIGNMENT, MallocArena
+from repro.userland.libc.string import (
+    load_c_string,
+    memcmp,
+    memcpy,
+    memset,
+    store_c_string,
+    strcpy,
+    strlen,
+)
+from repro.userland.libc import syscall_stubs
+from repro.userland.process import Program
+
+
+@pytest.fixture
+def kernel():
+    return make_booted_kernel()
+
+
+@pytest.fixture
+def program(kernel):
+    return Program.spawn(kernel, "prog", uid=1000)
+
+
+@pytest.fixture
+def arena(kernel, program):
+    return MallocArena(kernel, program.proc)
+
+
+class TestMallocArena:
+    def test_basic_alloc_free(self, arena):
+        addr = arena.malloc(100)
+        assert addr % ALIGNMENT == 0
+        arena.free(addr)
+        assert arena.allocations == 1 and arena.frees == 1
+        arena.check_invariants()
+
+    def test_distinct_allocations_do_not_overlap(self, arena):
+        addrs = [arena.malloc(64) for _ in range(20)]
+        blocks = sorted((arena.block_at(a).address, arena.block_at(a).size)
+                        for a in addrs)
+        for (a1, s1), (a2, _) in zip(blocks, blocks[1:]):
+            assert a1 + s1 <= a2
+        arena.check_invariants()
+
+    def test_free_reuses_space(self, arena):
+        addr = arena.malloc(128)
+        arena.free(addr)
+        again = arena.malloc(128)
+        assert again == addr
+
+    def test_double_free_detected(self, arena):
+        addr = arena.malloc(32)
+        arena.free(addr)
+        with pytest.raises(SimulationError):
+            arena.free(addr)
+
+    def test_free_unknown_address_detected(self, arena):
+        with pytest.raises(SimulationError):
+            arena.free(0xDEAD000)
+
+    def test_invalid_size_rejected(self, arena):
+        with pytest.raises(SimulationError):
+            arena.malloc(0)
+
+    def test_coalescing_allows_large_realloc(self, arena):
+        a = arena.malloc(4096)
+        b = arena.malloc(4096)
+        arena.free(a)
+        arena.free(b)
+        merged = arena.malloc(8192)
+        assert merged == a
+        arena.check_invariants()
+
+    def test_calloc_zeroes(self, arena, program):
+        addr = arena.calloc(4, 16)
+        assert program.read_memory(addr, 64) == bytes(64)
+
+    def test_realloc_copies_contents(self, arena, program):
+        addr = arena.malloc(32)
+        program.write_memory(addr, b"preserve me")
+        new_addr = arena.realloc(addr, 1024)
+        assert program.read_memory(new_addr, 11) == b"preserve me"
+        with pytest.raises(SimulationError):
+            arena.realloc(addr, 64)      # old block was freed
+
+    def test_growth_goes_through_obreak(self, kernel, arena, program):
+        before = kernel.syscalls.count("obreak")
+        arena.malloc(1024 * 1024)
+        assert kernel.syscalls.count("obreak") > before
+        assert program.proc.vmspace.brk > 0x0800_0000
+
+    def test_accounting(self, arena):
+        a = arena.malloc(100)
+        arena.malloc(200)
+        arena.free(a)
+        assert arena.allocated_bytes() >= 200
+        assert arena.free_bytes() > 0
+
+
+class TestStringRoutines:
+    def test_strlen_and_store(self, kernel, program):
+        addr = program.malloc(64)
+        store_c_string(program.proc, addr, "four")
+        assert strlen(kernel, program.proc, addr) == 4
+
+    def test_strcpy_and_load(self, kernel, program):
+        src = program.malloc(64)
+        dst = program.malloc(64)
+        store_c_string(program.proc, src, "copy me")
+        strcpy(kernel, program.proc, dst, src)
+        assert load_c_string(program.proc, dst) == "copy me"
+
+    def test_memset_memcpy_memcmp(self, kernel, program):
+        a = program.malloc(32)
+        b = program.malloc(32)
+        memset(kernel, program.proc, a, 0x5A, 32)
+        memcpy(kernel, program.proc, b, a, 32)
+        assert memcmp(kernel, program.proc, a, b, 32) == 0
+        memset(kernel, program.proc, b, 0x00, 1)
+        assert memcmp(kernel, program.proc, a, b, 32) != 0
+
+    def test_negative_lengths_rejected(self, kernel, program):
+        addr = program.malloc(16)
+        with pytest.raises(SimulationError):
+            memset(kernel, program.proc, addr, 0, -1)
+        with pytest.raises(SimulationError):
+            memcpy(kernel, program.proc, addr, addr, -4)
+
+
+class TestSyscallStubs:
+    def test_getpid_and_fork(self, kernel, program):
+        assert syscall_stubs.getpid(kernel, program.proc) == program.proc.pid
+        child_pid = syscall_stubs.fork(kernel, program.proc)
+        assert kernel.procs.lookup(child_pid).ppid == program.proc.pid
+        assert syscall_stubs.getppid(kernel, kernel.procs.lookup(child_pid)) == program.proc.pid
+
+    def test_brk(self, kernel, program):
+        new_break = syscall_stubs.brk(kernel, program.proc,
+                                      program.proc.vmspace.brk + 4096)
+        assert new_break >= program.proc.vmspace.brk
+
+    def test_msg_stubs(self, kernel, program):
+        msqid = syscall_stubs.msgget(kernel, program.proc, 0)
+        assert syscall_stubs.msgsnd(kernel, program.proc, msqid, 1, (5,)).ok
+        assert syscall_stubs.msgrcv(kernel, program.proc, msqid).unwrap().payload == (5,)
+
+
+class TestProgram:
+    def test_spawn_root_and_user(self, kernel):
+        user = Program.spawn(kernel, "u", uid=500)
+        root = Program.spawn(kernel, "r", uid=0)
+        assert user.proc.cred.uid == 500
+        assert root.proc.cred.uid == 0
+
+    def test_program_memory_helpers(self, program):
+        addr = program.malloc(16)
+        program.write_memory(addr, b"hello")
+        assert program.read_memory(addr, 5) == b"hello"
+        program.free(addr)
+
+    def test_getpid_wrapper(self, program):
+        assert program.getpid() == program.proc.pid
