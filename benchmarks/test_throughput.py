@@ -1,0 +1,80 @@
+"""The abl-throughput experiment: 32+ concurrent clients through the
+multi-session traffic engine, with and without the policy-decision cache.
+
+The acceptance bar for the multi-session engine: >= 32 concurrent clients
+run deterministically, and the decision cache shows a measurable
+cycles/call reduction against per-call policy evaluation of the same
+static chain.
+"""
+
+import pytest
+
+from repro.bench.throughput import run_throughput
+from repro.secmodule.dispatch import DispatchConfig
+from repro.workloads.traffic import TrafficSpec, run_traffic
+
+CLIENTS = 32
+MODULES = 2
+CALLS_PER_CLIENT = 8
+
+
+class TestThroughputBench:
+    def test_throughput_32_clients(self, benchmark):
+        report = benchmark.pedantic(
+            run_throughput,
+            kwargs={"clients": CLIENTS, "modules": MODULES,
+                    "calls_per_client": CALLS_PER_CLIENT,
+                    "include_open_loop": False, "seed": 99},
+            iterations=1, rounds=1)
+        cached, uncached = report.cached, report.uncached
+        total = CLIENTS * CALLS_PER_CLIENT
+        assert cached.total_calls == uncached.total_calls == total
+        assert cached.session_count == CLIENTS * MODULES
+
+        benchmark.extra_info["calls_per_second_cached"] = round(
+            cached.calls_per_second)
+        benchmark.extra_info["calls_per_second_uncached"] = round(
+            uncached.calls_per_second)
+        benchmark.extra_info["cycles_per_call_cached"] = round(
+            cached.cycles_per_call, 1)
+        benchmark.extra_info["cycles_per_call_uncached"] = round(
+            uncached.cycles_per_call, 1)
+        benchmark.extra_info["cache_hit_rate"] = round(
+            cached.cache_stats["hits"] /
+            max(1, cached.cache_stats["hits"] + cached.cache_stats["misses"]),
+            3)
+        benchmark.extra_info["p99_us_cached"] = round(
+            cached.latency_percentile(99), 3)
+
+        # the decision cache must show a measurable cycles/call reduction
+        assert cached.cycles_per_call < uncached.cycles_per_call
+        assert report.cycles_saved_per_call > 0
+        assert cached.cache_stats["hits"] > 0
+
+    def test_throughput_deterministic_across_runs(self, benchmark):
+        spec = TrafficSpec(clients=CLIENTS, modules=MODULES,
+                           calls_per_client=CALLS_PER_CLIENT, seed=7)
+
+        def run_pair():
+            return (run_traffic(spec), run_traffic(spec))
+
+        a, b = benchmark.pedantic(run_pair, iterations=1, rounds=1)
+        assert a.total_cycles == b.total_cycles
+        assert a.latencies_us == b.latencies_us
+        assert a.denied_calls == b.denied_calls
+        benchmark.extra_info["total_cycles"] = a.total_cycles
+        benchmark.extra_info["denied_calls"] = a.denied_calls
+
+    def test_open_loop_throughput(self, benchmark):
+        spec = TrafficSpec(clients=CLIENTS, modules=MODULES,
+                           calls_per_client=CALLS_PER_CLIENT,
+                           arrival="open", mean_interval_us=10.0, seed=11)
+        result = benchmark.pedantic(
+            run_traffic, args=(spec,),
+            kwargs={"dispatch_config": DispatchConfig()},
+            iterations=1, rounds=1)
+        assert result.total_calls == CLIENTS * CALLS_PER_CLIENT
+        benchmark.extra_info["calls_per_second"] = round(
+            result.calls_per_second)
+        benchmark.extra_info["p50_us"] = round(result.latency_percentile(50), 3)
+        benchmark.extra_info["p99_us"] = round(result.latency_percentile(99), 3)

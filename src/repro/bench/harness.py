@@ -24,6 +24,7 @@ from .figure7 import reproduce_figure7
 from .figure8 import reproduce_figure8
 from .figures123 import reproduce_figure1, reproduce_figure2, reproduce_figure3
 from .report import render_table, section
+from .throughput import run_abl_throughput
 
 
 @dataclass(frozen=True)
@@ -80,6 +81,10 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
                                   run_argument_size_ablation, kind="ablation"),
     "abl-machine": ExperimentSpec("abl-machine", "Machine sensitivity",
                                   run_machine_sensitivity, kind="ablation"),
+    "abl-throughput": ExperimentSpec(
+        "abl-throughput",
+        "Multi-client throughput and the policy-decision cache",
+        run_abl_throughput, kind="ablation"),
 }
 
 

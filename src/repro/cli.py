@@ -1,13 +1,14 @@
-"""Command-line interface: ``secmodule-bench``.
+"""Command-line interface: ``repro`` (alias ``secmodule-bench``).
 
 Regenerates the paper's tables and figures (and the ablations) from the
 command line::
 
-    secmodule-bench list                 # show available experiments
-    secmodule-bench fig8                 # the Figure 8 latency table
-    secmodule-bench fig8 --trials 3      # faster, fewer trials
-    secmodule-bench all -o report.txt    # everything, written to a file
-    secmodule-bench describe             # one-page tour of a live system
+    repro list                    # show available experiments
+    repro fig8                    # the Figure 8 latency table
+    repro fig8 --trials 3         # faster, fewer trials
+    repro all -o report.txt       # everything, written to a file
+    repro describe                # one-page tour of a live system
+    repro bench throughput --clients 32   # multi-client traffic engine
 """
 
 from __future__ import annotations
@@ -18,6 +19,7 @@ from typing import List, Optional
 
 from .bench.figure8 import reproduce_figure8
 from .bench.harness import EXPERIMENTS, full_report, run_all, run_experiment
+from .bench.throughput import run_throughput
 from .secmodule.api import SecModuleSystem
 
 
@@ -39,6 +41,24 @@ def build_parser() -> argparse.ArgumentParser:
     fig8_parser.add_argument("--trials", type=int, default=None)
     fig8_parser.add_argument("--sample-calls", type=int, default=None)
     fig8_parser.add_argument("--seed", type=int, default=42)
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="workload benchmarks (beyond the paper's figures)")
+    bench_sub = bench_parser.add_subparsers(dest="bench_command")
+    tp = bench_sub.add_parser(
+        "throughput", help="multi-client traffic engine + decision cache")
+    tp.add_argument("--clients", type=int, default=32,
+                    help="number of concurrent clients")
+    tp.add_argument("--modules", type=int, default=2,
+                    help="number of protected modules")
+    tp.add_argument("--sample-calls", type=int, default=24,
+                    help="calls issued per client")
+    tp.add_argument("--policy", default="static",
+                    choices=["static", "quota", "expiry", "deny-only"],
+                    help="policy chain attached to every module")
+    tp.add_argument("--seed", type=int, default=0xB07_7E57)
+    tp.add_argument("--fast", action="store_true",
+                    help="CI smoke: skip the open-loop leg")
 
     for experiment_id in EXPERIMENTS:
         if experiment_id == "fig8":
@@ -87,6 +107,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                                   sample_calls=args.sample_calls,
                                   seed=args.seed)
         _emit(table.render(), args.output)
+        return 0
+
+    if command == "bench":
+        if args.bench_command != "throughput":
+            parser.error("usage: repro bench throughput [options]")
+        report = run_throughput(clients=args.clients, modules=args.modules,
+                                calls_per_client=args.sample_calls,
+                                policy_kind=args.policy, seed=args.seed,
+                                fast=args.fast)
+        _emit(report.render(), args.output)
         return 0
 
     if command in EXPERIMENTS:

@@ -33,19 +33,40 @@ class Scheduler:
         self._sleepers: Dict[str, List[Proc]] = {}
         self.context_switches = 0
         self._suspended: set[int] = set()
+        #: pids woken (wakeup/make_runnable) while suspended: they must be
+        #: re-enqueued at resume time, or a sleeper that was woken during a
+        #: §4.4 suspension is silently dropped from scheduling forever.
+        self._deferred_wakeups: set[int] = set()
 
     # -- state transitions ----------------------------------------------------
     def make_runnable(self, proc: Proc) -> None:
         if not proc.alive:
             raise SimulationError(f"cannot schedule dead process {proc.pid}")
         if proc.pid in self._suspended:
-            return  # stays off the queue until resumed
+            # Record the wakeup but keep the proc off the queue until
+            # resumed; also pull it out of any sleep channel so the wakeup
+            # is not lost (the channel may never fire again).  The enqueue
+            # work is charged here, at delivery time, so a deferred wakeup
+            # costs the same as an immediate one.
+            if proc.state is ProcState.SLEEPING:
+                self._remove_sleeper(proc)
+            if proc.pid not in self._deferred_wakeups:
+                self.machine.charge(costs.SCHED_ENQUEUE)
+            proc.state = ProcState.RUNNABLE
+            proc.wchan = None
+            self._deferred_wakeups.add(proc.pid)
+            return
         if proc.state is ProcState.RUNNING or proc in self.ready:
             return
         proc.state = ProcState.RUNNABLE
         proc.wchan = None
         self.ready.append(proc)
         self.machine.charge(costs.SCHED_ENQUEUE)
+
+    def _remove_sleeper(self, proc: Proc) -> None:
+        for sleepers in self._sleepers.values():
+            if proc in sleepers:
+                sleepers.remove(proc)
 
     def switch_to(self, proc: Proc) -> Proc:
         """Context switch to ``proc``; returns the previously running process."""
@@ -91,6 +112,8 @@ class Scheduler:
                 proc.wchan = None
                 if proc.pid not in self._suspended:
                     self.ready.append(proc)
+                else:
+                    self._deferred_wakeups.add(proc.pid)
         return woken
 
     def sleeping_on(self, wchan: str) -> List[Proc]:
@@ -108,8 +131,18 @@ class Scheduler:
 
     def resume(self, proc: Proc) -> None:
         self._suspended.discard(proc.pid)
-        if proc.alive and proc.state is ProcState.RUNNABLE and proc not in self.ready:
+        self._deferred_wakeups.discard(proc.pid)
+        if not proc.alive:
+            return
+        if proc.state is ProcState.RUNNABLE and proc not in self.ready:
+            # covers both a proc suspended straight off the ready queue and a
+            # sleeper whose wakeup arrived while it was suspended; the
+            # wakeup/make_runnable that deferred it already charged the
+            # scheduling work, so re-enqueueing here is free
             self.ready.append(proc)
+        # a proc still SLEEPING at resume time stays blocked; its eventual
+        # wakeup() now enqueues it normally since the pid is no longer
+        # suspended
 
     def is_suspended(self, proc: Proc) -> bool:
         return proc.pid in self._suspended
@@ -127,6 +160,7 @@ class Scheduler:
         if self.current is proc:
             self.current = None
         self._suspended.discard(proc.pid)
+        self._deferred_wakeups.discard(proc.pid)
 
     def run_queue_length(self) -> int:
         return len(self.ready)

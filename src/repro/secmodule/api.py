@@ -37,7 +37,12 @@ from .module import SecModuleDefinition
 from .policy import Policy
 from .protection import ProtectionMode
 from .registry import RegisteredModule
-from .session import Session, SessionDescriptor, SessionRequirement
+from .session import (
+    Session,
+    SessionDescriptor,
+    SessionRequirement,
+    build_requirements,
+)
 from .smod_syscalls import SmodExtension, install_secmodule
 from .toolchain.link import link_secmodule_client
 from .toolchain.packer import PackResult
@@ -194,6 +199,31 @@ class SecModuleSystem:
     def machine(self) -> Machine:
         return self.kernel.machine
 
+    def open_extra_session(self, module_names: Optional[List[str]] = None, *,
+                           principal: str = DEFAULT_PRINCIPAL) -> Session:
+        """Open an additional concurrent session for this client.
+
+        Exercises the multi-session path: the kernel forks a fresh handle
+        and the client ends up holding several ``(client_pid, session_id)``
+        entries in the sharded session table.  ``module_names`` defaults to
+        the modules of the primary session.
+        """
+        if module_names is None:
+            modules = list(self.session.modules.values())
+        else:
+            modules = []
+            for name in module_names:
+                found = self.extension.registry.find_any_version(name)
+                if not found:
+                    raise SimulationError(f"module {name!r} is not registered")
+                modules.append(found[-1])
+        descriptor = SessionDescriptor(
+            build_requirements(modules, principal=principal,
+                               uid=self.client_proc.cred.uid),
+            allow_multiple=True)
+        session_id = self.client.smod_crt0_startup(self.extension, descriptor)
+        return self.extension.sessions.get(session_id)
+
     def fork_client(self, *, principal: str = DEFAULT_PRINCIPAL) -> "SecModuleSystem":
         """Fork the client and re-establish a session for the child (§4.3).
 
@@ -203,14 +233,9 @@ class SecModuleSystem:
         child_proc = self.kernel.fork_process(self.client.proc,
                                               name=f"{self.client.proc.name}-child")
         child = Program(self.kernel, child_proc)
-        requirements = []
-        for module in self.session.modules.values():
-            credential = module.definition.issuer.issue(
-                principal, uid=child_proc.cred.uid)
-            requirements.append(SessionRequirement(
-                module_name=module.name, version=module.version,
-                credential=credential))
-        descriptor = SessionDescriptor(tuple(requirements))
+        descriptor = SessionDescriptor(build_requirements(
+            list(self.session.modules.values()), principal=principal,
+            uid=child_proc.cred.uid))
         session_id = child.smod_crt0_startup(self.extension, descriptor)
         session = self.extension.sessions.get(session_id)
         return SecModuleSystem(self.kernel, self.extension, child, session,

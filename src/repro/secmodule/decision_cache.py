@@ -1,0 +1,120 @@
+"""Memoized policy decisions for the ``sys_smod_call`` hot path.
+
+The paper evaluates the module policy on **every** protected call; under a
+multi-client traffic workload that re-evaluation dominates the dispatch
+cost as soon as the policy chain grows past a couple of clauses.  Most
+production policy chains, however, are *static*: they depend only on facts
+fixed at session establishment (uid, gid, principal, credential identity,
+function name), so their decision for a given ``(session, m_id, func_id)``
+cannot change until the session's credentials change.
+
+:class:`DecisionCache` memoizes exactly those decisions:
+
+* only policies that declare themselves ``static`` (see
+  :attr:`repro.secmodule.policy.Policy.static`) are ever cached — quota,
+  time-window, credential-expiry and attribute-predicate clauses are
+  re-evaluated on every call, unchanged from the paper's design;
+* zero-step chains (the paper's always-allow baseline) are never cached
+  either: a hit could not be cheaper than the evaluation it replaces, and
+  skipping them keeps the paper-default benchmarks cycle-identical;
+* a hit is charged at :data:`repro.sim.costs.SMOD_POLICY_CACHE_HIT` instead
+  of the per-clause :data:`repro.sim.costs.SMOD_POLICY_STEP` cost, so the
+  speedup is visible in cycle accounting;
+* entries are invalidated explicitly — on session teardown, on module
+  removal and, via the session's ``policy_epoch``, whenever credentials are
+  replaced or quota state is externally reset.
+
+The cache is owned by the :class:`~repro.secmodule.smod_syscalls.SmodExtension`
+and shared between the session manager (which invalidates) and the
+dispatcher (which reads/writes).  The ``DispatchConfig.use_decision_cache``
+knob disables it entirely for paper-faithful runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from .policy import Policy, PolicyDecision
+
+
+def policy_is_cacheable(policy: Policy) -> bool:
+    """True when every clause of ``policy`` declares itself static."""
+    return bool(getattr(policy, "static", False))
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One memoized decision plus the epoch it was computed under."""
+
+    decision: PolicyDecision
+    policy_epoch: int
+
+
+class DecisionCache:
+    """Per-kernel memo of static policy decisions.
+
+    Keys are ``(session_id, m_id, func_id)``; each entry records the
+    session's ``policy_epoch`` at store time, so bumping the epoch (credential
+    replacement, quota reset) invalidates every entry of that session without
+    a scan.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[int, int, int], CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------ access
+    def lookup(self, session, m_id: int,
+               func_id: int) -> Optional[PolicyDecision]:
+        """Return the cached decision, or None on miss/stale entry."""
+        entry = self._entries.get((session.session_id, m_id, func_id))
+        if entry is None or entry.policy_epoch != session.policy_epoch:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry.decision
+
+    def store(self, session, m_id: int, func_id: int,
+              decision: PolicyDecision) -> None:
+        self._entries[(session.session_id, m_id, func_id)] = CacheEntry(
+            decision=decision, policy_epoch=session.policy_epoch)
+
+    # ------------------------------------------------------------ invalidation
+    def invalidate_session(self, session_id: int) -> int:
+        """Drop every entry belonging to one session (teardown path)."""
+        stale = [key for key in self._entries if key[0] == session_id]
+        for key in stale:
+            del self._entries[key]
+        self.invalidations += len(stale)
+        return len(stale)
+
+    def invalidate_module(self, m_id: int) -> int:
+        """Drop every entry for one module (module removal/re-registration)."""
+        stale = [key for key in self._entries if key[1] == m_id]
+        for key in stale:
+            del self._entries[key]
+        self.invalidations += len(stale)
+        return len(stale)
+
+    def invalidate_all(self) -> int:
+        count = len(self._entries)
+        self._entries.clear()
+        self.invalidations += count
+        return count
+
+    # ------------------------------------------------------------------- stats
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "invalidations": self.invalidations,
+                "entries": len(self._entries)}

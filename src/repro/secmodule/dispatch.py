@@ -34,6 +34,7 @@ from ..kernel.errno import Errno
 from ..kernel.proc import Proc
 from ..kernel.sysv_msg import Message
 from ..sim import costs
+from .decision_cache import DecisionCache, policy_is_cacheable
 from .module import CallEnvironment, SecFunction
 from .registry import RegisteredModule
 from .session import Session
@@ -64,6 +65,11 @@ class DispatchConfig:
     #: evaluate the module policy on every call (the paper's design point;
     #: turning it off isolates the pure dispatch cost in ablations)
     per_call_policy_check: bool = True
+    #: memoize static policy decisions per (session, module, function);
+    #: disable for paper-faithful runs.  With the paper's zero-step
+    #: always-allow policy the cache never engages, so the default stays
+    #: cycle-identical to the published setup either way.
+    use_decision_cache: bool = True
     #: record Figure 3 stack snapshots (off for the million-call benchmarks)
     record_checkpoints: bool = False
 
@@ -84,10 +90,14 @@ class DispatchOutcome:
 class SmodDispatcher:
     """Executes protected calls for established sessions."""
 
-    def __init__(self, kernel) -> None:
+    def __init__(self, kernel, *,
+                 decision_cache: Optional[DecisionCache] = None) -> None:
         self.kernel = kernel
         self.calls_dispatched = 0
         self.calls_denied = 0
+        # explicit None check: an *empty* cache is falsy (it has __len__)
+        self.decision_cache = (decision_cache if decision_cache is not None
+                               else DecisionCache())
 
     # ------------------------------------------------------------------ helpers
     def _policy_check(self, session: Session, module: RegisteredModule,
@@ -99,6 +109,36 @@ class SmodDispatcher:
         decision = module.definition.policy.evaluate(ctx)
         if decision.steps:
             machine.charge(costs.SMOD_POLICY_STEP, decision.steps)
+        return decision.allowed, decision.reason
+
+    def _policy_check_cached(self, session: Session, module: RegisteredModule,
+                             function: SecFunction,
+                             config: DispatchConfig) -> Tuple[bool, str]:
+        """Per-call policy check, memoized for static chains.
+
+        A hit costs one :data:`~repro.sim.costs.SMOD_POLICY_CACHE_HIT` charge
+        instead of re-walking the policy chain.  Only decisions from chains
+        that (a) declare themselves static and (b) actually cost at least one
+        step are stored — memoizing the paper's zero-step always-allow
+        baseline would make a hit *more* expensive than the evaluation.
+        """
+        policy = module.definition.policy
+        if not config.use_decision_cache or not policy_is_cacheable(policy):
+            return self._policy_check(session, module, function)
+        cached = self.decision_cache.lookup(session, module.m_id,
+                                            function.func_id)
+        if cached is not None:
+            self.kernel.machine.charge(costs.SMOD_POLICY_CACHE_HIT)
+            return cached.allowed, cached.reason
+        machine = self.kernel.machine
+        ctx = session.policy_context(
+            module, function.name, now_us=machine.microseconds(),
+            args_words=function.arg_words)
+        decision = policy.evaluate(ctx)
+        if decision.steps:
+            machine.charge(costs.SMOD_POLICY_STEP, decision.steps)
+            self.decision_cache.store(session, module.m_id, function.func_id,
+                                      decision)
         return decision.allowed, decision.reason
 
     def _apply_hardening(self, session: Session,
@@ -158,7 +198,8 @@ class SmodDispatcher:
         # -- per-call credential/policy check ---------------------------------
         machine.charge(costs.SMOD_CRED_CHECK)
         if config.per_call_policy_check:
-            allowed, reason = self._policy_check(session, module, function)
+            allowed, reason = self._policy_check_cached(session, module,
+                                                        function, config)
             if not allowed:
                 self.calls_denied += 1
                 machine.trace.emit("smod.call", "policy_denied",
@@ -166,43 +207,48 @@ class SmodDispatcher:
                 return DispatchOutcome(errno=Errno.EACCES)
 
         self._apply_hardening(session, config.hardening)
+        # Everything between apply and undo can raise (the msg/sched plumbing,
+        # the handle's receive_call); without the finally a SUSPEND_CLIENT-
+        # hardened client would stay in Scheduler._suspended forever.
+        try:
+            # -- marshalling ---------------------------------------------------
+            if config.marshalling is MarshallingMode.EXPLICIT_COPY:
+                # Arguments must be copied into a transfer buffer and back out:
+                # the cost the shared-VM design avoids.  (Pointer-rich calls
+                # such as malloc simply cannot work in this mode; the caller
+                # asserts that separately in the marshalling ablation.)
+                machine.charge_words(costs.COPY_WORD, function.arg_words * 2)
+                machine.charge(costs.KMALLOC)
 
-        # -- marshalling -------------------------------------------------------
-        if config.marshalling is MarshallingMode.EXPLICIT_COPY:
-            # Arguments must be copied into a transfer buffer and back out:
-            # the cost the shared-VM design avoids.  (Pointer-rich calls such
-            # as malloc simply cannot work in this mode; the caller asserts
-            # that separately in the marshalling ablation.)
-            machine.charge_words(costs.COPY_WORD, function.arg_words * 2)
-            machine.charge(costs.KMALLOC)
+            # -- notify the handle and switch to it ----------------------------
+            request = Message(mtype=1,
+                              payload=(m_id, func_id, frame.return_address))
+            self.kernel.msg.msgsnd(client, session.request_msqid, request)
+            self.kernel.sched.switch_to(session.handle.proc)
+            received = self.kernel.msg.msgrcv(session.handle.proc,
+                                              session.request_msqid, 1)
+            if received is None:
+                raise SimulationError("handle woke without a queued request")
 
-        # -- notify the handle and switch to it --------------------------------
-        request = Message(mtype=1, payload=(m_id, func_id, frame.return_address))
-        self.kernel.msg.msgsnd(client, session.request_msqid, request)
-        self.kernel.sched.switch_to(session.handle.proc)
-        received = self.kernel.msg.msgrcv(session.handle.proc,
-                                          session.request_msqid, 1)
-        if received is None:
-            raise SimulationError("handle woke without a queued request")
+            # -- the handle executes the function on the shared stack ----------
+            env = CallEnvironment(kernel=self.kernel, session=session,
+                                  client=client, handle=session.handle.proc)
+            result = session.handle.receive_call(
+                session.shared_stack, frame, function, env,
+                record_checkpoints=config.record_checkpoints)
 
-        # -- the handle executes the function on the shared stack --------------
-        env = CallEnvironment(kernel=self.kernel, session=session,
-                              client=client, handle=session.handle.proc)
-        result = session.handle.receive_call(
-            session.shared_stack, frame, function, env,
-            record_checkpoints=config.record_checkpoints)
+            # -- reply and switch back -----------------------------------------
+            reply = Message(mtype=2, payload=(1,))
+            self.kernel.msg.msgsnd(session.handle.proc, session.reply_msqid,
+                                   reply)
+            self.kernel.sched.switch_to(client)
+            self.kernel.msg.msgrcv(client, session.reply_msqid, 2)
+            self.kernel.copyout(1)           # the return value
 
-        # -- reply and switch back ----------------------------------------------
-        reply = Message(mtype=2, payload=(1,))
-        self.kernel.msg.msgsnd(session.handle.proc, session.reply_msqid, reply)
-        self.kernel.sched.switch_to(client)
-        self.kernel.msg.msgrcv(client, session.reply_msqid, 2)
-        self.kernel.copyout(1)           # the return value
-
-        if config.marshalling is MarshallingMode.EXPLICIT_COPY:
-            machine.charge(costs.KFREE)
-
-        self._undo_hardening(session, config.hardening)
+            if config.marshalling is MarshallingMode.EXPLICIT_COPY:
+                machine.charge(costs.KFREE)
+        finally:
+            self._undo_hardening(session, config.hardening)
         session.note_call(module)
         self.calls_dispatched += 1
         return DispatchOutcome(value=result, frame=frame)
@@ -240,12 +286,19 @@ class SmodDispatcher:
 
     def _unwind_failed_call(self, session: Session,
                             frame: StubCallFrame) -> None:
-        """Pop the step-2 frame the stub pushed before a denied call."""
+        """Pop the step-2 frame the stub pushed before a denied call.
+
+        The whole unwind is stub fix-up work, so every pop — the duplicated
+        fp/ret pair, the id pair, *and* the original frame — is charged at
+        :data:`~repro.sim.costs.SMOD_STACK_FIXUP_WORD`, mirroring the push
+        path in :mod:`repro.secmodule.stubs` where the stub (not ordinary
+        user code) put the extra words there.
+        """
         stack = session.shared_stack
         # duplicated fp/ret, func/module ids, then the original frame
         for _ in range(4):
             stack.pop(cost_op=costs.SMOD_STACK_FIXUP_WORD)
-        stack.pop()   # frame pointer
-        stack.pop()   # return address
+        stack.pop(cost_op=costs.SMOD_STACK_FIXUP_WORD)   # frame pointer
+        stack.pop(cost_op=costs.SMOD_STACK_FIXUP_WORD)   # return address
         for _ in frame.args:
-            stack.pop()
+            stack.pop(cost_op=costs.SMOD_STACK_FIXUP_WORD)

@@ -63,6 +63,12 @@ class Policy(abc.ABC):
     """A single access-control policy attached to a SecModule."""
 
     name = "policy"
+    #: True when the decision depends only on session-establishment-time
+    #: inputs (uid, gid, principal, credential identity, function name) —
+    #: never on the clock, call counters or per-call attributes.  Static
+    #: decisions are safe to memoize per ``(session, m_id, func_id)``; see
+    #: :mod:`repro.secmodule.decision_cache`.
+    static = False
 
     @abc.abstractmethod
     def evaluate(self, ctx: PolicyContext) -> PolicyDecision:
@@ -76,6 +82,7 @@ class AlwaysAllowPolicy(Policy):
     """The paper's measured baseline: allow for the lifetime of the process."""
 
     name = "always-allow"
+    static = True
 
     def evaluate(self, ctx: PolicyContext) -> PolicyDecision:   # noqa: ARG002
         return PolicyDecision(allowed=True, steps=0, reason="always allowed")
@@ -85,6 +92,7 @@ class DenyAllPolicy(Policy):
     """Refuse everything (used to verify the deny path end-to-end)."""
 
     name = "deny-all"
+    static = True
 
     def evaluate(self, ctx: PolicyContext) -> PolicyDecision:   # noqa: ARG002
         return PolicyDecision(allowed=False, steps=1, reason="denied by policy")
@@ -94,6 +102,7 @@ class UidAllowPolicy(Policy):
     """Allow only a fixed set of uids — the 'finer than root/non-root' case."""
 
     name = "uid-allowlist"
+    static = True
 
     def __init__(self, allowed_uids: Sequence[int]) -> None:
         if not allowed_uids:
@@ -111,6 +120,7 @@ class PrincipalAllowPolicy(Policy):
     """Allow only credentials issued to certain principals."""
 
     name = "principal-allowlist"
+    static = True
 
     def __init__(self, principals: Sequence[str]) -> None:
         if not principals:
@@ -132,6 +142,7 @@ class FunctionDenyPolicy(Policy):
     """
 
     name = "function-denylist"
+    static = True
 
     def __init__(self, denied_functions: Sequence[str]) -> None:
         self.denied = frozenset(denied_functions)
@@ -182,24 +193,45 @@ class TimeWindowPolicy(Policy):
                               "outside permitted time window")
 
 
+class CredentialExpiryPolicy(Policy):
+    """Deny once the session's credential has passed its expiry time.
+
+    Expiry is rechecked on *every* call (establishment-time validation alone
+    would let a long-lived session outlive its credential).  The decision
+    depends on the virtual clock, so it is deliberately not ``static`` — the
+    decision cache must never memoize it.
+    """
+
+    name = "credential-expiry"
+
+    def evaluate(self, ctx: PolicyContext) -> PolicyDecision:
+        expired = ctx.credential.is_expired(ctx.now_us)
+        return PolicyDecision(allowed=not expired, steps=1,
+                              reason="credential expired" if expired else
+                              "credential still valid")
+
+
 class AttributePredicatePolicy(Policy):
     """Evaluate a named predicate over the context attributes.
 
     The predicate is a Python callable; the ``weight`` parameter says how
     many policy *steps* one evaluation is worth, letting tests and the
-    ablation build arbitrarily expensive synthetic clauses.
+    ablation build arbitrarily expensive synthetic clauses.  Pass
+    ``static=True`` only when the predicate genuinely ignores per-call state
+    (the throughput benchmarks do this to build cacheable chains).
     """
 
     name = "attribute-predicate"
 
     def __init__(self, label: str,
                  predicate: Callable[[Dict[str, object]], bool],
-                 *, weight: int = 1) -> None:
+                 *, weight: int = 1, static: bool = False) -> None:
         if weight < 1:
             raise PolicyError("predicate weight must be >= 1")
         self.label = label
         self.predicate = predicate
         self.weight = weight
+        self.static = static
 
     def evaluate(self, ctx: PolicyContext) -> PolicyDecision:
         allowed = bool(self.predicate(ctx.attributes))
@@ -225,6 +257,10 @@ class CompositePolicy(Policy):
             raise PolicyError("composite policy needs at least one clause")
         self.clauses: Tuple[Policy, ...] = tuple(clauses)
 
+    @property
+    def static(self) -> bool:   # type: ignore[override]
+        return all(clause.static for clause in self.clauses)
+
     def evaluate(self, ctx: PolicyContext) -> PolicyDecision:
         total_steps = 0
         for clause in self.clauses:
@@ -244,16 +280,21 @@ class CompositePolicy(Policy):
         return len(self.clauses)
 
 
-def synthetic_chain(length: int) -> Policy:
+def synthetic_chain(length: int, *, static: bool = False) -> Policy:
     """Build an always-allowing composite of ``length`` unit-cost clauses.
 
     The policy-complexity ablation benchmark sweeps ``length`` to regenerate
-    the paper's "slowdown proportional to check complexity" claim.
+    the paper's "slowdown proportional to check complexity" claim.  By
+    default the clauses are treated as dynamic (never memoized, matching the
+    paper's per-call evaluation); ``static=True`` marks them cacheable so the
+    throughput benchmarks can measure the decision cache against a chain of
+    known cost.
     """
     if length <= 0:
         return AlwaysAllowPolicy()
     clauses: List[Policy] = [
-        AttributePredicatePolicy(f"clause-{i}", lambda attrs: True)
+        AttributePredicatePolicy(f"clause-{i}", lambda attrs: True,
+                                 static=static)
         for i in range(length)
     ]
     return CompositePolicy(clauses)

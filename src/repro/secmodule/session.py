@@ -49,11 +49,28 @@ class SessionRequirement:
     credential: Credential
 
 
+def build_requirements(modules: Sequence[RegisteredModule], *,
+                       principal: str,
+                       uid: int) -> Tuple[SessionRequirement, ...]:
+    """Issue a credential per registered module and wrap each as a
+    :class:`SessionRequirement` (the shared prelude of every session
+    (re-)establishment: extra sessions, fork re-establishment, traffic)."""
+    return tuple(
+        SessionRequirement(
+            module_name=module.name, version=module.version,
+            credential=module.definition.issuer.issue(principal, uid=uid))
+        for module in modules)
+
+
 @dataclass
 class SessionDescriptor:
     """The ``struct smod_session_descriptor`` passed to start_session."""
 
     requirements: Tuple[SessionRequirement, ...]
+    #: opt in to holding several concurrent sessions (the multi-session
+    #: traffic engine sets this; the paper's crt0 leaves it off, preserving
+    #: the original one-session-per-client rejection)
+    allow_multiple: bool = False
 
     def __post_init__(self) -> None:
         if not self.requirements:
@@ -84,6 +101,9 @@ class Session:
     calls_per_module: Dict[int, int] = field(default_factory=dict)
     #: credentials presented at establishment, per module id
     credentials: Dict[int, Credential] = field(default_factory=dict)
+    #: bumped whenever credential or quota state changes out-of-band; cached
+    #: policy decisions recorded under an older epoch become stale
+    policy_epoch: int = 0
 
     def module_by_name(self, name: str) -> Optional[RegisteredModule]:
         for module in self.modules.values():
@@ -119,6 +139,32 @@ class Session:
         self.calls_per_module[module.m_id] = (
             self.calls_per_module.get(module.m_id, 0) + 1)
 
+    def replace_credential(self, m_id: int, credential: Credential) -> None:
+        """Swap the credential presented for one module (re-credentialing).
+
+        Bumps ``policy_epoch`` so memoized decisions computed under the old
+        credential are invalidated.
+        """
+        if m_id not in self.credentials:
+            raise SimulationError(
+                f"session {self.session_id} holds no credential for "
+                f"module {m_id}")
+        self.credentials[m_id] = credential
+        self.policy_epoch += 1
+
+    def reset_quota(self, m_id: Optional[int] = None) -> None:
+        """Reset per-module call counters (quota top-up by the module owner).
+
+        Also bumps ``policy_epoch``: quota chains are never cached, but an
+        operator resetting quota state must invalidate defensively in case a
+        composite mixed static and quota clauses under an older classifier.
+        """
+        if m_id is None:
+            self.calls_per_module.clear()
+        else:
+            self.calls_per_module.pop(m_id, None)
+        self.policy_epoch += 1
+
     def describe(self) -> str:
         names = ", ".join(sorted(m.name for m in self.modules.values()))
         return (f"session {self.session_id}: client pid={self.client.pid} "
@@ -126,25 +172,86 @@ class Session:
                 f"established={self.established} calls={self.calls_made}")
 
 
-class SessionManager:
-    """Kernel-side bookkeeping of every SecModule session."""
+#: Default shard count of the kernel session table.  Sharding bounds the
+#: entries any one lookup walks when thousands of clients hold sessions
+#: (and maps to per-shard locks in a real SMP kernel).
+DEFAULT_SESSION_SHARDS = 8
 
-    def __init__(self, kernel, registry: ModuleRegistry) -> None:
+
+class SessionManager:
+    """Kernel-side bookkeeping of every SecModule session.
+
+    Sessions live in a sharded table keyed by ``(client_pid, session_id)``;
+    one client may hold several concurrent sessions (the multi-session
+    traffic engine), so client-side lookups return lists.  Handles remain
+    one-to-one with sessions.
+    """
+
+    def __init__(self, kernel, registry: ModuleRegistry, *,
+                 n_shards: int = DEFAULT_SESSION_SHARDS,
+                 decision_cache=None) -> None:
+        if n_shards < 1:
+            raise SimulationError("session table needs at least one shard")
         self.kernel = kernel
         self.registry = registry
+        self.n_shards = n_shards
+        #: authoritative store: shard -> {(client_pid, session_id): Session}
+        self._shards: Tuple[Dict[Tuple[int, int], Session], ...] = tuple(
+            {} for _ in range(n_shards))
         self._by_id: Dict[int, Session] = {}
-        self._by_client_pid: Dict[int, int] = {}
+        #: pid -> [session_id, ...] in establishment order (lookup index)
+        self._client_sessions: Dict[int, List[int]] = {}
         self._by_handle_pid: Dict[int, int] = {}
         self._next_id = 1
         self.denied_establishments: List[str] = []
+        #: memoized policy decisions to drop on teardown (may be None)
+        self.decision_cache = decision_cache
+
+    def _shard_index(self, client_pid: int) -> int:
+        return client_pid % self.n_shards
+
+    def shard_sizes(self) -> List[int]:
+        """Entries per shard (observability for the throughput reports)."""
+        return [len(shard) for shard in self._shards]
 
     # ------------------------------------------------------------ lookups
     def get(self, session_id: int) -> Optional[Session]:
         return self._by_id.get(session_id)
 
-    def for_client(self, proc: Proc) -> Optional[Session]:
-        session_id = self._by_client_pid.get(proc.pid)
-        return self._by_id.get(session_id) if session_id is not None else None
+    def for_client(self, proc: Proc) -> List[Session]:
+        """Every live session held by ``proc``, in establishment order."""
+        shard = self._shards[self._shard_index(proc.pid)]
+        return [shard[(proc.pid, sid)]
+                for sid in self._client_sessions.get(proc.pid, ())
+                if (proc.pid, sid) in shard]
+
+    def session_for_call(self, proc: Proc, m_id: int,
+                         frame=None) -> Optional[Session]:
+        """Resolve which of the client's sessions serves a call to ``m_id``.
+
+        When the same module is reachable through several of the client's
+        sessions the frame disambiguates: its ``framep`` lives in exactly one
+        session's shared region (here: the frame records the shared stack it
+        was pushed on).  A frame whose region belongs to no live session —
+        e.g. a stale call against a torn-down session — resolves to None
+        (EINVAL); dispatching it onto a *different* session's stack would
+        corrupt that stack mid-call.  Frameless lookups fall back to the
+        first established session holding the module, then the client's
+        first session, so the dispatcher reports the precise errno (ENOENT
+        vs EINVAL) exactly as the single-session kernel did.
+        """
+        sessions = self.for_client(proc)
+        frame_stack = getattr(frame, "stack", None)
+        if frame_stack is not None:
+            for session in sessions:
+                if session.shared_stack is frame_stack:
+                    return session
+            return None
+        for session in sessions:
+            if session.established and not session.torn_down \
+                    and m_id in session.modules:
+                return session
+        return sessions[0] if sessions else None
 
     def for_handle(self, proc: Proc) -> Optional[Session]:
         session_id = self._by_handle_pid.get(proc.pid)
@@ -154,14 +261,18 @@ class SessionManager:
         return [s for s in self._by_id.values() if not s.torn_down]
 
     # ----------------------------------------------------- step 2: start_session
-    def start_session(self, client: Proc,
-                      descriptor: SessionDescriptor) -> Session:
+    def start_session(self, client: Proc, descriptor: SessionDescriptor, *,
+                      allow_multiple: Optional[bool] = None) -> Session:
         """Validate credentials and forcibly fork the handle (Figure 1 step 2).
 
         Raises PermissionError when any credential fails validation — the
-        syscall wrapper converts that into EACCES.
+        syscall wrapper converts that into EACCES.  A second session for the
+        same client is rejected unless the descriptor (or the keyword
+        override) opts into multi-session operation.
         """
-        if self.for_client(client) is not None:
+        if allow_multiple is None:
+            allow_multiple = descriptor.allow_multiple
+        if self.for_client(client) and not allow_multiple:
             raise SimulationError(
                 f"client pid {client.pid} already has an active session")
         machine = self.kernel.machine
@@ -236,9 +347,15 @@ class SessionManager:
             session.credentials[module.m_id] = credential
             module.sessions_opened += 1
         self._by_id[session.session_id] = session
-        self._by_client_pid[client.pid] = session.session_id
+        shard = self._shards[self._shard_index(client.pid)]
+        shard[(client.pid, session.session_id)] = session
+        self._client_sessions.setdefault(client.pid, []).append(
+            session.session_id)
         self._by_handle_pid[handle_proc.pid] = session.session_id
-        client.smod_session = session
+        # proc.smod_session keeps pointing at the client's *primary* (first)
+        # session so legacy single-session consumers keep working.
+        if client.smod_session is None:
+            client.smod_session = session
         handle_proc.smod_session = session
         return session
 
@@ -276,10 +393,16 @@ class SessionManager:
 
     # --------------------------------------------------- step 4: smod_handle_info
     def client_handle_info(self, client: Proc) -> Session:
-        """The client's final handshake step (Figure 1 step 4)."""
-        session = self.for_client(client)
-        if session is None:
+        """The client's final handshake step (Figure 1 step 4).
+
+        With several concurrent sessions per client, this completes the most
+        recently started session that has not finished its handshake yet.
+        """
+        sessions = self.for_client(client)
+        if not sessions:
             raise LookupError(f"pid {client.pid} has no SecModule session")
+        pending = [s for s in sessions if not s.established]
+        session = pending[-1] if pending else sessions[-1]
         if not session.handle.ready:
             raise SimulationError(
                 "smod_handle_info called before the handle completed "
@@ -296,17 +419,38 @@ class SessionManager:
 
     # -------------------------------------------------------------- teardown
     def teardown(self, session: Session, *, kill_handle: bool = True) -> None:
-        """Detach the client, kill the handle, release queues (execve/exit path)."""
+        """Detach the client, kill the handle, release queues (execve/exit path).
+
+        With multiple sessions per client only *this* session's state is
+        released; the client keeps its SMOD_CLIENT flag (and its peer links
+        move to the next surviving session) until the last session dies.
+        """
         if session.torn_down:
             return
         session.torn_down = True
         session.established = False
         client = session.client
         handle_proc = session.handle.proc
-        client.clear_flag(ProcFlag.SMOD_CLIENT)
-        client.smod_session = None
-        client.smod_peer = None
-        client.vmspace.smod_peer = None
+
+        # drop this session from the sharded table and the client index first
+        shard = self._shards[self._shard_index(client.pid)]
+        shard.pop((client.pid, session.session_id), None)
+        remaining_ids = self._client_sessions.get(client.pid, [])
+        if session.session_id in remaining_ids:
+            remaining_ids.remove(session.session_id)
+        survivors = self.for_client(client)
+
+        if survivors:
+            primary = survivors[0]
+            client.smod_session = primary
+            client.smod_peer = primary.handle.proc
+            client.vmspace.smod_peer = primary.handle.proc.vmspace
+        else:
+            client.clear_flag(ProcFlag.SMOD_CLIENT)
+            client.smod_session = None
+            client.smod_peer = None
+            client.vmspace.smod_peer = None
+            self._client_sessions.pop(client.pid, None)
         handle_proc.smod_session = None
         for msqid in (session.request_msqid, session.reply_msqid):
             if msqid >= 0 and self.kernel.msg.lookup(msqid) is not None:
@@ -316,11 +460,20 @@ class SessionManager:
                     pass
         if kill_handle:
             session.handle.kill()
-        self._by_client_pid.pop(client.pid, None)
         self._by_handle_pid.pop(handle_proc.pid, None)
+        if self.decision_cache is not None:
+            self.decision_cache.invalidate_session(session.session_id)
         self.kernel.machine.trace.emit("smod.session", "teardown",
                                        pid=client.pid,
                                        detail_session=session.session_id)
+
+    def teardown_all_for_client(self, client: Proc, *,
+                                kill_handle: bool = True) -> int:
+        """Tear down every session a client holds (exit/execve path)."""
+        sessions = self.for_client(client)
+        for session in sessions:
+            self.teardown(session, kill_handle=kill_handle)
+        return len(sessions)
 
     def __len__(self) -> int:
         return len(self.active_sessions())

@@ -34,6 +34,7 @@ from ..kernel.syscall import (
     SYS_smod_session_info,
     SYS_smod_start_session,
 )
+from .decision_cache import DecisionCache
 from .dispatch import DispatchConfig, SmodDispatcher
 from .registry import ModuleRegistry
 from .session import SessionDescriptor, SessionManager
@@ -56,8 +57,11 @@ class SmodExtension:
     def __init__(self, kernel: Kernel) -> None:
         self.kernel = kernel
         self.registry = ModuleRegistry(kernel)
-        self.sessions = SessionManager(kernel, self.registry)
-        self.dispatcher = SmodDispatcher(kernel)
+        self.decision_cache = DecisionCache()
+        self.sessions = SessionManager(kernel, self.registry,
+                                       decision_cache=self.decision_cache)
+        self.dispatcher = SmodDispatcher(kernel,
+                                         decision_cache=self.decision_cache)
         self._installed = False
 
     # ------------------------------------------------------------- installation
@@ -172,12 +176,13 @@ class SmodExtension:
             return fail(Errno.EPERM)
         if not removed:
             return fail(Errno.ENOENT)
+        self.decision_cache.invalidate_module(m_id)
         return ok(0)
 
     def _sys_smod_call(self, kernel, proc: Proc, frame, m_id: int,
                        func_id: int,
                        config: Optional[DispatchConfig] = None) -> SyscallResult:
-        session = self.sessions.for_client(proc)
+        session = self.sessions.session_for_call(proc, m_id, frame)
         outcome = self.dispatcher.sys_smod_call(
             proc, session, frame, m_id, func_id,
             config=config or DispatchConfig())

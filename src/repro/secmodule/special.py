@@ -63,10 +63,8 @@ def classify_symbols(symbols) -> tuple[List[str], List[str]]:
 def on_exec(extension, proc: Proc, plan) -> None:   # noqa: ARG001 - plan unused
     """execve: "first detach the requesting client process from the SecModule
     system, kill the associated handle process, and then run sys_execve as
-    per normal"."""
-    session = extension.sessions.for_client(proc)
-    if session is not None:
-        extension.sessions.teardown(session, kill_handle=True)
+    per normal".  A multi-session client drops *all* of its sessions."""
+    extension.sessions.teardown_all_for_client(proc, kill_handle=True)
     # An exec *by the handle itself* would be an escape attempt: the handle
     # must never run anything but smod_std_handle.  Kill it instead.
     handle_session = extension.sessions.for_handle(proc)
@@ -75,10 +73,8 @@ def on_exec(extension, proc: Proc, plan) -> None:   # noqa: ARG001 - plan unused
 
 
 def on_exit(extension, proc: Proc, status: int) -> None:   # noqa: ARG001
-    """exit: tear down any session the exiting process participates in."""
-    session = extension.sessions.for_client(proc)
-    if session is not None:
-        extension.sessions.teardown(session, kill_handle=True)
+    """exit: tear down every session the exiting process participates in."""
+    if extension.sessions.teardown_all_for_client(proc, kill_handle=True):
         return
     handle_session = extension.sessions.for_handle(proc)
     if handle_session is not None:
@@ -102,8 +98,7 @@ def on_fork(extension, parent: Proc, child: Proc) -> None:
     if child.has_flag(ProcFlag.SMOD_HANDLE):
         # This fork *created* a handle (start_session's forced fork); leave it.
         return
-    parent_session = extension.sessions.for_client(parent)
-    if parent_session is None:
+    if not extension.sessions.for_client(parent):
         return
     child.clear_flag(ProcFlag.SMOD_CLIENT)
     child.smod_session = None

@@ -122,6 +122,10 @@ class StubCallFrame:
     args: Tuple[Any, ...]
     return_address: int
     frame_pointer: int
+    #: the shared stack the frame was pushed on — the simulation's stand-in
+    #: for the ``framep`` address, which tells a multi-session kernel *which*
+    #: of the client's shared regions the frame lives in
+    stack: Optional[SimStack] = None
     #: snapshots of the shared stack at the four Figure 3 checkpoints
     checkpoints: Dict[str, Tuple[StackSlot, ...]] = field(default_factory=dict)
 
@@ -152,7 +156,7 @@ class ClientStub:
         """Perform Figure 3 steps (1) and (2) on ``stack``."""
         frame = StubCallFrame(module_id=self.module_id, func_id=self.func_id,
                               args=tuple(args), return_address=return_address,
-                              frame_pointer=frame_pointer)
+                              frame_pointer=frame_pointer, stack=stack)
         # Step (1): the ordinary call left args (pushed right-to-left), the
         # return address, and the saved frame pointer on the stack.
         for value in reversed(list(args)):

@@ -77,6 +77,7 @@ MSGQ_PER_WORD = "msgq_per_word"
 SMOD_SESSION_LOOKUP = "smod_session_lookup"
 SMOD_CRED_CHECK = "smod_cred_check"       # the "always allowed" base check
 SMOD_POLICY_STEP = "smod_policy_step"     # each additional policy clause
+SMOD_POLICY_CACHE_HIT = "smod_policy_cache_hit"  # memoized decision lookup
 SMOD_STACK_FIXUP_WORD = "smod_stack_fixup_word"
 SMOD_REGISTER_BASE = "smod_register_base"
 CIPHER_BLOCK = "cipher_block"             # decrypt/encrypt one 8-byte block
@@ -111,6 +112,7 @@ ALL_OPERATIONS: tuple[str, ...] = (
     OBREAK_BASE,
     MSGQ_SEND, MSGQ_RECV, MSGQ_PER_WORD,
     SMOD_SESSION_LOOKUP, SMOD_CRED_CHECK, SMOD_POLICY_STEP,
+    SMOD_POLICY_CACHE_HIT,
     SMOD_STACK_FIXUP_WORD, SMOD_REGISTER_BASE, CIPHER_BLOCK, KEY_SCHEDULE,
     USER_STACK_WORD, USER_CALL_OVERHEAD,
     FUNC_BODY_TESTINCR, FUNC_BODY_GETPID, FUNC_BODY_SMOD_GETPID, MALLOC_BODY,
@@ -237,6 +239,7 @@ def _pentium3_table() -> Dict[str, int]:
         SMOD_SESSION_LOOKUP: 85,
         SMOD_CRED_CHECK: 110,
         SMOD_POLICY_STEP: 140,
+        SMOD_POLICY_CACHE_HIT: 30,
         SMOD_STACK_FIXUP_WORD: 9,
         SMOD_REGISTER_BASE: 9_000,
         CIPHER_BLOCK: 52,

@@ -50,6 +50,24 @@ class DeterministicRNG:
         """Uniform integer in ``[low, high]`` inclusive."""
         return int(self._rng.integers(low, high + 1))
 
+    def exponential(self, mean: float) -> float:
+        """An exponential inter-arrival draw with the given mean (Poisson
+        arrivals for the open-loop traffic workloads)."""
+        return float(self._rng.exponential(mean))
+
+    def weighted_choice(self, items, weights):
+        """Choose one of ``items`` with the given relative weights."""
+        if len(items) != len(weights) or not items:
+            raise ValueError("items and weights must be equal-length, non-empty")
+        total = float(sum(weights))
+        draw = float(self._rng.uniform(0.0, total))
+        acc = 0.0
+        for item, weight in zip(items, weights):
+            acc += weight
+            if draw < acc:
+                return item
+        return items[-1]
+
     def choice(self, seq):
         """Uniformly choose an element of a non-empty sequence."""
         if not len(seq):

@@ -183,3 +183,23 @@ def coefficient_of_variation(xs: Sequence[float]) -> float:
     """stdev / mean, guarding against a zero mean."""
     m = mean(xs)
     return stdev(xs) / m if m else 0.0
+
+
+def percentile(xs: Sequence[float], p: float) -> float:
+    """The ``p``-th percentile (0-100) by linear interpolation.
+
+    Used by the throughput benchmarks for per-client latency percentiles;
+    0.0 for an empty sequence.
+    """
+    if not xs:
+        return 0.0
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    ordered = sorted(xs)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100.0) * (len(ordered) - 1)
+    lower = int(math.floor(rank))
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = rank - lower
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction

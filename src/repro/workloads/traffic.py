@@ -1,0 +1,379 @@
+"""Multi-client traffic workloads: N clients × M modules under load.
+
+The paper measures one client hammering one session; this workload layer
+builds the multi-principal traffic the LSM-overhead literature argues is
+the only setting where access-control cost is meaningful.  It drives many
+concurrent clients — each holding one SecModule session *per module* via
+the multi-session table — through a deterministic, seeded mix of protected
+calls:
+
+* ``test_incr`` — the paper's x+1 payload (the bulk of the traffic);
+* ``getpid``    — the session-state fast path (SMOD-getpid);
+* ``test_null`` — *denied* by the modules' function-denylist clause, so a
+  configurable slice of the traffic exercises the EACCES unwind path.
+
+Arrival is either **closed-loop** (each client issues its next call after
+an exponential think time following the previous completion) or
+**open-loop** (each client's arrivals are a pre-drawn Poisson process,
+independent of completions).  All randomness comes from per-client child
+streams of one :class:`~repro.sim.rng.DeterministicRNG`, so a given seed
+replays the exact same interleaving, call mix and cycle totals.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+from ..hw.machine import Machine, make_paper_machine
+from ..kernel.kernel import Kernel
+from ..obj.image import make_function_image
+from ..secmodule.dispatch import DispatchConfig
+from ..secmodule.module import CallEnvironment, SecModuleDefinition
+from ..secmodule.policy import (
+    CallQuotaPolicy,
+    CompositePolicy,
+    CredentialExpiryPolicy,
+    FunctionDenyPolicy,
+    Policy,
+    PrincipalAllowPolicy,
+    UidAllowPolicy,
+)
+from ..secmodule.protection import ProtectionMode
+from ..secmodule.session import SessionDescriptor, build_requirements
+from ..secmodule.smod_syscalls import SmodExtension, install_secmodule
+from ..sim import costs
+from ..sim.rng import DeterministicRNG
+from ..sim.stats import percentile
+from ..userland.process import Program
+
+#: call-mix weights: (function name, relative weight)
+DEFAULT_CALL_MIX: Tuple[Tuple[str, float], ...] = (
+    ("test_incr", 0.70),
+    ("getpid", 0.20),
+    ("test_null", 0.10),          # denied by the function-denylist clause
+)
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Shape of one multi-client traffic run."""
+
+    clients: int = 8
+    modules: int = 2
+    calls_per_client: int = 32
+    #: "closed" (think-time loop) or "open" (Poisson arrivals)
+    arrival: str = "closed"
+    #: mean think / inter-arrival time, virtual microseconds
+    mean_interval_us: float = 25.0
+    #: one session per module per client (the multi-session engine); when
+    #: False each client opens a single session naming every module
+    multi_session: bool = True
+    #: policy chain attached to every traffic module: "static" (cacheable),
+    #: "quota", "expiry", or "deny-only"
+    policy_kind: str = "static"
+    #: quota for policy_kind="quota"
+    quota_calls: int = 1 << 30
+    call_mix: Tuple[Tuple[str, float], ...] = DEFAULT_CALL_MIX
+    uid: int = 1000
+    principal: str = "alice"
+    seed: int = 0xB07_7E57
+
+    def __post_init__(self) -> None:
+        if self.clients < 1 or self.modules < 1 or self.calls_per_client < 1:
+            raise SimulationError("traffic spec must be positive in all dims")
+        if self.arrival not in ("closed", "open"):
+            raise SimulationError(f"unknown arrival mode {self.arrival!r}")
+
+
+def traffic_policy(spec: TrafficSpec) -> Policy:
+    """The per-module policy chain for a traffic run.
+
+    The "static" chain is three cacheable clauses — uid allow-list,
+    principal allow-list, function denylist — the shape of a typical
+    production ACL.  "quota" and "expiry" append a dynamic clause, which
+    disqualifies the whole chain from the decision cache.
+    """
+    static_clauses: List[Policy] = [
+        UidAllowPolicy([spec.uid]),
+        PrincipalAllowPolicy([spec.principal]),
+        FunctionDenyPolicy(["test_null"]),
+    ]
+    if spec.policy_kind == "static":
+        return CompositePolicy(static_clauses)
+    if spec.policy_kind == "quota":
+        return CompositePolicy(static_clauses +
+                               [CallQuotaPolicy(spec.quota_calls)])
+    if spec.policy_kind == "expiry":
+        return CompositePolicy(static_clauses + [CredentialExpiryPolicy()])
+    if spec.policy_kind == "deny-only":
+        return FunctionDenyPolicy(["test_null"])
+    raise SimulationError(f"unknown policy kind {spec.policy_kind!r}")
+
+
+def _impl_incr(env: CallEnvironment, x: int) -> int:
+    return x + 1
+
+
+def _impl_null(env: CallEnvironment) -> int:
+    return 0
+
+
+def _impl_getpid(env: CallEnvironment) -> int:
+    return env.client_pid
+
+
+def build_traffic_module(index: int, *, policy: Policy,
+                         version: int = 1) -> SecModuleDefinition:
+    """One of the M protected modules the traffic fans out over."""
+    module = SecModuleDefinition(f"libtraffic{index}", version, policy=policy)
+    module.add_function("test_incr", _impl_incr,
+                        cost_op=costs.FUNC_BODY_TESTINCR, arg_words=1,
+                        doc="the paper's x+1 payload")
+    module.add_function("getpid", _impl_getpid,
+                        cost_op=costs.FUNC_BODY_SMOD_GETPID, arg_words=0,
+                        doc="client pid from session state")
+    module.add_function("test_null", _impl_null,
+                        cost_op=costs.FUNC_BODY_TESTINCR, arg_words=0,
+                        doc="always denied by the traffic policy")
+    module.library_image = make_function_image(
+        f"libtraffic{index}.so",
+        {"test_incr": 48, "getpid": 32, "test_null": 32}, kind="shared")
+    return module
+
+
+@dataclass
+class ClientState:
+    """One traffic client: its program, sessions and latency record."""
+
+    index: int
+    program: Program
+    #: m_id -> session (multi-session) or the single shared session
+    sessions: Dict[int, object] = field(default_factory=dict)
+    rng: Optional[DeterministicRNG] = None
+    calls_issued: int = 0
+    calls_denied: int = 0
+    #: per-call service latency, microseconds of virtual time
+    latencies_us: List[float] = field(default_factory=list)
+    #: per-call queueing delay (open loop: start - scheduled arrival)
+    queue_delays_us: List[float] = field(default_factory=list)
+
+    def pick_session(self, m_id: int):
+        return self.sessions[m_id]
+
+
+@dataclass
+class TrafficResult:
+    """Outcome of one traffic run (all times in virtual microseconds)."""
+
+    spec: TrafficSpec
+    total_calls: int
+    denied_calls: int
+    elapsed_us: float
+    total_cycles: int
+    cycles_per_call: float
+    per_client_mean_us: List[float]
+    latencies_us: List[float]
+    #: open-loop only: per-call (start - scheduled arrival); empty otherwise
+    queue_delays_us: List[float]
+    cache_stats: Dict[str, int]
+    shard_sizes: List[int]
+    session_count: int
+
+    @property
+    def calls_per_second(self) -> float:
+        """Aggregate throughput in (virtual) calls per second."""
+        if self.elapsed_us <= 0:
+            return 0.0
+        return self.total_calls / (self.elapsed_us / 1e6)
+
+    def latency_percentile(self, p: float) -> float:
+        return percentile(self.latencies_us, p)
+
+    def queue_delay_percentile(self, p: float) -> float:
+        return percentile(self.queue_delays_us, p)
+
+    def describe(self) -> str:
+        text = (f"{self.spec.clients} clients x {self.spec.modules} modules, "
+                f"{self.total_calls} calls ({self.denied_calls} denied), "
+                f"{self.calls_per_second:,.0f} calls/s, "
+                f"p50={self.latency_percentile(50):.2f}us "
+                f"p95={self.latency_percentile(95):.2f}us "
+                f"p99={self.latency_percentile(99):.2f}us")
+        if self.queue_delays_us:
+            text += f" queue-p99={self.queue_delay_percentile(99):.2f}us"
+        return text
+
+
+class TrafficEngine:
+    """Builds the system and drives one deterministic traffic run."""
+
+    def __init__(self, spec: TrafficSpec, *,
+                 machine: Optional[Machine] = None,
+                 dispatch_config: Optional[DispatchConfig] = None) -> None:
+        self.spec = spec
+        self.config = dispatch_config or DispatchConfig()
+        self.machine = machine or make_paper_machine(seed=spec.seed)
+        self.kernel = Kernel(machine=self.machine).boot()
+        self.extension: SmodExtension = install_secmodule(self.kernel)
+        self.rng = DeterministicRNG(spec.seed)
+        self.modules: List = []
+        self.clients: List[ClientState] = []
+        self._built = False
+        self._mix_names = [name for name, _ in spec.call_mix]
+        self._mix_weights = [weight for _, weight in spec.call_mix]
+
+    # ------------------------------------------------------------------- build
+    def build(self) -> "TrafficEngine":
+        """Register the M modules and establish every client's sessions."""
+        if self._built:
+            return self
+        spec = self.spec
+        policy = traffic_policy(spec)
+        for index in range(spec.modules):
+            definition = build_traffic_module(index, policy=policy)
+            registered = self.extension.registry.register(
+                definition, uid=0, protection=ProtectionMode.ENCRYPT)
+            self.modules.append(registered)
+
+        for c in range(spec.clients):
+            program = Program.spawn(self.kernel, f"traffic-client{c}",
+                                    uid=spec.uid)
+            state = ClientState(index=c, program=program,
+                                rng=self.rng.child(f"client:{c}"))
+            if spec.multi_session:
+                # one session per module: N x M entries in the sharded table
+                for registered in self.modules:
+                    session = self._start_session(program, [registered],
+                                                  allow_multiple=True)
+                    state.sessions[registered.m_id] = session
+            else:
+                session = self._start_session(program, self.modules,
+                                              allow_multiple=False)
+                for registered in self.modules:
+                    state.sessions[registered.m_id] = session
+            self.clients.append(state)
+        self._built = True
+        return self
+
+    def _start_session(self, program: Program, registered_modules,
+                       *, allow_multiple: bool):
+        descriptor = SessionDescriptor(
+            build_requirements(registered_modules,
+                               principal=self.spec.principal,
+                               uid=self.spec.uid),
+            allow_multiple=allow_multiple)
+        session_id = program.smod_crt0_startup(self.extension, descriptor)
+        return self.extension.sessions.get(session_id)
+
+    # --------------------------------------------------------------------- run
+    def _advance_clock_to(self, target_us: float) -> None:
+        """Idle the machine forward to a scheduled arrival time."""
+        now_us = self.machine.microseconds()
+        if target_us > now_us:
+            idle_cycles = int(round((target_us - now_us) *
+                                    self.machine.spec.mhz))
+            self.machine.clock.advance(idle_cycles)
+
+    def _one_call(self, state: ClientState) -> None:
+        registered = self.modules[state.rng.integer(0, len(self.modules) - 1)]
+        function_name = state.rng.weighted_choice(self._mix_names,
+                                                  self._mix_weights)
+        args = (state.calls_issued,) if function_name == "test_incr" else ()
+        session = state.pick_session(registered.m_id)
+
+        mark = self.machine.clock.checkpoint()
+        outcome = self.extension.dispatcher.call(
+            session, function_name, *args, config=self.config)
+        service_us = self.machine.clock.since(mark).microseconds(
+            self.machine.spec.mhz)
+        state.calls_issued += 1
+        state.latencies_us.append(service_us)
+        if not outcome.ok:
+            state.calls_denied += 1
+
+    def run(self) -> TrafficResult:
+        """Drive the full call schedule and collect the result."""
+        self.build()
+        spec = self.spec
+        start_mark = self.machine.clock.checkpoint()
+
+        # (fire_time_us, tiebreak, client_index); the tiebreak keeps heap
+        # ordering deterministic when two clients share a fire time
+        events: List[Tuple[float, int, int]] = []
+        tiebreak = 0
+        base_us = self.machine.microseconds()
+        if spec.arrival == "open":
+            # pre-draw every arrival per client (Poisson process)
+            for state in self.clients:
+                at = base_us
+                for _ in range(spec.calls_per_client):
+                    at += state.rng.exponential(spec.mean_interval_us)
+                    heapq.heappush(events, (at, tiebreak, state.index))
+                    tiebreak += 1
+            while events:
+                at, _, index = heapq.heappop(events)
+                state = self.clients[index]
+                self._advance_clock_to(at)
+                state.queue_delays_us.append(
+                    max(0.0, self.machine.microseconds() - at))
+                self._one_call(state)
+        else:
+            for state in self.clients:
+                first = base_us + state.rng.exponential(spec.mean_interval_us)
+                heapq.heappush(events, (first, tiebreak, state.index))
+                tiebreak += 1
+            while events:
+                at, _, index = heapq.heappop(events)
+                state = self.clients[index]
+                self._advance_clock_to(at)
+                self._one_call(state)
+                if state.calls_issued < spec.calls_per_client:
+                    next_at = (self.machine.microseconds() +
+                               state.rng.exponential(spec.mean_interval_us))
+                    heapq.heappush(events, (next_at, tiebreak, state.index))
+                    tiebreak += 1
+
+        interval = self.machine.clock.since(start_mark)
+        latencies = [u for state in self.clients for u in state.latencies_us]
+        total_calls = sum(s.calls_issued for s in self.clients)
+        return TrafficResult(
+            spec=spec,
+            total_calls=total_calls,
+            denied_calls=sum(s.calls_denied for s in self.clients),
+            elapsed_us=interval.microseconds(self.machine.spec.mhz),
+            total_cycles=interval.cycles,
+            cycles_per_call=(interval.cycles / total_calls
+                             if total_calls else 0.0),
+            per_client_mean_us=[
+                sum(s.latencies_us) / len(s.latencies_us)
+                if s.latencies_us else 0.0
+                for s in self.clients],
+            latencies_us=latencies,
+            queue_delays_us=[d for state in self.clients
+                             for d in state.queue_delays_us],
+            cache_stats=self.extension.decision_cache.snapshot(),
+            shard_sizes=self.extension.sessions.shard_sizes(),
+            session_count=len(self.extension.sessions),
+        )
+
+    # ---------------------------------------------------------------- teardown
+    def teardown(self) -> None:
+        """Tear down every client's sessions (kills all handles)."""
+        for state in self.clients:
+            self.extension.sessions.teardown_all_for_client(
+                state.program.proc)
+
+
+def run_traffic(spec: Optional[TrafficSpec] = None, *,
+                dispatch_config: Optional[DispatchConfig] = None,
+                teardown: bool = False) -> TrafficResult:
+    """Convenience one-shot: build, run and (optionally) tear down."""
+    engine = TrafficEngine(spec or TrafficSpec(),
+                           dispatch_config=dispatch_config)
+    result = engine.run()
+    if teardown:
+        engine.teardown()
+    return result

@@ -178,3 +178,83 @@ class TestScheduler:
         sched.remove(a)
         assert sched.current is None
         assert sched.run_queue_length() == 0
+
+
+class TestSuspendSleepInterleavings:
+    """Suspend/sleep/wakeup/resume orderings around the §4.4 hardening.
+
+    Regression tests for the dropped-wakeup bug: a proc woken while
+    suspended must be re-enqueued at resume time, whichever path (wakeup or
+    make_runnable) delivered the wakeup.
+    """
+
+    @pytest.fixture
+    def sched(self):
+        return Scheduler(make_paper_machine())
+
+    def test_sleep_wakeup_while_suspended_then_resume(self, sched):
+        a = make_proc(pid=1)
+        sched.make_runnable(a)
+        sched.suspend(a)
+        sched.sleep(a, "w")
+        sched.wakeup("w")
+        assert sched.run_queue_length() == 0    # still suspended
+        sched.resume(a)
+        assert a in sched.ready
+        assert a.state is ProcState.RUNNABLE
+
+    def test_sleep_resume_then_wakeup(self, sched):
+        a = make_proc(pid=1)
+        sched.make_runnable(a)
+        sched.suspend(a)
+        sched.sleep(a, "w")
+        sched.resume(a)
+        assert a.state is ProcState.SLEEPING    # still blocked, not lost
+        assert sched.run_queue_length() == 0
+        sched.wakeup("w")
+        assert a in sched.ready
+
+    def test_make_runnable_wakeup_while_suspended_not_lost(self, sched):
+        """The dropped-wakeup case: a signal-style make_runnable on a proc
+        sleeping under suspension used to leave it SLEEPING in a channel
+        nobody would ever fire again."""
+        a = make_proc(pid=1)
+        sched.make_runnable(a)
+        sched.suspend(a)
+        sched.sleep(a, "w")
+        sched.make_runnable(a)                  # e.g. signal delivery
+        assert a.state is ProcState.RUNNABLE
+        assert sched.sleeping_on("w") == []     # pulled out of the channel
+        assert sched.run_queue_length() == 0    # but still suspended
+        sched.resume(a)
+        assert a in sched.ready
+
+    def test_suspend_runnable_then_resume(self, sched):
+        a = make_proc(pid=1)
+        sched.make_runnable(a)
+        sched.suspend(a)
+        assert sched.run_queue_length() == 0
+        sched.resume(a)
+        assert a in sched.ready
+
+    def test_double_suspend_resume_is_idempotent(self, sched):
+        a = make_proc(pid=1)
+        sched.make_runnable(a)
+        sched.suspend(a)
+        sched.suspend(a)
+        sched.resume(a)
+        sched.resume(a)
+        assert sched.run_queue_length() == 1
+        assert not sched.is_suspended(a)
+
+    def test_remove_clears_deferred_wakeup(self, sched):
+        a = make_proc(pid=1)
+        sched.make_runnable(a)
+        sched.suspend(a)
+        sched.sleep(a, "w")
+        sched.wakeup("w")
+        a.state = ProcState.ZOMBIE              # the proc died while suspended
+        sched.remove(a)
+        sched.resume(a)
+        assert sched.run_queue_length() == 0
+        assert a.pid not in sched._deferred_wakeups

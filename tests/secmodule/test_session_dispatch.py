@@ -7,7 +7,12 @@ from repro.kernel.proc import ProcFlag, ProcState
 from repro.secmodule.api import SecModuleSystem
 from repro.secmodule.dispatch import DispatchConfig, HardeningMode, MarshallingMode
 from repro.secmodule.libc_conversion import build_test_module
-from repro.secmodule.policy import CallQuotaPolicy, DenyAllPolicy, UidAllowPolicy
+from repro.secmodule.policy import (
+    CallQuotaPolicy,
+    DenyAllPolicy,
+    FunctionDenyPolicy,
+    UidAllowPolicy,
+)
 from repro.secmodule.protection import ProtectionMode
 from repro.secmodule.session import SessionDescriptor, SessionRequirement
 from repro.secmodule.smod_syscalls import install_secmodule
@@ -50,7 +55,7 @@ class TestSessionEstablishment:
         assert handle_proc.smod_peer is client.proc
         assert client.proc.is_smod_client
         assert extension.sessions.for_handle(handle_proc) is session
-        assert extension.sessions.for_client(client.proc) is session
+        assert extension.sessions.for_client(client.proc) == [session]
 
     def test_handle_shares_client_memory_after_handshake(self):
         kernel, extension, client, descriptor, _ = build_manual_system()
@@ -124,7 +129,7 @@ class TestSessionEstablishment:
         assert session.torn_down
         assert not handle_proc.alive
         assert not client.proc.is_smod_client
-        assert extension.sessions.for_client(client.proc) is None
+        assert extension.sessions.for_client(client.proc) == []
         assert len(extension.sessions) == 0
 
 
@@ -230,10 +235,166 @@ class TestDispatch:
         kernel, extension, client, descriptor, registered = build_manual_system()
         kernel.syscall(client.proc, "smod_start_session", descriptor)
         # skip steps 3 and 4 and try to call directly
-        session = extension.sessions.for_client(client.proc)
+        session = extension.sessions.for_client(client.proc)[0]
         outcome = extension.dispatcher.call(session, "test_incr", 1)
         assert outcome.errno is Errno.EINVAL
 
     def test_per_call_policy_can_be_disabled(self, system):
         config = DispatchConfig(per_call_policy_check=False)
         assert system.call("test_incr", 1, config=config) == 2
+
+
+class TestMultiSession:
+    """One client holding several concurrent sessions (the traffic engine)."""
+
+    def test_open_extra_session_gives_second_handle(self):
+        system = SecModuleSystem.create(seed=50)
+        extra = system.open_extra_session()
+        sessions = system.extension.sessions.for_client(system.client_proc)
+        assert len(sessions) == 2
+        assert extra in sessions
+        assert extra.handle.proc.pid != system.session.handle.proc.pid
+        # both sessions dispatch independently
+        assert system.extension.dispatcher.call(extra, "test_incr", 5).value == 6
+        assert system.call("test_incr", 7) == 8
+
+    def test_second_session_without_allow_multiple_still_rejected(self):
+        kernel, extension, client, descriptor, _ = build_manual_system()
+        client.smod_crt0_startup(extension, descriptor)
+        result = kernel.syscall(client.proc, "smod_start_session", descriptor)
+        assert result.failed
+
+    def test_sharded_table_keys_by_pid_and_session(self):
+        system = SecModuleSystem.create(seed=51)
+        system.open_extra_session()
+        manager = system.extension.sessions
+        pid = system.client_proc.pid
+        shard = manager._shards[manager._shard_index(pid)]
+        ids = {sid for (p, sid) in shard if p == pid}
+        assert len(ids) == 2
+        assert sum(manager.shard_sizes()) == len(manager.active_sessions())
+
+    def test_session_for_call_resolves_by_module(self):
+        system = SecModuleSystem.create(seed=52)
+        extra = system.open_extra_session(["libtest"])
+        manager = system.extension.sessions
+        m_id = next(iter(extra.modules))
+        resolved = manager.session_for_call(system.client_proc, m_id)
+        assert resolved is not None and m_id in resolved.modules
+
+    def test_teardown_one_session_keeps_the_other_working(self):
+        system = SecModuleSystem.create(seed=53)
+        extra = system.open_extra_session()
+        system.extension.sessions.teardown(extra)
+        assert system.client_proc.is_smod_client
+        assert system.call("test_incr", 1) == 2
+        sessions = system.extension.sessions.for_client(system.client_proc)
+        assert sessions == [system.session]
+
+    def test_teardown_last_session_clears_client_state(self):
+        system = SecModuleSystem.create(seed=54)
+        extra = system.open_extra_session()
+        manager = system.extension.sessions
+        manager.teardown(extra)
+        manager.teardown(system.session)
+        assert not system.client_proc.is_smod_client
+        assert system.client_proc.smod_session is None
+        assert manager.for_client(system.client_proc) == []
+        assert sum(manager.shard_sizes()) == 0
+
+    def test_call_against_torn_down_extra_session_is_einval(self):
+        """A stale frame whose session died must not be dispatched onto a
+        *different* live session's shared stack (regression)."""
+        system = SecModuleSystem.create(seed=58)
+        extra = system.open_extra_session()
+        system.extension.sessions.teardown(extra)
+        outcome = system.extension.dispatcher.call(extra, "test_incr", 1)
+        assert outcome.errno is Errno.EINVAL
+        # the surviving primary session is untouched and still balanced
+        assert system.call("test_incr", 2) == 3
+        assert system.session.shared_stack.depth() == 0
+
+    def test_exit_tears_down_every_session(self):
+        system = SecModuleSystem.create(seed=55)
+        extra = system.open_extra_session()
+        handles = [system.session.handle.proc, extra.handle.proc]
+        system.kernel.syscall(system.client_proc, "exit", 0)
+        assert system.session.torn_down and extra.torn_down
+        assert all(not handle.alive for handle in handles)
+        assert len(system.kernel.msg) == 0
+
+
+class TestDispatchStateLeaks:
+    """Regressions for the dispatch-path state leaks this PR fixes."""
+
+    def test_raising_handle_leaves_client_resumable(self, system):
+        """A SUSPEND_CLIENT-hardened client must not stay suspended when the
+        handle's receive_call blows up mid-dispatch."""
+        config = DispatchConfig(hardening=HardeningMode.SUSPEND_CLIENT)
+        original = system.session.handle.receive_call
+
+        def exploding(*args, **kwargs):
+            raise RuntimeError("handle crashed mid-call")
+
+        system.session.handle.receive_call = exploding
+        with pytest.raises(RuntimeError):
+            system.extension.dispatcher.sys_smod_call(
+                system.client_proc, system.session,
+                _push_frame(system), *_ids(system), config=config)
+        assert not system.kernel.sched.is_suspended(system.client_proc)
+        # the client dispatches again once the handle behaves
+        system.session.handle.receive_call = original
+        # drain the stale request left on the queue by the failed call
+        system.kernel.msg.msgrcv(system.session.handle.proc,
+                                 system.session.request_msqid, 1)
+        # rebalance the shared stack from the aborted frame
+        while system.session.shared_stack.depth():
+            system.session.shared_stack.pop()
+        assert system.call("test_incr", 1) == 2
+
+    def test_denied_call_unwind_charged_uniformly(self):
+        """The unwind pops every stub word at SMOD_STACK_FIXUP_WORD: 4 for
+        the duplicated fp/ret + id pair, 2 for the original fp/ret, and one
+        per argument — 7 for test_incr — plus the 4 the push charged."""
+        system = SecModuleSystem.create(
+            policy=FunctionDenyPolicy(["test_incr"]), seed=56,
+            include_libc=False)
+        meter = system.machine.meter
+        before_fixup = meter.count(costs.SMOD_STACK_FIXUP_WORD)
+        before_user = meter.count(costs.USER_STACK_WORD)
+        outcome = system.call_outcome("test_incr", 1)
+        assert outcome.errno is Errno.EACCES
+        assert meter.count(costs.SMOD_STACK_FIXUP_WORD) - before_fixup == 11
+        # the push path charged args+ret+fp (3 words) as ordinary user pushes
+        assert meter.count(costs.USER_STACK_WORD) - before_user == 3
+        assert system.session.shared_stack.depth() == 0
+
+    def test_denied_call_cycle_total_is_analytic(self):
+        """Denied-call cycles decompose into the exact op sequence."""
+        system = SecModuleSystem.create(
+            policy=FunctionDenyPolicy(["test_incr"]), seed=57,
+            include_libc=False)
+        system.call_outcome("test_incr", 1)      # warm any lazy state
+        before = system.machine.meter.snapshot()
+        mark = system.machine.clock.checkpoint()
+        system.call_outcome("test_incr", 2)
+        cycles = system.machine.clock.since(mark).cycles
+        diff = system.machine.meter.diff(before)
+        profile = system.machine.spec.profile
+        assert cycles == sum(profile.cost(op) * count
+                             for op, count in diff.items())
+        assert diff[costs.SMOD_STACK_FIXUP_WORD] == 11
+
+
+def _push_frame(system):
+    """Push a test_incr stub frame on the shared stack (step 1-2)."""
+    from repro.secmodule.stubs import ClientStub
+    module, function = system.session.find_function("test_incr")
+    stub = ClientStub("test_incr", module.m_id, function.func_id,
+                      arg_words=function.arg_words)
+    return stub.push_call(system.session.shared_stack, (1,))
+
+
+def _ids(system):
+    module, function = system.session.find_function("test_incr")
+    return module.m_id, function.func_id

@@ -1,0 +1,144 @@
+"""Tests for the multi-client traffic engine."""
+
+import pytest
+
+from repro.secmodule.dispatch import DispatchConfig
+from repro.workloads.traffic import (
+    TrafficEngine,
+    TrafficSpec,
+    build_traffic_module,
+    run_traffic,
+    traffic_policy,
+)
+
+
+def small_spec(**overrides):
+    defaults = dict(clients=4, modules=2, calls_per_client=6, seed=1234)
+    defaults.update(overrides)
+    return TrafficSpec(**defaults)
+
+
+class TestTrafficDeterminism:
+    def test_same_seed_replays_identically(self):
+        a = run_traffic(small_spec())
+        b = run_traffic(small_spec())
+        assert a.total_cycles == b.total_cycles
+        assert a.latencies_us == b.latencies_us
+        assert a.denied_calls == b.denied_calls
+        assert a.cache_stats == b.cache_stats
+
+    def test_different_seed_differs(self):
+        a = run_traffic(small_spec(seed=1))
+        b = run_traffic(small_spec(seed=2))
+        # the call mix and interleaving are seed-driven
+        assert (a.total_cycles != b.total_cycles
+                or a.latencies_us != b.latencies_us)
+
+    def test_open_loop_deterministic_too(self):
+        a = run_traffic(small_spec(arrival="open"))
+        b = run_traffic(small_spec(arrival="open"))
+        assert a.total_cycles == b.total_cycles
+        assert a.latencies_us == b.latencies_us
+
+
+class TestTrafficMechanics:
+    def test_issues_full_schedule(self):
+        spec = small_spec()
+        result = run_traffic(spec)
+        assert result.total_calls == spec.clients * spec.calls_per_client
+        assert len(result.latencies_us) == result.total_calls
+        assert result.calls_per_second > 0
+
+    def test_denied_slice_of_the_mix(self):
+        result = run_traffic(small_spec(calls_per_client=16))
+        # the default mix sends ~10% of calls to the denied test_null
+        assert 0 < result.denied_calls < result.total_calls
+
+    def test_multi_session_table_population(self):
+        spec = small_spec()
+        engine = TrafficEngine(spec)
+        engine.build()
+        manager = engine.extension.sessions
+        assert len(manager.active_sessions()) == spec.clients * spec.modules
+        assert sum(manager.shard_sizes()) == spec.clients * spec.modules
+        for state in engine.clients:
+            assert len(manager.for_client(state.program.proc)) == spec.modules
+
+    def test_single_session_mode(self):
+        spec = small_spec(multi_session=False)
+        result = run_traffic(spec)
+        assert result.session_count == spec.clients
+        assert result.total_calls == spec.clients * spec.calls_per_client
+
+    def test_open_loop_records_queue_delays(self):
+        spec = small_spec(arrival="open", mean_interval_us=1.0)
+        result = run_traffic(spec)
+        assert len(result.queue_delays_us) == \
+            spec.clients * spec.calls_per_client
+        # with arrivals faster than service some calls must queue
+        assert any(d > 0 for d in result.queue_delays_us)
+        assert result.queue_delay_percentile(99) >= \
+            result.queue_delay_percentile(50)
+        # closed-loop runs carry no queueing record
+        assert run_traffic(small_spec()).queue_delays_us == []
+
+    def test_decision_cache_reduces_cycles(self):
+        spec = small_spec(calls_per_client=12)
+        cached = run_traffic(spec, dispatch_config=DispatchConfig(
+            use_decision_cache=True))
+        uncached = run_traffic(spec, dispatch_config=DispatchConfig(
+            use_decision_cache=False))
+        assert cached.cache_stats["hits"] > 0
+        assert uncached.cache_stats["hits"] == 0
+        assert cached.cycles_per_call < uncached.cycles_per_call
+
+    def test_quota_policy_chain_disables_caching(self):
+        result = run_traffic(small_spec(policy_kind="quota"))
+        assert result.cache_stats["hits"] == 0
+        assert result.cache_stats["entries"] == 0
+
+
+class TestTrafficTeardown:
+    def test_teardown_leaves_no_dangling_state(self):
+        spec = small_spec()
+        engine = TrafficEngine(spec)
+        engine.run()
+        handles = [s.handle.proc
+                   for s in engine.extension.sessions.active_sessions()]
+        assert handles
+        engine.teardown()
+        manager = engine.extension.sessions
+        assert len(manager.active_sessions()) == 0
+        assert sum(manager.shard_sizes()) == 0
+        # no dangling message queues, no live handle pids
+        assert len(engine.kernel.msg) == 0
+        assert all(not handle.alive for handle in handles)
+        # clients survive and are fully detached
+        for state in engine.clients:
+            assert state.program.proc.alive
+            assert not state.program.proc.is_smod_client
+            assert state.program.proc.smod_session is None
+        # every memoized decision for those sessions is gone
+        assert len(engine.extension.decision_cache) == 0
+
+
+class TestSpecValidation:
+    def test_rejects_bad_dimensions(self):
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError):
+            TrafficSpec(clients=0)
+        with pytest.raises(SimulationError):
+            TrafficSpec(arrival="bursty")
+
+    def test_policy_kinds(self):
+        for kind in ("static", "quota", "expiry", "deny-only"):
+            assert traffic_policy(small_spec(policy_kind=kind)) is not None
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError):
+            traffic_policy(small_spec(policy_kind="nope"))
+
+    def test_traffic_module_shape(self):
+        module = build_traffic_module(3, policy=traffic_policy(small_spec()))
+        assert module.name == "libtraffic3"
+        assert set(module.function_names()) == {"getpid", "test_incr",
+                                                "test_null"}
