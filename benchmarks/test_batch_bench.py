@@ -1,0 +1,31 @@
+"""The abl-batch experiment: cycles/call vs queue depth 1..64.
+
+The acceptance bar for the batched dispatch path: cycles/call decreases
+monotonically from batch size 1 to 64 under the paper-default config, and
+batch size 1 matches the existing single-call dispatch cycle count exactly.
+"""
+
+from repro.bench.batch import DEFAULT_CALLS, DEFAULT_SIZES, run_batch_sweep
+
+
+class TestBatchBench:
+    def test_full_sweep_1_to_64(self, benchmark):
+        report = benchmark.pedantic(
+            run_batch_sweep,
+            kwargs={"sizes": DEFAULT_SIZES, "calls": DEFAULT_CALLS},
+            iterations=1, rounds=1)
+
+        assert report.sizes == (1, 2, 4, 8, 16, 32, 64)
+        assert report.batch1_matches_single_call()
+        assert report.monotonically_decreasing()
+        # the whole point: the two switches per call amortize away
+        assert report.speedup(64) > 4.0
+
+        for point in report.points:
+            benchmark.extra_info[f"cycles_per_call_b{point.batch_size}"] = \
+                round(point.cycles_per_call, 1)
+        benchmark.extra_info["us_per_call_b1"] = round(
+            report.us_per_call(report.point(1)), 3)
+        benchmark.extra_info["us_per_call_b64"] = round(
+            report.us_per_call(report.point(64)), 3)
+        benchmark.extra_info["speedup_b64"] = round(report.speedup(64), 2)

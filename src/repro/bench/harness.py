@@ -20,6 +20,7 @@ from .ablations import (
     run_marshalling_ablation,
     run_protection_ablation,
 )
+from .batch import run_abl_batch
 from .figure7 import reproduce_figure7
 from .figure8 import reproduce_figure8
 from .figures123 import reproduce_figure1, reproduce_figure2, reproduce_figure3
@@ -85,6 +86,10 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         "abl-throughput",
         "Multi-client throughput and the policy-decision cache",
         run_abl_throughput, kind="ablation"),
+    "abl-batch": ExperimentSpec(
+        "abl-batch",
+        "Batched dispatch: amortizing the two context switches",
+        run_abl_batch, kind="ablation"),
 }
 
 

@@ -17,6 +17,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .bench.batch import DEFAULT_CALLS, DEFAULT_SIZES, run_batch_sweep
 from .bench.figure8 import reproduce_figure8
 from .bench.harness import EXPERIMENTS, full_report, run_all, run_experiment
 from .bench.throughput import run_throughput
@@ -59,6 +60,16 @@ def build_parser() -> argparse.ArgumentParser:
     tp.add_argument("--seed", type=int, default=0xB07_7E57)
     tp.add_argument("--fast", action="store_true",
                     help="CI smoke: skip the open-loop leg")
+
+    bp = bench_sub.add_parser(
+        "batch", help="batched dispatch: latency/call vs queue depth")
+    bp.add_argument("--sizes", default=",".join(map(str, DEFAULT_SIZES)),
+                    help="comma-separated queue depths to sweep")
+    bp.add_argument("--calls", type=int, default=DEFAULT_CALLS,
+                    help="protected calls measured per point")
+    bp.add_argument("--seed", type=int, default=0xBA7C_4)
+    bp.add_argument("--fast", action="store_true",
+                    help="CI smoke: fewer sizes and calls")
 
     for experiment_id in EXPERIMENTS:
         if experiment_id == "fig8":
@@ -110,12 +121,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if command == "bench":
-        if args.bench_command != "throughput":
-            parser.error("usage: repro bench throughput [options]")
-        report = run_throughput(clients=args.clients, modules=args.modules,
-                                calls_per_client=args.sample_calls,
-                                policy_kind=args.policy, seed=args.seed,
-                                fast=args.fast)
+        if args.bench_command == "throughput":
+            report = run_throughput(clients=args.clients, modules=args.modules,
+                                    calls_per_client=args.sample_calls,
+                                    policy_kind=args.policy, seed=args.seed,
+                                    fast=args.fast)
+        elif args.bench_command == "batch":
+            sizes = tuple(int(s) for s in args.sizes.split(",") if s)
+            calls = args.calls
+            if args.fast:
+                # shrink only what the user left at the defaults
+                if sizes == DEFAULT_SIZES:
+                    sizes = (1, 4, 16)
+                calls = min(calls, 48)
+            report = run_batch_sweep(sizes=sizes, calls=calls, seed=args.seed)
+        else:
+            parser.error("usage: repro bench {throughput,batch} [options]")
         _emit(report.render(), args.output)
         return 0
 

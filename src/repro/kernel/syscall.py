@@ -129,4 +129,5 @@ SYS_smod_handle_info = 304
 SYS_smod_add = 305
 SYS_smod_remove = 306
 SYS_smod_call = 307
+SYS_smod_call_batch = 308
 SYS_smod_start_session = 320

@@ -22,6 +22,7 @@ from .crypto import (
     encrypt_module_text,
 )
 from .dispatch import (
+    BatchOutcome,
     DispatchConfig,
     DispatchOutcome,
     HardeningMode,
@@ -66,15 +67,25 @@ from .registry import ModuleRegistry, RegisteredModule
 from .session import Session, SessionDescriptor, SessionManager, SessionRequirement
 from .smod_syscalls import FIGURE4_SYSCALLS, SmodExtension, install_secmodule
 from .special import SPECIAL_FUNCTIONS, classify_symbols, needs_special_handling
-from .stubs import ClientStub, SimStack, SlotKind, StackSlot, StubCallFrame, smod_stub_receive
+from .stubs import (
+    BatchCallFrame,
+    BatchStub,
+    ClientStub,
+    SimStack,
+    SlotKind,
+    StackSlot,
+    StubCallFrame,
+    smod_stub_receive,
+    unwind_client_frame,
+)
 
 __all__ = [
     "SecModuleSystem", "SystemBuildReport",
     "Credential", "CredentialCheckOutcome", "CredentialIssuer", "validate_credential",
     "EncryptedModuleText", "ModuleKey", "decrypt_bytes", "decrypt_module_text",
     "encrypt_bytes", "encrypt_module_text",
-    "DispatchConfig", "DispatchOutcome", "HardeningMode", "MarshallingMode",
-    "SmodDispatcher",
+    "BatchOutcome", "DispatchConfig", "DispatchOutcome", "HardeningMode",
+    "MarshallingMode", "SmodDispatcher",
     "Handle", "LoadedModule",
     "Assertion", "ComplianceResult", "KeyNoteEngine", "KeyNotePolicy",
     "MAX_TRUST", "MIN_TRUST", "evaluate_condition", "example_policy_set",
@@ -89,6 +100,6 @@ __all__ = [
     "Session", "SessionDescriptor", "SessionManager", "SessionRequirement",
     "FIGURE4_SYSCALLS", "SmodExtension", "install_secmodule",
     "SPECIAL_FUNCTIONS", "classify_symbols", "needs_special_handling",
-    "ClientStub", "SimStack", "SlotKind", "StackSlot", "StubCallFrame",
-    "smod_stub_receive",
+    "BatchCallFrame", "BatchStub", "ClientStub", "SimStack", "SlotKind",
+    "StackSlot", "StubCallFrame", "smod_stub_receive", "unwind_client_frame",
 ]

@@ -22,7 +22,13 @@ cannot change until the session's credentials change.
   speedup is visible in cycle accounting;
 * entries are invalidated explicitly — on session teardown, on module
   removal and, via the session's ``policy_epoch``, whenever credentials are
-  replaced or quota state is externally reset.
+  replaced or quota state is externally reset;
+* each session's working set is **bounded**: at most ``capacity_per_session``
+  decisions live per session, evicted least-recently-used.  A kernel memo
+  must not grow with the number of distinct functions a long-lived client
+  touches; the default capacity is generous enough that the repo's
+  benchmarks never evict (``evictions`` stays 0), while a hostile client
+  walking a huge function space is capped at a fixed footprint.
 
 The cache is owned by the :class:`~repro.secmodule.smod_syscalls.SmodExtension`
 and shared between the session manager (which invalidates) and the
@@ -32,10 +38,17 @@ knob disables it entirely for paper-faithful runs.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from ..errors import SimulationError
 from .policy import Policy, PolicyDecision
+
+#: Default per-session entry bound.  Far above the working set of every
+#: existing test and benchmark (a traffic session touches ~3 functions), so
+#: the bound changes nothing until a client actually sprays lookups.
+DEFAULT_CAPACITY_PER_SESSION = 512
 
 
 def policy_is_cacheable(policy: Policy) -> bool:
@@ -54,57 +67,78 @@ class CacheEntry:
 class DecisionCache:
     """Per-kernel memo of static policy decisions.
 
-    Keys are ``(session_id, m_id, func_id)``; each entry records the
-    session's ``policy_epoch`` at store time, so bumping the epoch (credential
-    replacement, quota reset) invalidates every entry of that session without
-    a scan.
+    Entries are grouped per session and keyed by ``(m_id, func_id)``; each
+    records the session's ``policy_epoch`` at store time, so bumping the
+    epoch (credential replacement, quota reset) invalidates every entry of
+    that session without a scan.  Per-session groups are LRU-ordered and
+    bounded by ``capacity_per_session``.
     """
 
-    def __init__(self) -> None:
-        self._entries: Dict[Tuple[int, int, int], CacheEntry] = {}
+    def __init__(self, *,
+                 capacity_per_session: int = DEFAULT_CAPACITY_PER_SESSION
+                 ) -> None:
+        if capacity_per_session < 1:
+            raise SimulationError(
+                "decision cache needs at least one entry per session")
+        self.capacity_per_session = capacity_per_session
+        #: session_id -> LRU-ordered {(m_id, func_id): CacheEntry}
+        self._sessions: Dict[int, "OrderedDict[Tuple[int, int], CacheEntry]"] \
+            = {}
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return sum(len(entries) for entries in self._sessions.values())
 
     # ------------------------------------------------------------------ access
     def lookup(self, session, m_id: int,
                func_id: int) -> Optional[PolicyDecision]:
         """Return the cached decision, or None on miss/stale entry."""
-        entry = self._entries.get((session.session_id, m_id, func_id))
+        entries = self._sessions.get(session.session_id)
+        entry = entries.get((m_id, func_id)) if entries is not None else None
         if entry is None or entry.policy_epoch != session.policy_epoch:
             self.misses += 1
             return None
+        entries.move_to_end((m_id, func_id))     # most recently used
         self.hits += 1
         return entry.decision
 
     def store(self, session, m_id: int, func_id: int,
               decision: PolicyDecision) -> None:
-        self._entries[(session.session_id, m_id, func_id)] = CacheEntry(
-            decision=decision, policy_epoch=session.policy_epoch)
+        entries = self._sessions.setdefault(session.session_id, OrderedDict())
+        key = (m_id, func_id)
+        if key not in entries and len(entries) >= self.capacity_per_session:
+            entries.popitem(last=False)          # least recently used
+            self.evictions += 1
+        entries[key] = CacheEntry(decision=decision,
+                                  policy_epoch=session.policy_epoch)
+        entries.move_to_end(key)
 
     # ------------------------------------------------------------ invalidation
     def invalidate_session(self, session_id: int) -> int:
         """Drop every entry belonging to one session (teardown path)."""
-        stale = [key for key in self._entries if key[0] == session_id]
-        for key in stale:
-            del self._entries[key]
-        self.invalidations += len(stale)
-        return len(stale)
+        dropped = len(self._sessions.pop(session_id, ()))
+        self.invalidations += dropped
+        return dropped
 
     def invalidate_module(self, m_id: int) -> int:
         """Drop every entry for one module (module removal/re-registration)."""
-        stale = [key for key in self._entries if key[1] == m_id]
-        for key in stale:
-            del self._entries[key]
-        self.invalidations += len(stale)
-        return len(stale)
+        dropped = 0
+        for entries in self._sessions.values():
+            stale = [key for key in entries if key[0] == m_id]
+            for key in stale:
+                del entries[key]
+            dropped += len(stale)
+        self._sessions = {sid: entries
+                          for sid, entries in self._sessions.items() if entries}
+        self.invalidations += dropped
+        return dropped
 
     def invalidate_all(self) -> int:
-        count = len(self._entries)
-        self._entries.clear()
+        count = len(self)
+        self._sessions.clear()
         self.invalidations += count
         return count
 
@@ -114,7 +148,12 @@ class DecisionCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def session_entry_count(self, session_id: int) -> int:
+        """Live entries for one session (observability for eviction tests)."""
+        return len(self._sessions.get(session_id, ()))
+
     def snapshot(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
                 "invalidations": self.invalidations,
-                "entries": len(self._entries)}
+                "evictions": self.evictions,
+                "entries": len(self)}

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SimulationError
 from ..kernel.errno import Errno
@@ -38,7 +38,13 @@ from .decision_cache import DecisionCache, policy_is_cacheable
 from .module import CallEnvironment, SecFunction
 from .registry import RegisteredModule
 from .session import Session
-from .stubs import ClientStub, StubCallFrame
+from .stubs import (
+    BatchCallFrame,
+    BatchStub,
+    ClientStub,
+    StubCallFrame,
+    unwind_client_frame,
+)
 
 
 class HardeningMode(enum.Enum):
@@ -70,6 +76,13 @@ class DispatchConfig:
     #: always-allow policy the cache never engages, so the default stays
     #: cycle-identical to the published setup either way.
     use_decision_cache: bool = True
+    #: queue depth of the batched dispatch path: how many protected calls the
+    #: client-side stub accumulates before flushing them through a single
+    #: ``sys_smod_call_batch`` trap.  1 reproduces the paper's behaviour
+    #: (every call pays its own trap and two context switches); larger values
+    #: amortize those fixed costs across the queue.  ``call_batch`` chunks
+    #: longer queues to this bound.
+    batch_size: int = 1
     #: record Figure 3 stack snapshots (off for the million-call benchmarks)
     record_checkpoints: bool = False
 
@@ -87,6 +100,37 @@ class DispatchOutcome:
         return self.errno is None
 
 
+@dataclass
+class BatchOutcome:
+    """Result of one batched flush: per-entry outcomes in submission order.
+
+    Per-entry failures (ENOENT, EACCES) never abort the batch — each entry
+    carries its own :class:`DispatchOutcome`.  ``errno`` is set only when the
+    *whole* queue was rejected before any entry ran (dead session, foreign
+    client), in which case every entry's outcome carries the same errno.
+    """
+
+    outcomes: List[DispatchOutcome] = field(default_factory=list)
+    #: batch-level rejection (EINVAL/EPERM); None when entries were processed
+    errno: Optional[Errno] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.errno is None and all(o.ok for o in self.outcomes)
+
+    @property
+    def values(self) -> List[Any]:
+        """Per-entry return values (None for failed entries)."""
+        return [o.value for o in self.outcomes]
+
+    @property
+    def denied(self) -> int:
+        return sum(1 for o in self.outcomes if not o.ok)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+
 class SmodDispatcher:
     """Executes protected calls for established sessions."""
 
@@ -101,11 +145,12 @@ class SmodDispatcher:
 
     # ------------------------------------------------------------------ helpers
     def _policy_check(self, session: Session, module: RegisteredModule,
-                      function: SecFunction) -> Tuple[bool, str]:
+                      function: SecFunction, *,
+                      pending_calls: int = 0) -> Tuple[bool, str]:
         machine = self.kernel.machine
         ctx = session.policy_context(
             module, function.name, now_us=machine.microseconds(),
-            args_words=function.arg_words)
+            args_words=function.arg_words, pending_calls=pending_calls)
         decision = module.definition.policy.evaluate(ctx)
         if decision.steps:
             machine.charge(costs.SMOD_POLICY_STEP, decision.steps)
@@ -113,7 +158,8 @@ class SmodDispatcher:
 
     def _policy_check_cached(self, session: Session, module: RegisteredModule,
                              function: SecFunction,
-                             config: DispatchConfig) -> Tuple[bool, str]:
+                             config: DispatchConfig, *,
+                             pending_calls: int = 0) -> Tuple[bool, str]:
         """Per-call policy check, memoized for static chains.
 
         A hit costs one :data:`~repro.sim.costs.SMOD_POLICY_CACHE_HIT` charge
@@ -124,7 +170,10 @@ class SmodDispatcher:
         """
         policy = module.definition.policy
         if not config.use_decision_cache or not policy_is_cacheable(policy):
-            return self._policy_check(session, module, function)
+            # dynamic chains are the only ones that can read call counts, so
+            # the batch's pending-call offset only matters on this branch
+            return self._policy_check(session, module, function,
+                                      pending_calls=pending_calls)
         cached = self.decision_cache.lookup(session, module.m_id,
                                             function.func_id)
         if cached is not None:
@@ -253,6 +302,125 @@ class SmodDispatcher:
         self.calls_dispatched += 1
         return DispatchOutcome(value=result, frame=frame)
 
+    def sys_smod_call_batch(self, client: Proc, session: Session,
+                            batch: BatchCallFrame, *,
+                            config: DispatchConfig = DispatchConfig()
+                            ) -> BatchOutcome:
+        """The kernel half of a batched flush (``sys_smod_call_batch``).
+
+        Validates the session **once**, walks the queue running the (cached)
+        policy check per entry, applies the §4.4 hardening **once**, and pays
+        one request ``msgsnd`` + one switch-to-handle + one reply + one
+        switch-back for the whole queue.  Per-entry validation failures mark
+        that entry denied and keep going; the handle unwinds denied frames
+        while draining the super-frame.
+        """
+        machine = self.kernel.machine
+        n = len(batch.frames)
+
+        # -- validate the session once ----------------------------------------
+        machine.charge(costs.SMOD_SESSION_LOOKUP)
+        machine.charge(costs.SMOD_BATCH_SETUP)
+        if session is None or not session.established or session.torn_down:
+            self.calls_denied += n
+            return BatchOutcome(errno=Errno.EINVAL)
+        if session.client is not client:
+            self.calls_denied += n
+            return BatchOutcome(errno=Errno.EPERM)
+
+        # -- per-entry lookup + credential/policy check -------------------------
+        outcomes: List[Optional[DispatchOutcome]] = [None] * n
+        #: per entry: (function, allowed) — the handle's drain plan
+        plan: List[Tuple[Optional[SecFunction], bool]] = []
+        entry_modules: List[Optional[RegisteredModule]] = []
+        #: calls already granted in this queue, per module: the whole batch
+        #: is validated before any entry runs, so quota/count clauses must
+        #: see each entry against the count including its predecessors
+        pending: Dict[int, int] = {}
+        for index, frame in enumerate(batch.frames):
+            machine.charge(costs.SMOD_BATCH_ENTRY)
+            module = session.modules.get(frame.module_id)
+            function = (session.handle.lookup_function(
+                frame.module_id, frame.func_id) if module is not None else None)
+            if module is None or function is None:
+                self.calls_denied += 1
+                outcomes[index] = DispatchOutcome(errno=Errno.ENOENT,
+                                                  frame=frame)
+                plan.append((None, False))
+                entry_modules.append(None)
+                continue
+            machine.charge(costs.SMOD_CRED_CHECK)
+            if config.per_call_policy_check:
+                allowed, reason = self._policy_check_cached(
+                    session, module, function, config,
+                    pending_calls=pending.get(frame.module_id, 0))
+                if not allowed:
+                    self.calls_denied += 1
+                    machine.trace.emit("smod.call", "policy_denied",
+                                       pid=client.pid, detail_reason=reason)
+                    outcomes[index] = DispatchOutcome(errno=Errno.EACCES,
+                                                      frame=frame)
+                    plan.append((None, False))
+                    entry_modules.append(None)
+                    continue
+            pending[frame.module_id] = pending.get(frame.module_id, 0) + 1
+            plan.append((function, True))
+            entry_modules.append(module)
+
+        if not any(allowed for _, allowed in plan):
+            # nothing to execute: skip hardening, the message round trip and
+            # both context switches — a fully-denied queue costs what the
+            # single path charges denied calls, the unwind.  Frames are
+            # popped topmost (first submission) first.
+            for frame in batch.frames:
+                unwind_client_frame(session.shared_stack, frame)
+            return BatchOutcome(outcomes=list(outcomes))
+
+        self._apply_hardening(session, config.hardening)
+        try:
+            # -- marshalling (per allowed entry, one transfer buffer) -----------
+            if config.marshalling is MarshallingMode.EXPLICIT_COPY:
+                for function, allowed in plan:
+                    if allowed:
+                        machine.charge_words(costs.COPY_WORD,
+                                             function.arg_words * 2)
+                machine.charge(costs.KMALLOC)
+
+            # -- one send, one switch, one drain, one reply, one switch back ----
+            request = Message.batched(1, [
+                (frame.module_id, frame.func_id, frame.return_address)
+                for frame in batch.frames])
+            self.kernel.msg.msgsnd(client, session.request_msqid, request)
+            self.kernel.sched.switch_to(session.handle.proc)
+            received = self.kernel.msg.msgrcv(session.handle.proc,
+                                              session.request_msqid, 1)
+            if received is None:
+                raise SimulationError("handle woke without a queued batch")
+
+            env = CallEnvironment(kernel=self.kernel, session=session,
+                                  client=client, handle=session.handle.proc)
+            results = session.handle.receive_batch(
+                session.shared_stack, batch, plan, env)
+
+            reply = Message.batched(2, [(1,) for _ in results])
+            self.kernel.msg.msgsnd(session.handle.proc, session.reply_msqid,
+                                   reply)
+            self.kernel.sched.switch_to(client)
+            self.kernel.msg.msgrcv(client, session.reply_msqid, 2)
+            self.kernel.copyout(len(results))    # one return value per entry
+
+            if config.marshalling is MarshallingMode.EXPLICIT_COPY:
+                machine.charge(costs.KFREE)
+        finally:
+            self._undo_hardening(session, config.hardening)
+
+        for index, value in results.items():
+            outcomes[index] = DispatchOutcome(value=value,
+                                              frame=batch.frames[index])
+            session.note_call(entry_modules[index])
+            self.calls_dispatched += 1
+        return BatchOutcome(outcomes=list(outcomes))
+
     # ---------------------------------------------------------------- user path
     def call(self, session: Session, function_name: str, *args: Any,
              config: DispatchConfig = DispatchConfig()) -> DispatchOutcome:
@@ -284,21 +452,93 @@ class SmodDispatcher:
         stub.pop_return(session.shared_stack, frame)
         return DispatchOutcome(value=result.value, frame=frame)
 
+    def call_batch(self, session: Session,
+                   calls: Sequence[Tuple[str, Tuple[Any, ...]]], *,
+                   config: DispatchConfig = DispatchConfig()) -> BatchOutcome:
+        """A queue of protected calls: ``[(function_name, args), ...]``.
+
+        The queue is flushed in chunks of at most ``config.batch_size``
+        entries; each chunk pays one trap and one context-switch pair.  A
+        chunk of one flushes on the ordinary single-call path — no
+        super-frame bookkeeping — so ``batch_size=1`` is cycle-identical to
+        issuing the calls one at a time.  An empty queue flushes nothing and
+        charges nothing.
+        """
+        if not calls:
+            return BatchOutcome()
+        chunk = max(1, config.batch_size)
+        merged = BatchOutcome()
+        for start in range(0, len(calls), chunk):
+            flushed = self._flush_batch(session, calls[start:start + chunk],
+                                        config)
+            merged.outcomes.extend(flushed.outcomes)
+            if flushed.errno is not None:
+                # whole-queue rejection means the session is dead for this
+                # client; don't burn a trap + push + unwind per remaining
+                # chunk — fail the rest of the queue in place
+                merged.errno = flushed.errno
+                merged.outcomes.extend(
+                    DispatchOutcome(errno=flushed.errno)
+                    for _ in calls[start + chunk:])
+                break
+        return merged
+
+    def _flush_batch(self, session: Session,
+                     calls: Sequence[Tuple[str, Tuple[Any, ...]]],
+                     config: DispatchConfig) -> BatchOutcome:
+        """Flush one bounded chunk of the call queue through a single trap."""
+        if len(calls) == 1:
+            name, args = calls[0]
+            return BatchOutcome(outcomes=[
+                self.call(session, name, *args, config=config)])
+
+        machine = self.kernel.machine
+        machine.charge(costs.USER_CALL_OVERHEAD)   # one flush, not one per call
+        outcomes: List[Optional[DispatchOutcome]] = [None] * len(calls)
+        batch_stub = BatchStub()
+        pushed: List[int] = []
+        for index, (name, args) in enumerate(calls):
+            found = session.find_function(name)
+            if found is None:
+                # never reaches the stack or the kernel, exactly like the
+                # single path's pre-trap ENOENT
+                outcomes[index] = DispatchOutcome(errno=Errno.ENOENT)
+                continue
+            module, function = found
+            batch_stub.enqueue(
+                ClientStub(name, module.m_id, function.func_id,
+                           arg_words=function.arg_words), args)
+            pushed.append(index)
+        if not len(batch_stub):
+            return BatchOutcome(outcomes=list(outcomes))
+
+        batch = batch_stub.push_batch(
+            session.shared_stack,
+            record_checkpoints=config.record_checkpoints)
+        result = self.kernel.syscall(session.client, "smod_call_batch",
+                                     batch, config)
+        if result.failed:
+            # whole-queue rejection: nothing executed, nothing drained — the
+            # client stub unwinds every frame itself, topmost (frames[0])
+            # first
+            for frame in batch.frames:
+                self._unwind_failed_call(session, frame)
+            for index, frame in zip(pushed, batch.frames):
+                outcomes[index] = DispatchOutcome(errno=result.errno,
+                                                  frame=frame)
+            return BatchOutcome(outcomes=list(outcomes), errno=result.errno)
+
+        for index, outcome in zip(pushed, result.value.outcomes):
+            outcomes[index] = outcome
+        return BatchOutcome(outcomes=list(outcomes))
+
     def _unwind_failed_call(self, session: Session,
                             frame: StubCallFrame) -> None:
         """Pop the step-2 frame the stub pushed before a denied call.
 
-        The whole unwind is stub fix-up work, so every pop — the duplicated
-        fp/ret pair, the id pair, *and* the original frame — is charged at
-        :data:`~repro.sim.costs.SMOD_STACK_FIXUP_WORD`, mirroring the push
-        path in :mod:`repro.secmodule.stubs` where the stub (not ordinary
-        user code) put the extra words there.
+        The op-for-op unwind lives in
+        :func:`~repro.secmodule.stubs.unwind_client_frame`, shared with the
+        handle's batch drain so a denied entry costs the same words whether
+        it was flushed alone or in a queue.
         """
-        stack = session.shared_stack
-        # duplicated fp/ret, func/module ids, then the original frame
-        for _ in range(4):
-            stack.pop(cost_op=costs.SMOD_STACK_FIXUP_WORD)
-        stack.pop(cost_op=costs.SMOD_STACK_FIXUP_WORD)   # frame pointer
-        stack.pop(cost_op=costs.SMOD_STACK_FIXUP_WORD)   # return address
-        for _ in frame.args:
-            stack.pop(cost_op=costs.SMOD_STACK_FIXUP_WORD)
+        unwind_client_frame(session.shared_stack, frame)

@@ -25,7 +25,14 @@ from ..sim import costs
 from .module import CallEnvironment, SecFunction
 from .protection import ProtectionMode, handle_plaintext_view
 from .registry import RegisteredModule
-from .stubs import SimStack, StubCallFrame, smod_stub_receive
+from .stubs import (
+    BatchCallFrame,
+    SimStack,
+    SlotKind,
+    StubCallFrame,
+    smod_stub_receive,
+    unwind_client_frame,
+)
 
 
 @dataclass
@@ -118,6 +125,51 @@ class Handle:
                                    record_checkpoints=record_checkpoints)
         self.calls_served += 1
         return result
+
+    def receive_batch(self, shared_stack: SimStack, batch: BatchCallFrame,
+                      plan, env: CallEnvironment) -> Dict[int, Any]:
+        """Drain one super-frame: execute every allowed entry, unwind the rest.
+
+        ``plan`` is one ``(function, allowed)`` pair per entry of ``batch``
+        (submission order).  The stub pushed the queue newest-first, so the
+        topmost frame is the *first* submission and the drain executes the
+        queue in FIFO order; each allowed entry relays through the ordinary
+        :func:`smod_stub_receive` on the secret stack and its remains (args
+        + restored ret/fp) are then popped as stub fix-up work — in a batch
+        the client never revisits individual frames, so the handle, not the
+        client stub, leaves the stack clean.  Denied entries unwind with the
+        exact denied-call pops of the single path.
+
+        Returns ``{entry index: result}`` for the entries that executed.
+        """
+        if not self.ready:
+            raise SimulationError(
+                f"handle pid {self.proc.pid} received a batch before the "
+                f"session handshake completed")
+        if len(plan) != len(batch.frames):
+            raise SimulationError(
+                f"batch plan names {len(plan)} entries for "
+                f"{len(batch.frames)} frames")
+        results: Dict[int, Any] = {}
+        for index in range(len(batch.frames)):
+            frame = batch.frames[index]
+            function, allowed = plan[index]
+            if not allowed or function is None:
+                unwind_client_frame(shared_stack, frame)
+                continue
+            results[index] = smod_stub_receive(
+                shared_stack, frame, function, env,
+                secret_stack=self.secret_stack)
+            # drain the executed frame's remains: restored fp/ret, then args
+            shared_stack.pop(SlotKind.FRAME_POINTER,
+                             cost_op=costs.SMOD_STACK_FIXUP_WORD)
+            shared_stack.pop(SlotKind.RETURN_ADDRESS,
+                             cost_op=costs.SMOD_STACK_FIXUP_WORD)
+            for _ in frame.args:
+                shared_stack.pop(SlotKind.ARG,
+                                 cost_op=costs.SMOD_STACK_FIXUP_WORD)
+            self.calls_served += 1
+        return results
 
     # ----------------------------------------------------------------- teardown
     def kill(self) -> None:

@@ -120,7 +120,12 @@ class Session:
 
     def policy_context(self, module: RegisteredModule, function_name: str, *,
                        now_us: float, args_words: int = 0,
+                       pending_calls: int = 0,
                        attributes: Optional[dict] = None) -> PolicyContext:
+        """``pending_calls`` covers calls already granted but not yet
+        executed — the batched dispatch validates a whole queue before any
+        entry runs, and quota clauses must see each entry against the count
+        *including* its granted predecessors in the same queue."""
         credential = self.credentials[module.m_id]
         return PolicyContext(
             credential=credential,
@@ -129,7 +134,8 @@ class Session:
             principal=credential.principal,
             function_name=function_name,
             now_us=now_us,
-            calls_this_session=self.calls_per_module.get(module.m_id, 0),
+            calls_this_session=(self.calls_per_module.get(module.m_id, 0)
+                                + pending_calls),
             args_words=args_words,
             attributes=dict(attributes or {}),
         )
@@ -189,12 +195,20 @@ class SessionManager:
 
     def __init__(self, kernel, registry: ModuleRegistry, *,
                  n_shards: int = DEFAULT_SESSION_SHARDS,
-                 decision_cache=None) -> None:
+                 decision_cache=None,
+                 charge_shard_locks: bool = False) -> None:
         if n_shards < 1:
             raise SimulationError("session table needs at least one shard")
         self.kernel = kernel
         self.registry = registry
         self.n_shards = n_shards
+        #: charge :data:`~repro.sim.costs.SMOD_SHARD_LOCK` on every shard
+        #: touch.  Off by default: the paper's uniprocessor kernel compiles
+        #: the shard locks out, which keeps the Figure 8 runs cycle-identical
+        #: to the published setup.  The multi-client traffic engine turns it
+        #: on so shard count shows up in cycle accounting under load.
+        self.charge_shard_locks = charge_shard_locks
+        self.shard_lock_acquisitions = 0
         #: authoritative store: shard -> {(client_pid, session_id): Session}
         self._shards: Tuple[Dict[Tuple[int, int], Session], ...] = tuple(
             {} for _ in range(n_shards))
@@ -210,6 +224,18 @@ class SessionManager:
     def _shard_index(self, client_pid: int) -> int:
         return client_pid % self.n_shards
 
+    def _shard(self, client_pid: int) -> Dict[Tuple[int, int], Session]:
+        """Acquire (and charge for) the shard covering ``client_pid``.
+
+        Every read or write of a shard goes through here so the per-shard
+        lock acquisition is visible in cycle accounting when
+        ``charge_shard_locks`` is on.
+        """
+        if self.charge_shard_locks:
+            self.kernel.machine.charge(costs.SMOD_SHARD_LOCK)
+            self.shard_lock_acquisitions += 1
+        return self._shards[self._shard_index(client_pid)]
+
     def shard_sizes(self) -> List[int]:
         """Entries per shard (observability for the throughput reports)."""
         return [len(shard) for shard in self._shards]
@@ -220,7 +246,7 @@ class SessionManager:
 
     def for_client(self, proc: Proc) -> List[Session]:
         """Every live session held by ``proc``, in establishment order."""
-        shard = self._shards[self._shard_index(proc.pid)]
+        shard = self._shard(proc.pid)
         return [shard[(proc.pid, sid)]
                 for sid in self._client_sessions.get(proc.pid, ())
                 if (proc.pid, sid) in shard]
@@ -347,7 +373,7 @@ class SessionManager:
             session.credentials[module.m_id] = credential
             module.sessions_opened += 1
         self._by_id[session.session_id] = session
-        shard = self._shards[self._shard_index(client.pid)]
+        shard = self._shard(client.pid)
         shard[(client.pid, session.session_id)] = session
         self._client_sessions.setdefault(client.pid, []).append(
             session.session_id)
@@ -433,7 +459,7 @@ class SessionManager:
         handle_proc = session.handle.proc
 
         # drop this session from the sharded table and the client index first
-        shard = self._shards[self._shard_index(client.pid)]
+        shard = self._shard(client.pid)
         shard.pop((client.pid, session.session_id), None)
         remaining_ids = self._client_sessions.get(client.pid, [])
         if session.session_id in remaining_ids:

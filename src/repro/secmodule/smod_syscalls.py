@@ -28,6 +28,7 @@ from ..kernel.proc import Proc
 from ..kernel.syscall import (
     SYS_smod_add,
     SYS_smod_call,
+    SYS_smod_call_batch,
     SYS_smod_find,
     SYS_smod_handle_info,
     SYS_smod_remove,
@@ -83,6 +84,9 @@ class SmodExtension:
                                  self._sys_smod_remove, arg_words=3)
         kernel.syscalls.register(SYS_smod_call, "smod_call",
                                  self._sys_smod_call, arg_words=4)
+        # beyond Figure 4: the batched flush (framep, rtnaddr, queuep, count)
+        kernel.syscalls.register(SYS_smod_call_batch, "smod_call_batch",
+                                 self._sys_smod_call_batch, arg_words=4)
         kernel.syscalls.register(SYS_smod_start_session, "smod_start_session",
                                  self._sys_smod_start_session, arg_words=1)
 
@@ -189,6 +193,25 @@ class SmodExtension:
         if not outcome.ok:
             return fail(outcome.errno)
         return ok(outcome.value)
+
+    def _sys_smod_call_batch(self, kernel, proc: Proc, batch,
+                             config: Optional[DispatchConfig] = None
+                             ) -> SyscallResult:
+        """One trap dispatching a whole queue of protected calls.
+
+        The super-frame's stack resolves which session serves the batch (all
+        entries of a queue belong to one session, like the single call's
+        ``framep``).  Per-entry failures ride inside the returned
+        :class:`~repro.secmodule.dispatch.BatchOutcome`; only a whole-queue
+        rejection surfaces as a syscall error.
+        """
+        first_m_id = batch.frames[0].module_id if batch.frames else -1
+        session = self.sessions.session_for_call(proc, first_m_id, batch)
+        outcome = self.dispatcher.sys_smod_call_batch(
+            proc, session, batch, config=config or DispatchConfig())
+        if outcome.errno is not None:
+            return fail(outcome.errno)
+        return ok(outcome)
 
 
 def install_secmodule(kernel: Kernel) -> SmodExtension:

@@ -187,6 +187,96 @@ class ClientStub:
             stack.pop(SlotKind.ARG)
 
 
+def unwind_client_frame(stack: SimStack, frame: StubCallFrame) -> None:
+    """Pop one full step-2 frame that will never (or did not) execute.
+
+    Used on two paths: the dispatcher's denied-call unwind and the handle's
+    drain of batch entries whose per-entry validation failed.  The whole
+    unwind is stub fix-up work, so every pop — the duplicated fp/ret pair,
+    the id pair, *and* the original frame — is charged at
+    :data:`~repro.sim.costs.SMOD_STACK_FIXUP_WORD`, mirroring the push path
+    above where the stub (not ordinary user code) put the extra words there.
+    """
+    # duplicated fp/ret, func/module ids, then the original frame
+    for _ in range(4):
+        stack.pop(cost_op=costs.SMOD_STACK_FIXUP_WORD)
+    stack.pop(cost_op=costs.SMOD_STACK_FIXUP_WORD)   # frame pointer
+    stack.pop(cost_op=costs.SMOD_STACK_FIXUP_WORD)   # return address
+    for _ in frame.args:
+        stack.pop(cost_op=costs.SMOD_STACK_FIXUP_WORD)
+
+
+@dataclass
+class BatchCallFrame:
+    """A super-frame: N complete stub frames pushed back to back.
+
+    Each entry's frame is byte-for-byte the single-call step-2 layout, so
+    the handle can relay every entry through the ordinary
+    :func:`smod_stub_receive` and a failed entry unwinds with the ordinary
+    denied-call pops — the batch changes *when* the two context switches
+    happen, never the per-frame stack discipline.  The stub pushes the
+    *last* queued call first, so the first submission ends up topmost and
+    the handle's LIFO drain executes the queue in submission (FIFO) order.
+    """
+
+    #: per-entry frames in submission order (frames[0] is topmost on stack)
+    frames: List[StubCallFrame] = field(default_factory=list)
+    #: the shared stack the super-frame lives on (``framep`` disambiguation,
+    #: exactly as on the single-call path)
+    stack: Optional[SimStack] = None
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+
+class BatchStub:
+    """The client-side batching stub (``smod_stub_call_batch``).
+
+    Protected calls are queued in user space and flushed as one super-frame
+    through a single ``sys_smod_call_batch`` trap, amortizing the trap and
+    the two context switches over the whole queue.  Queueing is free at the
+    stub level (the args were going onto the stack anyway); the flush pushes
+    every queued frame with the ordinary single-call stack discipline.
+    """
+
+    def __init__(self) -> None:
+        self.queue: List[Tuple[ClientStub, Tuple[Any, ...]]] = []
+
+    def enqueue(self, stub: ClientStub, args: Sequence[Any]) -> None:
+        self.queue.append((stub, tuple(args)))
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+    def words_needed(self) -> int:
+        """Stack words one flush will push: args + 6 stub words per frame."""
+        return sum(len(args) + 6 for _, args in self.queue)
+
+    def push_batch(self, stack: SimStack, *,
+                   record_checkpoints: bool = False) -> BatchCallFrame:
+        """Flush the queue: push newest first, so the oldest call is topmost
+        and the handle's stack-ordered drain runs the queue FIFO.
+
+        The capacity check happens **before** the first push: a queue that
+        cannot fit must fail cleanly rather than overflow halfway through
+        and strand a partial super-frame on the shared stack.
+        """
+        if stack.depth() + self.words_needed() > stack.capacity:
+            raise SimulationError(
+                f"batch of {len(self.queue)} calls ({self.words_needed()} "
+                f"words) cannot fit on stack {stack.name!r} "
+                f"(depth {stack.depth()}/{stack.capacity}); flush a smaller "
+                f"queue")
+        batch = BatchCallFrame(stack=stack)
+        batch.frames = [None] * len(self.queue)
+        for index in range(len(self.queue) - 1, -1, -1):
+            stub, args = self.queue[index]
+            batch.frames[index] = stub.push_call(
+                stack, args, record_checkpoints=record_checkpoints)
+        self.queue.clear()
+        return batch
+
+
 def smod_stub_receive(stack: SimStack, frame: StubCallFrame, function,
                       env, *, secret_stack: Optional[SimStack] = None,
                       record_checkpoints: bool = False) -> Any:

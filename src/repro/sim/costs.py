@@ -75,10 +75,13 @@ MSGQ_PER_WORD = "msgq_per_word"
 
 # --- SecModule-specific kernel work ----------------------------------------
 SMOD_SESSION_LOOKUP = "smod_session_lookup"
+SMOD_SHARD_LOCK = "smod_shard_lock"       # acquire one session-table shard lock
 SMOD_CRED_CHECK = "smod_cred_check"       # the "always allowed" base check
 SMOD_POLICY_STEP = "smod_policy_step"     # each additional policy clause
 SMOD_POLICY_CACHE_HIT = "smod_policy_cache_hit"  # memoized decision lookup
 SMOD_STACK_FIXUP_WORD = "smod_stack_fixup_word"
+SMOD_BATCH_SETUP = "smod_batch_setup"     # per-batch super-frame bookkeeping
+SMOD_BATCH_ENTRY = "smod_batch_entry"     # per-entry walk of the call queue
 SMOD_REGISTER_BASE = "smod_register_base"
 CIPHER_BLOCK = "cipher_block"             # decrypt/encrypt one 8-byte block
 KEY_SCHEDULE = "key_schedule"
@@ -111,9 +114,10 @@ ALL_OPERATIONS: tuple[str, ...] = (
     UVM_MAP_ENTRY_OP, UVM_PAGE_OP, UVM_FAULT_BASE, UVM_FAULT_SHARE,
     OBREAK_BASE,
     MSGQ_SEND, MSGQ_RECV, MSGQ_PER_WORD,
-    SMOD_SESSION_LOOKUP, SMOD_CRED_CHECK, SMOD_POLICY_STEP,
+    SMOD_SESSION_LOOKUP, SMOD_SHARD_LOCK, SMOD_CRED_CHECK, SMOD_POLICY_STEP,
     SMOD_POLICY_CACHE_HIT,
-    SMOD_STACK_FIXUP_WORD, SMOD_REGISTER_BASE, CIPHER_BLOCK, KEY_SCHEDULE,
+    SMOD_STACK_FIXUP_WORD, SMOD_BATCH_SETUP, SMOD_BATCH_ENTRY,
+    SMOD_REGISTER_BASE, CIPHER_BLOCK, KEY_SCHEDULE,
     USER_STACK_WORD, USER_CALL_OVERHEAD,
     FUNC_BODY_TESTINCR, FUNC_BODY_GETPID, FUNC_BODY_SMOD_GETPID, MALLOC_BODY,
     XDR_ITEM, UDP_SEND_PATH, UDP_RECV_PATH, SOCKET_ALLOC,
@@ -237,10 +241,13 @@ def _pentium3_table() -> Dict[str, int]:
         MSGQ_PER_WORD: 4,
         # SecModule kernel work
         SMOD_SESSION_LOOKUP: 85,
+        SMOD_SHARD_LOCK: 26,
         SMOD_CRED_CHECK: 110,
         SMOD_POLICY_STEP: 140,
         SMOD_POLICY_CACHE_HIT: 30,
         SMOD_STACK_FIXUP_WORD: 9,
+        SMOD_BATCH_SETUP: 120,
+        SMOD_BATCH_ENTRY: 18,
         SMOD_REGISTER_BASE: 9_000,
         CIPHER_BLOCK: 52,
         KEY_SCHEDULE: 1_400,

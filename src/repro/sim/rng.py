@@ -84,3 +84,63 @@ class DeterministicRNG:
 
     def permutation(self, n: int) -> np.ndarray:
         return self._rng.permutation(n)
+
+
+class TwoStateMMPP:
+    """A two-state Markov-modulated Poisson process (on/off bursts).
+
+    The classic bursty-arrival model: the source alternates between an ON
+    state, where arrivals are Poisson with a short mean interval, and an OFF
+    state with a long mean interval (or near-silence).  State sojourn times
+    are themselves exponential, so a trace is fully described by four means —
+    all in the same (virtual-microsecond) unit the traffic engine uses.
+
+    Every draw comes from one :class:`DeterministicRNG` stream, so a given
+    seed replays the exact same burst pattern.
+    """
+
+    ON = "on"
+    OFF = "off"
+
+    def __init__(self, rng: DeterministicRNG, *,
+                 on_interval: float, off_interval: float,
+                 on_duration: float, off_duration: float,
+                 start_state: str = ON) -> None:
+        if min(on_interval, off_interval, on_duration, off_duration) <= 0:
+            raise ValueError("MMPP means must all be positive")
+        if start_state not in (self.ON, self.OFF):
+            raise ValueError(f"unknown MMPP state {start_state!r}")
+        self.rng = rng
+        self.on_interval = float(on_interval)
+        self.off_interval = float(off_interval)
+        self.on_duration = float(on_duration)
+        self.off_duration = float(off_duration)
+        self.state = start_state
+        self._state_remaining = rng.exponential(
+            on_duration if start_state == self.ON else off_duration)
+
+    def _mean_interval(self) -> float:
+        return (self.on_interval if self.state == self.ON
+                else self.off_interval)
+
+    def _flip(self) -> None:
+        self.state = self.OFF if self.state == self.ON else self.ON
+        self._state_remaining = self.rng.exponential(
+            self.on_duration if self.state == self.ON else self.off_duration)
+
+    def next_interarrival(self) -> float:
+        """Time to the next arrival, advancing the modulating chain.
+
+        Uses the standard thinning-free construction: draw an interarrival
+        at the current state's rate; if it outlives the state's remaining
+        sojourn, spend the sojourn, flip states and continue drawing from
+        the new rate until an arrival lands inside a sojourn.
+        """
+        elapsed = 0.0
+        while True:
+            gap = self.rng.exponential(self._mean_interval())
+            if gap <= self._state_remaining:
+                self._state_remaining -= gap
+                return elapsed + gap
+            elapsed += self._state_remaining
+            self._flip()

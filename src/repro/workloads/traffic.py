@@ -12,18 +12,25 @@ calls:
 * ``test_null`` — *denied* by the modules' function-denylist clause, so a
   configurable slice of the traffic exercises the EACCES unwind path.
 
-Arrival is either **closed-loop** (each client issues its next call after
-an exponential think time following the previous completion) or
-**open-loop** (each client's arrivals are a pre-drawn Poisson process,
-independent of completions).  All randomness comes from per-client child
-streams of one :class:`~repro.sim.rng.DeterministicRNG`, so a given seed
-replays the exact same interleaving, call mix and cycle totals.
+Arrival is **closed-loop** (each client issues its next call after an
+exponential think time following the previous completion), **open-loop**
+(each client's arrivals are a pre-drawn Poisson process, independent of
+completions), or **mmpp** (open-loop with bursty two-state Markov-modulated
+interarrivals: short-interval ON bursts separated by long OFF lulls).  All
+randomness comes from per-client child streams of one
+:class:`~repro.sim.rng.DeterministicRNG`, so a given seed replays the exact
+same interleaving, call mix and cycle totals.
+
+Clients may also *batch*: with ``batch_size > 1`` each arrival event
+flushes a queue of protected calls against one session through the batched
+dispatch path, paying the trap and the two context switches once per queue.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import SimulationError
@@ -45,7 +52,7 @@ from ..secmodule.protection import ProtectionMode
 from ..secmodule.session import SessionDescriptor, build_requirements
 from ..secmodule.smod_syscalls import SmodExtension, install_secmodule
 from ..sim import costs
-from ..sim.rng import DeterministicRNG
+from ..sim.rng import DeterministicRNG, TwoStateMMPP
 from ..sim.stats import percentile
 from ..userland.process import Program
 
@@ -64,13 +71,27 @@ class TrafficSpec:
     clients: int = 8
     modules: int = 2
     calls_per_client: int = 32
-    #: "closed" (think-time loop) or "open" (Poisson arrivals)
+    #: "closed" (think-time loop), "open" (Poisson arrivals) or "mmpp"
+    #: (open-loop with bursty two-state on/off interarrivals)
     arrival: str = "closed"
-    #: mean think / inter-arrival time, virtual microseconds
+    #: mean think / inter-arrival time, virtual microseconds (the OFF-state
+    #: interarrival mean under "mmpp")
     mean_interval_us: float = 25.0
+    #: "mmpp" only: ON-state (burst) interarrival mean and the mean sojourn
+    #: in each state, all in virtual microseconds
+    burst_interval_us: float = 4.0
+    burst_on_us: float = 120.0
+    burst_off_us: float = 480.0
+    #: calls queued per flush: 1 issues every call through the paper's
+    #: single-call path; >1 flushes queues through sys_smod_call_batch
+    batch_size: int = 1
     #: one session per module per client (the multi-session engine); when
     #: False each client opens a single session naming every module
     multi_session: bool = True
+    #: charge the per-shard lock-acquisition micro-op on session-table
+    #: touches (the SMP build of the kernel; the paper's uniprocessor
+    #: figures compile it out)
+    smp_shard_locks: bool = True
     #: policy chain attached to every traffic module: "static" (cacheable),
     #: "quota", "expiry", or "deny-only"
     policy_kind: str = "static"
@@ -84,8 +105,10 @@ class TrafficSpec:
     def __post_init__(self) -> None:
         if self.clients < 1 or self.modules < 1 or self.calls_per_client < 1:
             raise SimulationError("traffic spec must be positive in all dims")
-        if self.arrival not in ("closed", "open"):
+        if self.arrival not in ("closed", "open", "mmpp"):
             raise SimulationError(f"unknown arrival mode {self.arrival!r}")
+        if self.batch_size < 1:
+            raise SimulationError("batch_size must be at least 1")
 
 
 def traffic_policy(spec: TrafficSpec) -> Policy:
@@ -215,9 +238,13 @@ class TrafficEngine:
                  dispatch_config: Optional[DispatchConfig] = None) -> None:
         self.spec = spec
         self.config = dispatch_config or DispatchConfig()
+        if spec.batch_size != 1:
+            # the workload knob wins: clients flush queues of this depth
+            self.config = replace(self.config, batch_size=spec.batch_size)
         self.machine = machine or make_paper_machine(seed=spec.seed)
         self.kernel = Kernel(machine=self.machine).boot()
         self.extension: SmodExtension = install_secmodule(self.kernel)
+        self.extension.sessions.charge_shard_locks = spec.smp_shard_locks
         self.rng = DeterministicRNG(spec.seed)
         self.modules: List = []
         self.clients: List[ClientState] = []
@@ -277,22 +304,52 @@ class TrafficEngine:
                                     self.machine.spec.mhz))
             self.machine.clock.advance(idle_cycles)
 
-    def _one_call(self, state: ClientState) -> None:
-        registered = self.modules[state.rng.integer(0, len(self.modules) - 1)]
+    def _draw_call(self, state: ClientState, offset: int) -> Tuple[str, Tuple]:
         function_name = state.rng.weighted_choice(self._mix_names,
                                                   self._mix_weights)
-        args = (state.calls_issued,) if function_name == "test_incr" else ()
-        session = state.pick_session(registered.m_id)
+        args = ((state.calls_issued + offset,)
+                if function_name == "test_incr" else ())
+        return function_name, args
 
+    def _one_flush(self, state: ClientState, count: int) -> None:
+        """One arrival event: ``count`` calls against one session.
+
+        ``count == 1`` goes through the ordinary single-call path (so a
+        ``batch_size=1`` run is the paper's per-call dispatch, cycle for
+        cycle); larger counts flush one queue through the batched path.  A
+        queue targets a single module/session — a super-frame lives on
+        exactly one shared stack.
+        """
+        registered = self.modules[state.rng.integer(0, len(self.modules) - 1)]
+        session = state.pick_session(registered.m_id)
         mark = self.machine.clock.checkpoint()
-        outcome = self.extension.dispatcher.call(
-            session, function_name, *args, config=self.config)
+        if count == 1:
+            name, args = self._draw_call(state, 0)
+            outcome = self.extension.dispatcher.call(
+                session, name, *args, config=self.config)
+            denied = 0 if outcome.ok else 1
+        else:
+            calls = [self._draw_call(state, offset) for offset in range(count)]
+            batch = self.extension.dispatcher.call_batch(
+                session, calls, config=self.config)
+            denied = batch.denied
         service_us = self.machine.clock.since(mark).microseconds(
             self.machine.spec.mhz)
-        state.calls_issued += 1
-        state.latencies_us.append(service_us)
-        if not outcome.ok:
-            state.calls_denied += 1
+        state.calls_issued += count
+        state.latencies_us.extend([service_us / count] * count)
+        state.calls_denied += denied
+
+    def _interarrival_source(self, state: ClientState):
+        """Per-client interarrival draw for the pre-drawn (open) schedules."""
+        spec = self.spec
+        if spec.arrival == "mmpp":
+            mmpp = TwoStateMMPP(state.rng,
+                                on_interval=spec.burst_interval_us,
+                                off_interval=spec.mean_interval_us,
+                                on_duration=spec.burst_on_us,
+                                off_duration=spec.burst_off_us)
+            return mmpp.next_interarrival
+        return lambda: state.rng.exponential(spec.mean_interval_us)
 
     def run(self) -> TrafficResult:
         """Drive the full call schedule and collect the result."""
@@ -300,36 +357,51 @@ class TrafficEngine:
         spec = self.spec
         start_mark = self.machine.clock.checkpoint()
 
+        # each arrival event flushes up to batch_size calls
+        flushes = math.ceil(spec.calls_per_client / spec.batch_size)
+        last_flush = (spec.calls_per_client -
+                      (flushes - 1) * spec.batch_size)
+
+        def flush_size(nth: int) -> int:
+            return spec.batch_size if nth < flushes - 1 else last_flush
+
         # (fire_time_us, tiebreak, client_index); the tiebreak keeps heap
         # ordering deterministic when two clients share a fire time
         events: List[Tuple[float, int, int]] = []
         tiebreak = 0
         base_us = self.machine.microseconds()
-        if spec.arrival == "open":
-            # pre-draw every arrival per client (Poisson process)
+        if spec.arrival in ("open", "mmpp"):
+            # pre-draw every arrival per client, independent of completions
             for state in self.clients:
+                draw = self._interarrival_source(state)
                 at = base_us
-                for _ in range(spec.calls_per_client):
-                    at += state.rng.exponential(spec.mean_interval_us)
+                for _ in range(flushes):
+                    at += draw()
                     heapq.heappush(events, (at, tiebreak, state.index))
                     tiebreak += 1
+            flushed: Dict[int, int] = {s.index: 0 for s in self.clients}
             while events:
                 at, _, index = heapq.heappop(events)
                 state = self.clients[index]
                 self._advance_clock_to(at)
-                state.queue_delays_us.append(
-                    max(0.0, self.machine.microseconds() - at))
-                self._one_call(state)
+                count = flush_size(flushed[index])
+                flushed[index] += 1
+                state.queue_delays_us.extend(
+                    [max(0.0, self.machine.microseconds() - at)] * count)
+                self._one_flush(state, count)
         else:
             for state in self.clients:
                 first = base_us + state.rng.exponential(spec.mean_interval_us)
                 heapq.heappush(events, (first, tiebreak, state.index))
                 tiebreak += 1
+            flushed = {s.index: 0 for s in self.clients}
             while events:
                 at, _, index = heapq.heappop(events)
                 state = self.clients[index]
                 self._advance_clock_to(at)
-                self._one_call(state)
+                count = flush_size(flushed[index])
+                flushed[index] += 1
+                self._one_flush(state, count)
                 if state.calls_issued < spec.calls_per_client:
                     next_at = (self.machine.microseconds() +
                                state.rng.exponential(spec.mean_interval_us))

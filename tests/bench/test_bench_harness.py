@@ -170,11 +170,37 @@ class TestAblations:
         assert "machine" in result.render()
 
 
+class TestBatchSweep:
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.bench.batch import run_batch_sweep
+        return run_batch_sweep(sizes=(1, 2, 4, 8), calls=48)
+
+    def test_batch1_cycle_identical_to_single_call(self, report):
+        assert report.batch1_matches_single_call()
+
+    def test_cycles_per_call_monotonically_decreasing(self, report):
+        assert report.monotonically_decreasing()
+
+    def test_switch_pair_amortized(self, report):
+        assert report.point(1).switches_per_call == pytest.approx(2.0)
+        assert report.point(8).switches_per_call == pytest.approx(0.25)
+
+    def test_batch1_lands_on_paper_dispatch_latency(self, report):
+        assert report.us_per_call(report.point(1)) == \
+            pytest.approx(6.407, abs=0.35)
+
+    def test_render_reports_the_checks(self, report):
+        text = report.render()
+        assert "identical" in text and "monotonically decreasing: yes" in text
+
+
 class TestHarnessAndCli:
     def test_experiment_table_covers_design_doc(self):
         for experiment_id in ("fig1", "fig2", "fig3", "fig7", "fig8",
                               "abl-policy", "abl-hardening", "abl-marshalling",
-                              "abl-protection", "abl-argsize", "abl-machine"):
+                              "abl-protection", "abl-argsize", "abl-machine",
+                              "abl-throughput", "abl-batch"):
             assert experiment_id in EXPERIMENTS
 
     def test_run_experiment_fig7(self):
@@ -192,6 +218,11 @@ class TestHarnessAndCli:
         assert cli_main(["fig8", "--trials", "1", "--sample-calls", "8"]) == 0
         out = capsys.readouterr().out
         assert "RPC(test-incr)" in out
+
+    def test_cli_bench_batch_fast(self, capsys):
+        assert cli_main(["bench", "batch", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "batch size" in out and "monotonically decreasing: yes" in out
 
     def test_cli_output_file(self, tmp_path, capsys):
         target = tmp_path / "fig7.txt"

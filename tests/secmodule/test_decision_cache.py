@@ -198,3 +198,71 @@ class TestInvalidation:
         assert len(cache) == 1
         assert cache.invalidate_all() == 1
         assert len(cache) == 0
+
+
+class FakeSession:
+    def __init__(self, session_id=1, policy_epoch=0):
+        self.session_id = session_id
+        self.policy_epoch = policy_epoch
+
+
+def _decision():
+    from repro.secmodule.policy import PolicyDecision
+    return PolicyDecision(True, 1)
+
+
+class TestCapacityAndEviction:
+    def test_capacity_bounds_each_session(self):
+        cache = DecisionCache(capacity_per_session=4)
+        session = FakeSession()
+        for func_id in range(10):
+            cache.store(session, 1, func_id, _decision())
+        assert cache.session_entry_count(1) == 4
+        assert cache.evictions == 6
+        assert cache.snapshot()["evictions"] == 6
+
+    def test_eviction_is_least_recently_used(self):
+        cache = DecisionCache(capacity_per_session=2)
+        session = FakeSession()
+        cache.store(session, 1, 0, _decision())
+        cache.store(session, 1, 1, _decision())
+        # touch func 0 so func 1 becomes the LRU victim
+        assert cache.lookup(session, 1, 0) is not None
+        cache.store(session, 1, 2, _decision())
+        assert cache.lookup(session, 1, 0) is not None
+        assert cache.lookup(session, 1, 2) is not None
+        assert cache.lookup(session, 1, 1) is None      # evicted
+        assert cache.evictions == 1
+
+    def test_restoring_existing_key_never_evicts(self):
+        cache = DecisionCache(capacity_per_session=2)
+        session = FakeSession()
+        cache.store(session, 1, 0, _decision())
+        cache.store(session, 1, 1, _decision())
+        cache.store(session, 1, 1, _decision())          # overwrite in place
+        assert cache.evictions == 0
+        assert cache.session_entry_count(1) == 2
+
+    def test_sessions_have_independent_budgets(self):
+        cache = DecisionCache(capacity_per_session=2)
+        a, b = FakeSession(1), FakeSession(2)
+        for func_id in range(2):
+            cache.store(a, 1, func_id, _decision())
+            cache.store(b, 1, func_id, _decision())
+        cache.store(a, 1, 9, _decision())                # evicts only in a
+        assert cache.evictions == 1
+        assert cache.session_entry_count(1) == 2
+        assert cache.session_entry_count(2) == 2
+        assert cache.lookup(b, 1, 0) is not None
+
+    def test_invalid_capacity_rejected(self):
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError):
+            DecisionCache(capacity_per_session=0)
+
+    def test_default_capacity_sees_no_evictions_in_traffic(self):
+        """The acceptance bar: existing workloads never evict."""
+        from repro.workloads.traffic import TrafficSpec, run_traffic
+        result = run_traffic(TrafficSpec(clients=4, modules=2,
+                                         calls_per_client=8, seed=5))
+        assert result.cache_stats["evictions"] == 0

@@ -114,3 +114,51 @@ class TestTraceBuffer:
         buffer.emit("c", "alpha")
         buffer.clear()
         assert len(buffer) == 0
+
+
+class TestTwoStateMMPP:
+    def _source(self, seed=42, **overrides):
+        from repro.sim.rng import TwoStateMMPP
+        params = dict(on_interval=2.0, off_interval=50.0,
+                      on_duration=100.0, off_duration=400.0)
+        params.update(overrides)
+        return TwoStateMMPP(DeterministicRNG(seed), **params)
+
+    def test_deterministic_replay(self):
+        a, b = self._source(7), self._source(7)
+        assert [a.next_interarrival() for _ in range(50)] == \
+            [b.next_interarrival() for _ in range(50)]
+
+    def test_draws_are_positive(self):
+        source = self._source()
+        assert all(source.next_interarrival() > 0 for _ in range(200))
+
+    def test_burstier_than_poisson(self):
+        """With a fast ON state and a slow OFF state the interarrival
+        distribution must be overdispersed relative to an exponential with
+        the same mean (squared coefficient of variation > 1)."""
+        source = self._source(on_interval=1.0, off_interval=200.0,
+                              on_duration=50.0, off_duration=500.0)
+        draws = [source.next_interarrival() for _ in range(4000)]
+        mean = sum(draws) / len(draws)
+        var = sum((d - mean) ** 2 for d in draws) / len(draws)
+        assert var / (mean * mean) > 1.5
+
+    def test_state_modulation_actually_flips(self):
+        from repro.sim.rng import TwoStateMMPP
+        source = self._source(on_duration=5.0, off_duration=5.0)
+        seen = {source.state}
+        for _ in range(500):
+            source.next_interarrival()
+            seen.add(source.state)
+        assert seen == {TwoStateMMPP.ON, TwoStateMMPP.OFF}
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            self._source(on_interval=0.0)
+        with pytest.raises(ValueError):
+            self._source(off_duration=-1.0)
+        from repro.sim.rng import TwoStateMMPP
+        with pytest.raises(ValueError):
+            TwoStateMMPP(DeterministicRNG(1), on_interval=1, off_interval=1,
+                         on_duration=1, off_duration=1, start_state="limbo")

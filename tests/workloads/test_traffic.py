@@ -98,6 +98,88 @@ class TestTrafficMechanics:
         assert result.cache_stats["entries"] == 0
 
 
+class TestBurstyArrivals:
+    def test_mmpp_runs_full_schedule_deterministically(self):
+        spec = small_spec(arrival="mmpp", calls_per_client=8)
+        a = run_traffic(spec)
+        b = run_traffic(spec)
+        assert a.total_calls == spec.clients * spec.calls_per_client
+        assert a.total_cycles == b.total_cycles
+        assert a.latencies_us == b.latencies_us
+
+    def test_mmpp_records_queue_delays(self):
+        spec = small_spec(arrival="mmpp", calls_per_client=8,
+                          burst_interval_us=1.0)
+        result = run_traffic(spec)
+        assert len(result.queue_delays_us) == \
+            spec.clients * spec.calls_per_client
+
+    def test_mmpp_burstier_than_open_poisson(self):
+        """Same mean OFF interval: the MMPP trace's queueing delay tail
+        must dominate the plain Poisson trace's."""
+        common = dict(clients=8, calls_per_client=16, seed=77,
+                      mean_interval_us=40.0)
+        poisson = run_traffic(TrafficSpec(arrival="open", **common))
+        bursty = run_traffic(TrafficSpec(arrival="mmpp",
+                                         burst_interval_us=1.0,
+                                         burst_on_us=200.0,
+                                         burst_off_us=200.0, **common))
+        assert bursty.queue_delay_percentile(99) > \
+            poisson.queue_delay_percentile(99)
+
+
+class TestBatchedTraffic:
+    def test_batched_run_issues_full_schedule(self):
+        spec = small_spec(batch_size=4, calls_per_client=10)
+        result = run_traffic(spec)
+        assert result.total_calls == spec.clients * spec.calls_per_client
+        assert len(result.latencies_us) == result.total_calls
+
+    def test_batching_reduces_cycles_per_call(self):
+        base = small_spec(calls_per_client=16)
+        batched = small_spec(calls_per_client=16, batch_size=8)
+        a = run_traffic(base)
+        b = run_traffic(batched)
+        assert b.cycles_per_call < a.cycles_per_call
+
+    def test_batched_run_deterministic(self):
+        spec = small_spec(batch_size=4, calls_per_client=12)
+        a = run_traffic(spec)
+        b = run_traffic(spec)
+        assert a.total_cycles == b.total_cycles
+        assert a.denied_calls == b.denied_calls
+
+    def test_batch_size_validation(self):
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError):
+            TrafficSpec(batch_size=0)
+
+
+class TestShardLockAccounting:
+    def test_traffic_charges_shard_locks(self):
+        from repro.sim import costs
+        engine = TrafficEngine(small_spec())
+        engine.run()
+        manager = engine.extension.sessions
+        assert manager.charge_shard_locks
+        assert manager.shard_lock_acquisitions > 0
+        assert engine.machine.meter.count(costs.SMOD_SHARD_LOCK) == \
+            manager.shard_lock_acquisitions
+
+    def test_uniprocessor_spec_compiles_locks_out(self):
+        from repro.sim import costs
+        engine = TrafficEngine(small_spec(smp_shard_locks=False))
+        engine.run()
+        assert engine.machine.meter.count(costs.SMOD_SHARD_LOCK) == 0
+
+    def test_lock_charge_visible_in_cycle_accounting(self):
+        spec_on = small_spec(calls_per_client=8)
+        spec_off = small_spec(calls_per_client=8, smp_shard_locks=False)
+        with_locks = run_traffic(spec_on)
+        without = run_traffic(spec_off)
+        assert with_locks.total_cycles > without.total_cycles
+
+
 class TestTrafficTeardown:
     def test_teardown_leaves_no_dangling_state(self):
         spec = small_spec()
