@@ -1,0 +1,47 @@
+"""The abl-pool experiment: handle-process count vs seats per handle.
+
+The acceptance bar for the handle-pool attachment API: at 64 sessions the
+resident handle count drops from 64 (the paper's 1:1 fork-per-session) to
+ceil(64 / max_sessions) as the pool policy admits more seats per handle,
+us/call stays monotone (non-decreasing — the only per-call price is the
+logarithmic routing walk), and the seats=1 point reproduces the paper's
+dispatch latency exactly.
+"""
+
+import math
+
+from repro.bench.pool import DEFAULT_SEATS, DEFAULT_SESSIONS, run_pool_sweep
+
+
+class TestPoolBench:
+    def test_full_sweep_1_to_64_seats(self, benchmark):
+        report = benchmark.pedantic(
+            run_pool_sweep,
+            kwargs={"seats": DEFAULT_SEATS, "sessions": DEFAULT_SESSIONS},
+            iterations=1, rounds=1)
+
+        assert report.seats == (1, 2, 4, 8, 16, 32, 64)
+        # the whole point: N sessions need only ceil(N / seats) handles
+        assert report.handle_counts_match()
+        assert report.point(1).handle_count == DEFAULT_SESSIONS
+        assert report.point(64).handle_count == \
+            math.ceil(DEFAULT_SESSIONS / 64)
+        assert report.monotone_us_per_call()
+        # seats=1 is the paper's 1:1 dispatch (Figure 8's 6.407 us/call)
+        assert abs(report.us_per_call(report.point(1)) - 6.407) < 0.01
+        # pooling keeps the dispatch hot path within a few percent...
+        assert report.us_per_call(report.point(64)) < \
+            report.us_per_call(report.point(1)) * 1.10
+        # ...while establishment gets much cheaper (no fork, no decryption)
+        assert report.establish_us(report.point(64)) < \
+            report.establish_us(report.point(1)) * 0.5
+
+        for point in report.points:
+            benchmark.extra_info[f"handles_s{point.max_sessions}"] = \
+                point.handle_count
+            benchmark.extra_info[f"us_per_call_s{point.max_sessions}"] = \
+                round(report.us_per_call(point), 3)
+        benchmark.extra_info["establish_us_s1"] = round(
+            report.establish_us(report.point(1)), 1)
+        benchmark.extra_info["establish_us_s64"] = round(
+            report.establish_us(report.point(64)), 1)

@@ -1,9 +1,15 @@
-"""Example: the multi-session traffic engine under mixed load.
+"""Example: the multi-session traffic engine and the handle broker.
 
 Runs 16 clients x 2 protected modules through the closed-loop traffic
-workload twice — once with the policy-decision cache, once with the
-paper's per-call policy evaluation — and prints the throughput and latency
-numbers side by side.
+workload three ways:
+
+* per-call policy evaluation, paper-default ``per_session`` handles
+  (every session owns a forked handle co-process, the 1:1 prototype);
+* the policy-decision cache, same 1:1 handles;
+* the decision cache plus ``per_module`` handle pooling — the module
+  owner registers a pool policy with the broker, so *one* handle
+  co-process per module serves all 16 clients and heavy-tailed
+  (lognormal) think times shape the load.
 
 Run with::
 
@@ -15,13 +21,18 @@ from repro.workloads.traffic import TrafficEngine, TrafficSpec
 
 
 def main() -> None:
-    spec = TrafficSpec(clients=16, modules=2, calls_per_client=16,
-                       policy_kind="static", seed=2026)
+    base = dict(clients=16, modules=2, calls_per_client=16,
+                policy_kind="static", seed=2026)
 
-    for label, config in (
-        ("per-call policy check (paper design)",
+    for label, spec, config in (
+        ("per-call policy check, per-session handles (paper design)",
+         TrafficSpec(**base),
          DispatchConfig(use_decision_cache=False)),
-        ("policy-decision cache",
+        ("decision cache, per-session handles",
+         TrafficSpec(**base),
+         DispatchConfig(use_decision_cache=True)),
+        ("decision cache, per-module handle pool, lognormal think",
+         TrafficSpec(**base, handle_policy="per_module", think="lognormal"),
          DispatchConfig(use_decision_cache=True)),
     ):
         engine = TrafficEngine(spec, dispatch_config=config)
@@ -31,9 +42,13 @@ def main() -> None:
         print(f"  cycles/call        {result.cycles_per_call:,.0f}")
         print(f"  cache              {result.cache_stats}")
         print(f"  session shards     {result.shard_sizes}")
+        print(f"  sessions/handles   {result.session_count}/"
+              f"{result.handle_count}")
+        print(f"  broker             {result.broker_stats}")
 
-        # a client may also hold *several* sessions over the same modules —
-        # the sharded table tracks every (client_pid, session_id) pair
+        # a client may hold *several* sessions over the same modules — the
+        # sharded table tracks every (client_pid, session_id) pair, and
+        # under a pooling policy those sessions share handle co-processes
         first = engine.clients[0]
         sessions = engine.extension.sessions.for_client(first.program.proc)
         print(f"  client 0 holds     {len(sessions)} sessions "
@@ -41,6 +56,8 @@ def main() -> None:
 
         engine.teardown()
         assert len(engine.kernel.msg) == 0, "teardown leaked message queues"
+        assert engine.extension.sessions.handle_count() == 0, \
+            "teardown left live handles"
         print("  teardown           clean (no msqids, no handles)\n")
 
 

@@ -22,6 +22,7 @@ from .ablations import (
 )
 from .batch import run_abl_batch
 from .figure7 import reproduce_figure7
+from .pool import run_abl_pool
 from .figure8 import reproduce_figure8
 from .figures123 import reproduce_figure1, reproduce_figure2, reproduce_figure3
 from .report import render_table, section
@@ -90,6 +91,10 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         "abl-batch",
         "Batched dispatch: amortizing the two context switches",
         run_abl_batch, kind="ablation"),
+    "abl-pool": ExperimentSpec(
+        "abl-pool",
+        "Handle pooling: one handle co-process serving many sessions",
+        run_abl_pool, kind="ablation"),
 }
 
 

@@ -9,6 +9,7 @@ command line::
     repro all -o report.txt       # everything, written to a file
     repro describe                # one-page tour of a live system
     repro bench throughput --clients 32   # multi-client traffic engine
+    repro bench pool --sessions 64        # handle pooling sweep (abl-pool)
 """
 
 from __future__ import annotations
@@ -20,6 +21,12 @@ from typing import List, Optional
 from .bench.batch import DEFAULT_CALLS, DEFAULT_SIZES, run_batch_sweep
 from .bench.figure8 import reproduce_figure8
 from .bench.harness import EXPERIMENTS, full_report, run_all, run_experiment
+from .bench.pool import (
+    DEFAULT_CALLS_PER_SESSION,
+    DEFAULT_SEATS,
+    DEFAULT_SESSIONS,
+    run_pool_sweep,
+)
 from .bench.throughput import run_throughput
 from .secmodule.api import SecModuleSystem
 
@@ -60,6 +67,18 @@ def build_parser() -> argparse.ArgumentParser:
     tp.add_argument("--seed", type=int, default=0xB07_7E57)
     tp.add_argument("--fast", action="store_true",
                     help="CI smoke: skip the open-loop leg")
+
+    pp = bench_sub.add_parser(
+        "pool", help="handle pooling: sessions/handle vs process count")
+    pp.add_argument("--seats", default=",".join(map(str, DEFAULT_SEATS)),
+                    help="comma-separated seats-per-handle values to sweep")
+    pp.add_argument("--sessions", type=int, default=DEFAULT_SESSIONS,
+                    help="sessions established per point")
+    pp.add_argument("--calls", type=int, default=DEFAULT_CALLS_PER_SESSION,
+                    help="protected calls per session in the call phase")
+    pp.add_argument("--seed", type=int, default=0x900_1)
+    pp.add_argument("--fast", action="store_true",
+                    help="CI smoke: fewer seats and sessions")
 
     bp = bench_sub.add_parser(
         "batch", help="batched dispatch: latency/call vs queue depth")
@@ -135,8 +154,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                     sizes = (1, 4, 16)
                 calls = min(calls, 48)
             report = run_batch_sweep(sizes=sizes, calls=calls, seed=args.seed)
+        elif args.bench_command == "pool":
+            seats = tuple(int(s) for s in args.seats.split(",") if s)
+            sessions = args.sessions
+            if args.fast:
+                # shrink only what the user left at the defaults
+                if seats == DEFAULT_SEATS:
+                    seats = (1, 4, 16)
+                sessions = min(sessions, 16)
+            report = run_pool_sweep(seats=seats, sessions=sessions,
+                                    calls_per_session=args.calls,
+                                    seed=args.seed)
         else:
-            parser.error("usage: repro bench {throughput,batch} [options]")
+            parser.error("usage: repro bench {throughput,batch,pool} [options]")
         _emit(report.render(), args.output)
         return 0
 

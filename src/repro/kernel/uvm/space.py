@@ -233,3 +233,35 @@ def uvmspace_force_share(handle_space: VMSpace, client_space: VMSpace,
     handle_space.brk = client_space.brk
     handle_space.stack_bottom = client_space.stack_bottom
     return shared
+
+
+def uvmspace_map_window(handle_space: VMSpace, client_space: VMSpace,
+                        start: int = SHARE_START,
+                        end: int = SHARE_END) -> int:
+    """Map an *attaching* client's shared window into a pooled handle.
+
+    The handle broker's Mir-style attach: a shared handle already
+    force-shared the window of the client it was forked from at
+    [start, end); each further seat's window lands at a relocated
+    per-session offset in the handle's map, so the original peer's window
+    (and the ``obreak`` peer links that keep it coherent) must stay
+    untouched.  The simulation charges the same duplicate-and-share work
+    per entry as :func:`uvmspace_force_share` — one map-entry op plus the
+    per-page sharing — without replacing the handle's existing mappings or
+    re-pointing ``smod_peer``, which would strand every earlier client
+    (and make two attached clients' heaps collide in the handle's map).
+
+    Returns the number of entries shared.
+    """
+    if start >= end:
+        raise SimulationError("share window is empty")
+    machine = handle_space.machine
+    shared = 0
+    for entry in client_space.vm_map.entries_in(start, end):
+        if entry.kind is not EntryKind.ANON or entry.amap is None:
+            continue
+        entry.shared = True
+        machine.charge(costs.UVM_MAP_ENTRY_OP)
+        machine.charge(costs.UVM_PAGE_OP, entry.pages)
+        shared += 1
+    return shared

@@ -11,8 +11,19 @@ prototype deployment did:
    point their text keys live only in kernel space;
 4. issue a credential to the client principal and link the client program
    the SecModule way (special crt0 + descriptor/credential objects);
-5. start the client and run its crt0 handshake, which forks the handle,
+5. start the client and run its crt0 handshake, which *attaches* a handle
+   through the :class:`~repro.secmodule.handle_pool.HandleBroker`,
    force-shares the address space and leaves an established session.
+
+Handles are no longer hard-wired one-per-session: ``create`` takes a
+``handle_policy`` — ``"per_session"`` (the paper default: the broker forks
+a private handle, cycle-identical to the original prototype),
+``"per_module"`` (one handle serves every session over the same module
+set) or ``"pooled:N"`` (shared handles capped at N sessions each) — and
+:meth:`create_multi` builds a whole fleet of clients whose sessions share
+pooled handles.  :meth:`attach_client` adds one more client to a live
+system; teardown detaches a session's seat and only the last detachment
+kills a shared handle.
 
 After :meth:`create`, :meth:`call` makes protected calls, :meth:`native_getpid`
 makes the baseline kernel call, and the benchmark harness drives both in
@@ -22,7 +33,7 @@ tight loops to regenerate Figure 8.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import SimulationError
 from ..hw.machine import Machine, make_paper_machine
@@ -32,6 +43,7 @@ from ..sim import costs
 from ..userland.process import Program
 from .credentials import Credential
 from .dispatch import DispatchConfig, DispatchOutcome
+from .handle_pool import HandlePolicy
 from .libc_conversion import build_test_module, convert_libc
 from .module import SecModuleDefinition
 from .policy import Policy
@@ -53,6 +65,21 @@ from .toolchain.stubgen import StubSet
 DEFAULT_PRINCIPAL = "alice"
 #: Default uid of the client process.
 DEFAULT_UID = 1000
+
+
+def _map_library_images(program: Program,
+                        modules: List[RegisteredModule]) -> None:
+    """Map the protected libraries' images into a client, as the dynamic
+    loader would before startup.  Under ENCRYPT protection the bytes mapped
+    here are already ciphertext (registration encrypted them); under UNMAP
+    protection the handshake tears these mappings out again."""
+    for module in modules:
+        image = module.definition.ensure_library_image()
+        text_sections = image.text_sections()
+        if text_sections:
+            program.proc.vmspace.map_text(
+                f"{image.name}:.text", bytes(text_sections[0].data),
+                encrypted=image.encrypted)
 
 
 @dataclass
@@ -77,6 +104,11 @@ class SecModuleSystem:
         self.extension = extension
         self.client = client
         self.session = session
+        #: every client program of the system, primary first (``create``
+        #: makes one; ``create_multi``/``attach_client`` grow the list)
+        self.clients: List[Program] = [client]
+        #: the primary session of each client, aligned with ``clients``
+        self.sessions: List[Session] = [session]
         self.libc_pack = libc_pack
         self.report = report or SystemBuildReport()
         self.default_config = DispatchConfig()
@@ -93,14 +125,20 @@ class SecModuleSystem:
                include_test_module: bool = True,
                extra_modules: Optional[List[SecModuleDefinition]] = None,
                dispatch_config: Optional[DispatchConfig] = None,
+               handle_policy=None,
                seed: int = 0x5EC_0DD5) -> "SecModuleSystem":
-        """Build a complete system ready to make protected calls."""
+        """Build a complete system ready to make protected calls.
+
+        ``handle_policy`` sets the broker default: ``"per_session"`` (paper
+        default, private forked handles), ``"per_module"``, ``"pooled:N"``
+        or a :class:`~repro.secmodule.handle_pool.HandlePolicy`.
+        """
         if not include_libc and not include_test_module and not extra_modules:
             raise SimulationError("system needs at least one module")
 
         machine = machine or make_paper_machine(seed=seed)
         kernel = Kernel(machine=machine).boot()
-        extension = install_secmodule(kernel)
+        extension = install_secmodule(kernel, handle_policy=handle_policy)
         report = SystemBuildReport()
 
         # -- toolchain + registration (as the trusted host) --------------------
@@ -142,20 +180,11 @@ class SecModuleSystem:
 
         # -- start the client and run its crt0 handshake -------------------------
         client = Program.spawn(kernel, "client", uid=uid)
-        # Map the client executable's text and the protected libraries' images
-        # into the client, as the dynamic loader would have before startup.
-        # Under ENCRYPT protection the library bytes mapped here are already
-        # ciphertext (registration encrypted them); under UNMAP protection the
-        # handshake will tear these mappings out of the client again.
+        # Map the client executable's text and the protected libraries'
+        # images into the client, as the dynamic loader would have.
         client_text = linked.image.get_section(".text")
         client.proc.vmspace.map_text("client:.text", bytes(client_text.data))
-        for module in registered:
-            image = module.definition.ensure_library_image()
-            text_sections = image.text_sections()
-            if text_sections:
-                client.proc.vmspace.map_text(
-                    f"{image.name}:.text", bytes(text_sections[0].data),
-                    encrypted=image.encrypted)
+        _map_library_images(client, registered)
         session_id = client.smod_crt0_startup(extension, linked.descriptor)
         session = extension.sessions.get(session_id)
         report.session_id = session_id
@@ -164,6 +193,62 @@ class SecModuleSystem:
                      libc_pack=libc_pack, report=report)
         system.default_config = dispatch_config or DispatchConfig()
         return system
+
+    @classmethod
+    def create_multi(cls, *, clients: int = 2,
+                     handle_policy="per_module",
+                     machine: Optional[Machine] = None,
+                     policy: Optional[Policy] = None,
+                     protection: ProtectionMode = ProtectionMode.ENCRYPT,
+                     uid: int = DEFAULT_UID,
+                     principal: str = DEFAULT_PRINCIPAL,
+                     include_libc: bool = False,
+                     include_test_module: bool = True,
+                     extra_modules: Optional[List[SecModuleDefinition]] = None,
+                     dispatch_config: Optional[DispatchConfig] = None,
+                     seed: int = 0x5EC_0DD5) -> "SecModuleSystem":
+        """Build one kernel serving several clients (the multi-client shape).
+
+        The first client is established exactly as :meth:`create` does; the
+        remaining ``clients - 1`` attach through :meth:`attach_client`.
+        Under the default ``per_module`` handle policy every client's
+        session shares one handle co-process per module set — the
+        broker-pooled deployment the 1:1 prototype could not express.
+        """
+        if clients < 1:
+            raise SimulationError("create_multi needs at least one client")
+        system = cls.create(
+            machine=machine, policy=policy, protection=protection, uid=uid,
+            principal=principal, include_libc=include_libc,
+            include_test_module=include_test_module,
+            extra_modules=extra_modules, dispatch_config=dispatch_config,
+            handle_policy=handle_policy, seed=seed)
+        for index in range(1, clients):
+            system.attach_client(name=f"client{index}", uid=uid,
+                                 principal=principal)
+        return system
+
+    def attach_client(self, *, name: Optional[str] = None,
+                      uid: int = DEFAULT_UID,
+                      principal: str = DEFAULT_PRINCIPAL
+                      ) -> Tuple[Program, Session]:
+        """Spawn one more client and establish its session via the broker.
+
+        The new session names the same modules as the primary session;
+        under a sharing handle policy it is seated on an existing pooled
+        handle instead of paying a fork.
+        """
+        name = name or f"client{len(self.clients)}"
+        program = Program.spawn(self.kernel, name, uid=uid)
+        registered = list(self.session.modules.values())
+        _map_library_images(program, registered)
+        descriptor = SessionDescriptor(
+            build_requirements(registered, principal=principal, uid=uid))
+        session_id = program.smod_crt0_startup(self.extension, descriptor)
+        session = self.extension.sessions.get(session_id)
+        self.clients.append(program)
+        self.sessions.append(session)
+        return program, session
 
     # ------------------------------------------------------------------ calls
     def call(self, function_name: str, *args: Any,
@@ -194,6 +279,19 @@ class SecModuleSystem:
     @property
     def handle_proc(self) -> Proc:
         return self.session.handle.proc
+
+    @property
+    def handle_procs(self) -> List[Proc]:
+        """Distinct live handle co-processes, system-wide (broker view)."""
+        procs: List[Proc] = []
+        for session in self.extension.sessions.active_sessions():
+            if session.handle.proc not in procs:
+                procs.append(session.handle.proc)
+        return procs
+
+    @property
+    def handle_count(self) -> int:
+        return self.extension.sessions.handle_count()
 
     @property
     def machine(self) -> Machine:
@@ -260,5 +358,6 @@ class SecModuleSystem:
             f"  client:  {self.client.proc.describe()}",
             f"  handle:  {self.session.handle.describe()}",
             f"  session: {self.session.describe()}",
+            f"  broker:  {self.extension.broker.describe()}",
         ]
         return "\n".join(lines)

@@ -88,6 +88,12 @@ class DecisionCache:
         self.misses = 0
         self.invalidations = 0
         self.evictions = 0
+        #: batched flushes that validated their whole queue with one epoch
+        #: check (one SMOD_POLICY_CACHE_HIT charge) ...
+        self.batch_epoch_checks = 0
+        #: ... and the entries those flushes served from the prefetched
+        #: decisions; the difference is the per-entry charges saved
+        self.batch_served = 0
 
     def __len__(self) -> int:
         return sum(len(entries) for entries in self._sessions.values())
@@ -104,6 +110,43 @@ class DecisionCache:
         entries.move_to_end((m_id, func_id))     # most recently used
         self.hits += 1
         return entry.decision
+
+    def lookup_batch(self, session, keys) -> Dict[Tuple[int, int], PolicyDecision]:
+        """Validate a whole batch queue's decisions with one epoch check.
+
+        ``keys`` is an iterable of ``(m_id, func_id)`` pairs (duplicates
+        fine).  The session's ``policy_epoch`` is compared **once** for the
+        whole queue — the caller charges a single
+        :data:`~repro.sim.costs.SMOD_POLICY_CACHE_HIT` instead of one per
+        entry — and every still-valid decision is returned.  Hit/miss
+        statistics are *not* bumped here; the dispatcher counts each entry
+        it serves from the returned map via :meth:`note_batch_served`, so
+        the per-entry hit-rate stays comparable with the single-call path.
+        """
+        entries = self._sessions.get(session.session_id)
+        if not entries:
+            return {}
+        found: Dict[Tuple[int, int], PolicyDecision] = {}
+        epoch = session.policy_epoch          # the one epoch check
+        for key in dict.fromkeys(keys):       # unique, order-preserving
+            entry = entries.get(key)
+            if entry is None or entry.policy_epoch != epoch:
+                continue
+            entries.move_to_end(key)          # most recently used
+            found[key] = entry.decision
+        if found:
+            self.batch_epoch_checks += 1
+        return found
+
+    def note_batch_served(self, count: int = 1) -> None:
+        """Record entries answered from a batch prefetch (counted as hits)."""
+        self.hits += count
+        self.batch_served += count
+
+    @property
+    def batch_saved_charges(self) -> int:
+        """Per-entry cache-hit charges the batch-aware validation avoided."""
+        return max(0, self.batch_served - self.batch_epoch_checks)
 
     def store(self, session, m_id: int, func_id: int,
               decision: PolicyDecision) -> None:
@@ -156,4 +199,6 @@ class DecisionCache:
         return {"hits": self.hits, "misses": self.misses,
                 "invalidations": self.invalidations,
                 "evictions": self.evictions,
+                "batch_epoch_checks": self.batch_epoch_checks,
+                "batch_saved_charges": self.batch_saved_charges,
                 "entries": len(self)}

@@ -328,6 +328,25 @@ class SmodDispatcher:
             self.calls_denied += n
             return BatchOutcome(errno=Errno.EPERM)
 
+        # -- batch-aware decision prefetch --------------------------------------
+        # One epoch check (one SMOD_POLICY_CACHE_HIT charge) validates every
+        # memoized static decision the queue needs, instead of N per-entry
+        # checks; entries the prefetch cannot answer fall back to the
+        # ordinary per-entry path below.
+        prefetched: Dict[Tuple[int, int], object] = {}
+        if config.per_call_policy_check and config.use_decision_cache:
+            keys = []
+            for frame in batch.frames:
+                module = session.modules.get(frame.module_id)
+                if module is None or not policy_is_cacheable(
+                        module.definition.policy):
+                    continue
+                keys.append((frame.module_id, frame.func_id))
+            if keys:
+                prefetched = self.decision_cache.lookup_batch(session, keys)
+                if prefetched:
+                    machine.charge(costs.SMOD_POLICY_CACHE_HIT)
+
         # -- per-entry lookup + credential/policy check -------------------------
         outcomes: List[Optional[DispatchOutcome]] = [None] * n
         #: per entry: (function, allowed) — the handle's drain plan
@@ -351,9 +370,16 @@ class SmodDispatcher:
                 continue
             machine.charge(costs.SMOD_CRED_CHECK)
             if config.per_call_policy_check:
-                allowed, reason = self._policy_check_cached(
-                    session, module, function, config,
-                    pending_calls=pending.get(frame.module_id, 0))
+                decision = prefetched.get((frame.module_id, frame.func_id))
+                if decision is not None:
+                    # already validated by the batch epoch check: no
+                    # per-entry charge
+                    self.decision_cache.note_batch_served()
+                    allowed, reason = decision.allowed, decision.reason
+                else:
+                    allowed, reason = self._policy_check_cached(
+                        session, module, function, config,
+                        pending_calls=pending.get(frame.module_id, 0))
                 if not allowed:
                     self.calls_denied += 1
                     machine.trace.emit("smod.call", "policy_denied",
@@ -440,6 +466,9 @@ class SmodDispatcher:
                           arg_words=function.arg_words)
         frame = stub.push_call(session.shared_stack, args,
                                record_checkpoints=config.record_checkpoints)
+        # the stub records the session the frame belongs to, so a shared
+        # (pooled) handle can route it to the right secret-stack segment
+        frame.session_id = session.session_id
 
         result = self.kernel.syscall(
             session.client, "smod_call", frame, module.m_id, function.func_id,
@@ -515,6 +544,9 @@ class SmodDispatcher:
         batch = batch_stub.push_batch(
             session.shared_stack,
             record_checkpoints=config.record_checkpoints)
+        batch.session_id = session.session_id
+        for frame in batch.frames:
+            frame.session_id = session.session_id
         result = self.kernel.syscall(session.client, "smod_call_batch",
                                      batch, config)
         if result.failed:

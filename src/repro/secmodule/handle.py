@@ -16,7 +16,7 @@ frame before replying.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from ..errors import SimulationError
 from ..kernel.proc import Proc, ProcFlag
@@ -49,16 +49,32 @@ class LoadedModule:
 
 
 class Handle:
-    """A SecModule handle co-process and its kernel-visible state."""
+    """A SecModule handle co-process and its kernel-visible state.
+
+    With the handle broker a handle may serve *several* sessions: each
+    attached session gets its own secret-stack segment (carved out of the
+    handle's secret region) and a routing-table entry, and the handle
+    resolves the calling session from the ``session_id`` the client stub
+    recorded in the frame.  A handle serving exactly one session — the
+    paper's shape — routes for free, so the per-session path stays
+    cycle-identical.
+    """
 
     def __init__(self, kernel, proc: Proc, client: Proc) -> None:
         if not proc.has_flag(ProcFlag.SMOD_HANDLE):
             raise SimulationError("handle process must carry the SMOD_HANDLE flag")
         self.kernel = kernel
         self.proc = proc
+        #: the client the handle was forked from (its address-space template);
+        #: attached sessions may belong to other clients — see ``clients``
         self.client = client
         self.secret_stack = SimStack(name=f"secret-stack[pid {proc.pid}]",
                                      machine=kernel.machine)
+        #: routing table: session_id -> attached Session
+        self.attached_sessions: Dict[int, object] = {}
+        #: per-session secret-stack segments (first session uses the
+        #: original ``secret_stack`` so the 1:1 shape is byte-identical)
+        self._session_stacks: Dict[int, SimStack] = {}
         self.loaded: Dict[int, LoadedModule] = {}
         self.ready = False
         self.calls_served = 0
@@ -105,6 +121,62 @@ class Handle:
     def mark_ready(self) -> None:
         self.ready = True
 
+    # ---------------------------------------------------------- session seats
+    @property
+    def session_count(self) -> int:
+        return len(self.attached_sessions)
+
+    @property
+    def clients(self) -> List[Proc]:
+        """Distinct client processes of the attached sessions."""
+        seen: List[Proc] = []
+        for session in self.attached_sessions.values():
+            if session.client not in seen:
+                seen.append(session.client)
+        return seen
+
+    def attach_session(self, session) -> None:
+        """Add a routing-table entry and a secret-stack segment for a session."""
+        if session.session_id in self.attached_sessions:
+            return
+        self.attached_sessions[session.session_id] = session
+        if not self._session_stacks:
+            # the first seat uses the original secret stack — the 1:1 shape
+            self._session_stacks[session.session_id] = self.secret_stack
+        else:
+            self._session_stacks[session.session_id] = SimStack(
+                name=f"secret-stack[pid {self.proc.pid}/s{session.session_id}]",
+                machine=self.kernel.machine)
+
+    def detach_session(self, session) -> None:
+        self.attached_sessions.pop(session.session_id, None)
+        self._session_stacks.pop(session.session_id, None)
+
+    def secret_stack_for(self, session_id: Optional[int]) -> SimStack:
+        """The secret segment serving one session (frame-level routing)."""
+        if session_id is None:
+            return self.secret_stack
+        return self._session_stacks.get(session_id, self.secret_stack)
+
+    def resolve_session(self, frame):
+        """Routing-table lookup: which attached session does a frame belong to?"""
+        session_id = getattr(frame, "session_id", None)
+        if session_id is None:
+            return None
+        return self.attached_sessions.get(session_id)
+
+    def _charge_routing(self) -> None:
+        """Shared handles pay a routing-table walk per received request.
+
+        The walk is logarithmic in the number of seats (the table is a
+        small balanced tree in the real kernel); a handle serving one
+        session routes for free, keeping the paper path cycle-identical.
+        """
+        seats = len(self.attached_sessions)
+        if seats > 1:
+            self.kernel.machine.charge(costs.SMOD_POOL_ROUTE,
+                                       max(1, (seats - 1).bit_length()))
+
     # --------------------------------------------------------------- call path
     def lookup_function(self, m_id: int, func_id: int) -> Optional[SecFunction]:
         loaded = self.loaded.get(m_id)
@@ -120,8 +192,10 @@ class Handle:
             raise SimulationError(
                 f"handle pid {self.proc.pid} received a call before the "
                 f"session handshake completed")
+        self._charge_routing()
+        secret = self.secret_stack_for(getattr(frame, "session_id", None))
         result = smod_stub_receive(shared_stack, frame, function, env,
-                                   secret_stack=self.secret_stack,
+                                   secret_stack=secret,
                                    record_checkpoints=record_checkpoints)
         self.calls_served += 1
         return result
@@ -150,6 +224,10 @@ class Handle:
             raise SimulationError(
                 f"batch plan names {len(plan)} entries for "
                 f"{len(batch.frames)} frames")
+        # one routing-table walk serves the whole queue (all entries of a
+        # super-frame belong to one session)
+        self._charge_routing()
+        secret = self.secret_stack_for(getattr(batch, "session_id", None))
         results: Dict[int, Any] = {}
         for index in range(len(batch.frames)):
             frame = batch.frames[index]
@@ -159,7 +237,7 @@ class Handle:
                 continue
             results[index] = smod_stub_receive(
                 shared_stack, frame, function, env,
-                secret_stack=self.secret_stack)
+                secret_stack=secret)
             # drain the executed frame's remains: restored fp/ret, then args
             shared_stack.pop(SlotKind.FRAME_POINTER,
                              cost_op=costs.SMOD_STACK_FIXUP_WORD)
@@ -181,4 +259,5 @@ class Handle:
         modules = ", ".join(f"{m.module.name}#{m_id}"
                             for m_id, m in sorted(self.loaded.items()))
         return (f"handle pid={self.proc.pid} for client pid={self.client.pid} "
-                f"ready={self.ready} modules=[{modules}]")
+                f"ready={self.ready} sessions={self.session_count} "
+                f"modules=[{modules}]")

@@ -1,0 +1,289 @@
+"""Handle-pool attachment: decoupling handle co-processes from sessions.
+
+The paper's prototype forks one handle co-process per session — the 1:1
+shape that makes session establishment cost a full ``fork`` plus a module
+text decryption, and that multiplies resident handle processes by the
+number of connected clients.  Per-library privilege domains (Mir,
+arXiv:2011.00253) and the LSM overhead literature (arXiv:2101.11611) both
+argue the protection state should be *shared* across callers and amortized.
+
+:class:`HandleBroker` is that sharing point.  Module owners register a
+:class:`HandlePolicy` per module:
+
+* ``per_session`` — today's behaviour and the paper default: every
+  ``start_session`` forks a private handle.  This path is op-for-op
+  cycle-identical to the pre-broker kernel.
+* ``per_module`` — one handle serves every session naming the same module
+  set, however many clients attach (an unbounded pool).
+* ``pooled(max_sessions=N)`` — handles are shared up to ``N`` sessions
+  each; the broker forks a new handle only when every pooled handle for
+  that module set is full.
+
+``SessionManager.start_session`` *attaches* a session through the broker
+instead of forking directly; teardown *detaches*, and only the last
+detachment kills a shared handle.  A shared handle keeps one secret-stack
+segment and one routing-table entry per attached session, and resolves the
+calling session from the ``session_id`` the client stub records in every
+frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import SimulationError
+from ..kernel.proc import Proc, ProcFlag
+from ..sim import costs
+from .handle import Handle
+
+#: Policy kinds, in increasing order of sharing.
+PER_SESSION = "per_session"
+POOLED = "pooled"
+PER_MODULE = "per_module"
+
+_KINDS = (PER_SESSION, POOLED, PER_MODULE)
+
+
+@dataclass(frozen=True)
+class HandlePolicy:
+    """How many sessions one handle co-process may serve.
+
+    ``max_sessions`` is the per-handle cap: ``0`` means unbounded (the
+    ``per_module`` pool), and it is ignored for ``per_session`` handles,
+    which never serve more than one session by construction.
+    """
+
+    kind: str = PER_SESSION
+    max_sessions: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise SimulationError(f"unknown handle policy kind {self.kind!r}")
+        if self.kind == POOLED and self.max_sessions < 1:
+            raise SimulationError("pooled handle policy needs max_sessions >= 1")
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def per_session(cls) -> "HandlePolicy":
+        """The paper default: fork one private handle per session."""
+        return cls(kind=PER_SESSION)
+
+    @classmethod
+    def per_module(cls) -> "HandlePolicy":
+        """One handle per module set, shared by every attaching session."""
+        return cls(kind=PER_MODULE)
+
+    @classmethod
+    def pooled(cls, max_sessions: int) -> "HandlePolicy":
+        """Share handles up to ``max_sessions`` sessions each."""
+        return cls(kind=POOLED, max_sessions=int(max_sessions))
+
+    @classmethod
+    def parse(cls, value: Union["HandlePolicy", str, None], *,
+              max_sessions: int = 0) -> "HandlePolicy":
+        """Accept a policy object or a spec string.
+
+        Strings: ``"per_session"``, ``"per_module"``, ``"pooled"`` (cap
+        taken from ``max_sessions``) or ``"pooled:N"``.
+        """
+        if value is None:
+            return cls.per_session()
+        if isinstance(value, HandlePolicy):
+            return value
+        text = str(value).strip().lower().replace("-", "_")
+        if text == PER_SESSION:
+            return cls.per_session()
+        if text == PER_MODULE:
+            return cls.per_module()
+        if text == POOLED:
+            if max_sessions < 1:
+                raise SimulationError(
+                    "handle policy 'pooled' needs a max_sessions cap")
+            return cls.pooled(max_sessions)
+        if text.startswith("pooled:"):
+            try:
+                cap = int(text.split(":", 1)[1])
+            except ValueError:
+                raise SimulationError(
+                    f"handle policy {value!r} needs an integer cap, "
+                    f"e.g. 'pooled:8'") from None
+            return cls.pooled(cap)
+        raise SimulationError(f"unknown handle policy {value!r}")
+
+    # -------------------------------------------------------------- predicates
+    @property
+    def shares_handles(self) -> bool:
+        return self.kind != PER_SESSION
+
+    def seats_per_handle(self) -> int:
+        """Sessions one handle may hold (0 = unbounded)."""
+        if self.kind == PER_SESSION:
+            return 1
+        if self.kind == POOLED:
+            return self.max_sessions
+        return 0
+
+    def combine(self, other: "HandlePolicy") -> "HandlePolicy":
+        """Most-restrictive merge, for sessions spanning several modules.
+
+        Any ``per_session`` module forces a private handle for the whole
+        session; otherwise the smallest finite cap wins; two unbounded
+        policies stay unbounded.
+        """
+        if self.kind == PER_SESSION or other.kind == PER_SESSION:
+            return HandlePolicy.per_session()
+        caps = [p.max_sessions for p in (self, other) if p.max_sessions > 0]
+        if not caps:
+            return HandlePolicy.per_module()
+        return HandlePolicy.pooled(min(caps))
+
+    def describe(self) -> str:
+        if self.kind == POOLED:
+            return f"pooled(max_sessions={self.max_sessions})"
+        return self.kind
+
+
+class HandleBroker:
+    """Kernel-side owner of handle co-processes and their session seats.
+
+    The broker is the only component that forks, pools and kills handles.
+    ``SessionManager`` asks it to :meth:`attach` at session establishment
+    and to :meth:`detach` at teardown; the sharded session table itself
+    stays in the session manager.
+    """
+
+    def __init__(self, kernel, *,
+                 default_policy: Optional[HandlePolicy] = None) -> None:
+        self.kernel = kernel
+        self.default_policy = default_policy or HandlePolicy.per_session()
+        #: module name -> owner-registered policy override
+        self._module_policies: Dict[str, HandlePolicy] = {}
+        #: pool key (sorted m_id tuple) -> shared handles, oldest first
+        self._pools: Dict[Tuple[int, ...], List[Handle]] = {}
+        # observability
+        self.handles_forked = 0
+        self.handles_killed = 0
+        self.attachments = 0        # sessions seated on an already-live handle
+        self.detachments = 0
+
+    # ---------------------------------------------------------------- policies
+    def register_policy(self, module_name: str,
+                        policy: Union[HandlePolicy, str]) -> HandlePolicy:
+        """Module-owner registration: how this module's handles may be shared."""
+        parsed = HandlePolicy.parse(policy)
+        self._module_policies[module_name] = parsed
+        return parsed
+
+    def policy_for(self, modules: Sequence) -> HandlePolicy:
+        """Effective policy for a session naming ``modules`` (most restrictive
+        of the per-module registrations; unregistered modules use the broker
+        default)."""
+        effective: Optional[HandlePolicy] = None
+        for module in modules:
+            policy = self._module_policies.get(module.name,
+                                               self.default_policy)
+            effective = policy if effective is None \
+                else effective.combine(policy)
+        return effective or self.default_policy
+
+    # ------------------------------------------------------------------ attach
+    def attach(self, client: Proc, modules: Sequence) -> Tuple[Handle, bool]:
+        """Seat a new session: reuse a pooled handle or fork a fresh one.
+
+        Returns ``(handle, forked)``.  The fork path is the paper's forced
+        fork, op-for-op; the reuse path charges a single
+        :data:`~repro.sim.costs.SMOD_POOL_ATTACH` (routing-table insert plus
+        secret-segment carve-out) instead of ``fork`` + text decryption.
+        """
+        policy = self.policy_for(modules)
+        key = tuple(sorted(module.m_id for module in modules))
+        if policy.shares_handles:
+            seats = policy.seats_per_handle()
+            for handle in self._pools.get(key, ()):
+                if not handle.proc.alive:
+                    continue
+                if seats and handle.session_count >= seats:
+                    continue
+                self._attach_existing(handle, client)
+                return handle, False
+        handle = self._fork_handle(client)
+        if policy.shares_handles:
+            self._pools.setdefault(key, []).append(handle)
+        return handle, True
+
+    def _fork_handle(self, client: Proc) -> Handle:
+        """The paper's forced fork (Figure 1 step 2), verbatim."""
+        machine = self.kernel.machine
+        # "the kernel forcibly forks the child process, creates a small,
+        # secret heap/stack segment for the handle, and executes the
+        # function smod_std_handle(), using the secret stack."
+        handle_proc = self.kernel.fork_process(
+            client, name=f"smod-handle[{client.name}]",
+            flags=ProcFlag.SMOD_HANDLE | ProcFlag.NOCORE | ProcFlag.NOTRACE)
+        client.set_flag(ProcFlag.SMOD_CLIENT)
+        client.set_flag(ProcFlag.NOCORE)
+        handle_proc.smod_peer = client
+        client.smod_peer = handle_proc
+        machine.trace.emit("smod.session", "smod_std_handle",
+                           pid=handle_proc.pid)
+        handle = Handle(self.kernel, handle_proc, client)
+        handle.map_secret_region()
+        self.handles_forked += 1
+        return handle
+
+    def _attach_existing(self, handle: Handle, client: Proc) -> None:
+        """Seat a session on a live handle: no fork, no text decryption."""
+        machine = self.kernel.machine
+        machine.charge(costs.SMOD_POOL_ATTACH)
+        client.set_flag(ProcFlag.SMOD_CLIENT)
+        client.set_flag(ProcFlag.NOCORE)
+        client.smod_peer = handle.proc
+        machine.trace.emit("smod.pool", "attach", pid=client.pid,
+                           detail_handle=handle.proc.pid,
+                           detail_seats=handle.session_count + 1)
+        self.attachments += 1
+
+    # ------------------------------------------------------------------ detach
+    def detach(self, session, *, last: bool, kill: bool = True) -> bool:
+        """Release one session's seat; kill the handle when the last leaves.
+
+        Returns True when the handle process was killed.  ``kill=False``
+        (handle already dead, e.g. it crashed) still removes the pool entry
+        so a later attach can never seat a session on a corpse.
+        """
+        handle = session.handle
+        self.detachments += 1
+        if not last:
+            return False
+        for key, handles in list(self._pools.items()):
+            if handle in handles:
+                handles.remove(handle)
+                if not handles:
+                    del self._pools[key]
+        if kill and handle.proc.alive:
+            handle.kill()
+            self.handles_killed += 1
+            return True
+        return False
+
+    # ----------------------------------------------------------- observability
+    def pooled_handle_count(self) -> int:
+        return sum(len(handles) for handles in self._pools.values())
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "handles_forked": self.handles_forked,
+            "handles_killed": self.handles_killed,
+            "attachments": self.attachments,
+            "detachments": self.detachments,
+            "pooled_handles": self.pooled_handle_count(),
+        }
+
+    def describe(self) -> str:
+        pools = ", ".join(
+            f"{key}:{[h.proc.pid for h in handles]}"
+            for key, handles in sorted(self._pools.items()))
+        return (f"broker default={self.default_policy.describe()} "
+                f"forked={self.handles_forked} killed={self.handles_killed} "
+                f"pools=[{pools}]")

@@ -30,10 +30,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..errors import SimulationError
 from ..kernel.proc import Proc, ProcFlag
 from ..kernel.uvm.layout import SHARE_END, SHARE_START
-from ..kernel.uvm.space import uvmspace_force_share
+from ..kernel.uvm.space import uvmspace_force_share, uvmspace_map_window
 from ..sim import costs
 from .credentials import Credential, validate_credential
 from .handle import Handle
+from .handle_pool import HandleBroker, HandlePolicy
 from .policy import PolicyContext
 from .protection import ClientTextGuard, ProtectionMode, apply_client_protection
 from .registry import ModuleRegistry, RegisteredModule
@@ -189,13 +190,19 @@ class SessionManager:
 
     Sessions live in a sharded table keyed by ``(client_pid, session_id)``;
     one client may hold several concurrent sessions (the multi-session
-    traffic engine), so client-side lookups return lists.  Handles remain
-    one-to-one with sessions.
+    traffic engine), so client-side lookups return lists.  Handles are
+    provided by the :class:`~repro.secmodule.handle_pool.HandleBroker`:
+    under the paper-default ``per_session`` policy each session gets a
+    private forked handle (1:1, cycle-identical to the original kernel),
+    while ``per_module``/``pooled`` policies let one handle serve several
+    sessions — establishment *attaches* and teardown *detaches*, and only
+    the last detachment kills a shared handle.
     """
 
     def __init__(self, kernel, registry: ModuleRegistry, *,
                  n_shards: int = DEFAULT_SESSION_SHARDS,
                  decision_cache=None,
+                 broker: Optional[HandleBroker] = None,
                  charge_shard_locks: bool = False) -> None:
         if n_shards < 1:
             raise SimulationError("session table needs at least one shard")
@@ -215,11 +222,15 @@ class SessionManager:
         self._by_id: Dict[int, Session] = {}
         #: pid -> [session_id, ...] in establishment order (lookup index)
         self._client_sessions: Dict[int, List[int]] = {}
-        self._by_handle_pid: Dict[int, int] = {}
+        #: handle pid -> [session_id, ...] in attach order (a shared handle
+        #: serves several sessions; the paper's 1:1 shape is the length-1 case)
+        self._by_handle_pid: Dict[int, List[int]] = {}
         self._next_id = 1
         self.denied_establishments: List[str] = []
         #: memoized policy decisions to drop on teardown (may be None)
         self.decision_cache = decision_cache
+        #: forks, pools and kills handle co-processes
+        self.broker = broker or HandleBroker(kernel)
 
     def _shard_index(self, client_pid: int) -> int:
         return client_pid % self.n_shards
@@ -267,6 +278,15 @@ class SessionManager:
         vs EINVAL) exactly as the single-session kernel did.
         """
         sessions = self.for_client(proc)
+        frame_session_id = getattr(frame, "session_id", None)
+        if frame_session_id is not None:
+            # the stub recorded which session it pushed the frame for; a
+            # frame naming a session the client no longer holds (torn down,
+            # detached from its handle) must fail EINVAL, never be re-routed
+            for session in sessions:
+                if session.session_id == frame_session_id:
+                    return session
+            return None
         frame_stack = getattr(frame, "stack", None)
         if frame_stack is not None:
             for session in sessions:
@@ -280,8 +300,19 @@ class SessionManager:
         return sessions[0] if sessions else None
 
     def for_handle(self, proc: Proc) -> Optional[Session]:
-        session_id = self._by_handle_pid.get(proc.pid)
-        return self._by_id.get(session_id) if session_id is not None else None
+        """The first live session a handle serves (1:1 compatibility view)."""
+        sessions = self.sessions_for_handle(proc)
+        return sessions[0] if sessions else None
+
+    def sessions_for_handle(self, proc: Proc) -> List[Session]:
+        """Every session seated on a handle, in attach order (broker query)."""
+        return [self._by_id[sid]
+                for sid in self._by_handle_pid.get(proc.pid, ())
+                if sid in self._by_id]
+
+    def handle_count(self) -> int:
+        """Live handle co-processes currently serving at least one session."""
+        return len(self._by_handle_pid)
 
     def active_sessions(self) -> List[Session]:
         return [s for s in self._by_id.values() if not s.torn_down]
@@ -344,21 +375,13 @@ class SessionManager:
                            pid=client.pid,
                            detail_modules=[m.name for m, _ in resolved])
 
-        # "the kernel forcibly forks the child process, creates a small,
-        # secret heap/stack segment for the handle, and executes the
-        # function smod_std_handle(), using the secret stack."
-        handle_proc = self.kernel.fork_process(
-            client, name=f"smod-handle[{client.name}]",
-            flags=ProcFlag.SMOD_HANDLE | ProcFlag.NOCORE | ProcFlag.NOTRACE)
-        client.set_flag(ProcFlag.SMOD_CLIENT)
-        client.set_flag(ProcFlag.NOCORE)
-        handle_proc.smod_peer = client
-        client.smod_peer = handle_proc
-
-        machine.trace.emit("smod.session", "smod_std_handle",
-                           pid=handle_proc.pid)
-        handle = Handle(self.kernel, handle_proc, client)
-        handle.map_secret_region()
+        # Ask the broker for a handle: under the paper-default per_session
+        # policy this forcibly forks a private handle (Figure 1 step 2,
+        # op-for-op); under per_module/pooled policies it may seat the
+        # session on an already-live shared handle instead.
+        handle, forked = self.broker.attach(
+            client, [module for module, _ in resolved])
+        handle_proc = handle.proc
 
         session = Session(
             session_id=self._next_id,
@@ -377,35 +400,59 @@ class SessionManager:
         shard[(client.pid, session.session_id)] = session
         self._client_sessions.setdefault(client.pid, []).append(
             session.session_id)
-        self._by_handle_pid[handle_proc.pid] = session.session_id
+        self._by_handle_pid.setdefault(handle_proc.pid, []).append(
+            session.session_id)
+        handle.attach_session(session)
         # proc.smod_session keeps pointing at the client's *primary* (first)
         # session so legacy single-session consumers keep working.
         if client.smod_session is None:
             client.smod_session = session
-        handle_proc.smod_session = session
+        # ... and the handle's at the first session it serves.
+        if forked or handle_proc.smod_session is None:
+            handle_proc.smod_session = session
         return session
 
     # -------------------------------------------------- step 3: smod_session_info
     def handle_session_info(self, handle_proc: Proc) -> Session:
-        """The handle's half of the handshake (Figure 1 step 3)."""
-        session = self.for_handle(handle_proc)
-        if session is None:
+        """The handle's half of the handshake (Figure 1 step 3).
+
+        A shared handle runs this once per *attached* session: the broker
+        query resolves which seated session has not built its message
+        queues yet.  For a freshly forked handle that is simply its one
+        session, exactly as the 1:1 kernel behaved.
+        """
+        sessions = self.sessions_for_handle(handle_proc)
+        if not sessions:
             raise LookupError(
                 f"pid {handle_proc.pid} is not a SecModule handle")
+        pending = [s for s in sessions if s.request_msqid < 0]
+        session = pending[0] if pending else sessions[-1]
         machine = self.kernel.machine
         machine.trace.emit("smod.session", "smod_session_info",
                            pid=handle_proc.pid)
 
-        # "forcibly unmaps the entire data, heap, and stack segment of the
-        # handle process and forces it to share the memory pages from the
-        # same address range from the client process."
-        shared_entries = uvmspace_force_share(
-            handle_proc.vmspace, session.client.vmspace,
-            SHARE_START, SHARE_END)
-        machine.trace.emit("smod.uvm", "uvmspace_force_share",
-                           pid=handle_proc.pid,
-                           detail_entries=shared_entries,
-                           detail_range=f"[{SHARE_START:#x},{SHARE_END:#x})")
+        if handle_proc.vmspace.smod_peer is None:
+            # "forcibly unmaps the entire data, heap, and stack segment of
+            # the handle process and forces it to share the memory pages
+            # from the same address range from the client process."
+            shared_entries = uvmspace_force_share(
+                handle_proc.vmspace, session.client.vmspace,
+                SHARE_START, SHARE_END)
+            machine.trace.emit("smod.uvm", "uvmspace_force_share",
+                               pid=handle_proc.pid,
+                               detail_entries=shared_entries,
+                               detail_range=f"[{SHARE_START:#x},{SHARE_END:#x})")
+        else:
+            # A shared handle already owns its forked peer's window; an
+            # attaching client's window is mapped at a relocated offset so
+            # earlier seats stay coherent and heaps never collide.
+            shared_entries = uvmspace_map_window(
+                handle_proc.vmspace, session.client.vmspace,
+                SHARE_START, SHARE_END)
+            machine.trace.emit("smod.uvm", "uvmspace_map_window",
+                               pid=handle_proc.pid,
+                               detail_entries=shared_entries,
+                               detail_client=session.client.pid)
 
         for module in session.modules.values():
             session.handle.load_module_text(module)
@@ -445,11 +492,15 @@ class SessionManager:
 
     # -------------------------------------------------------------- teardown
     def teardown(self, session: Session, *, kill_handle: bool = True) -> None:
-        """Detach the client, kill the handle, release queues (execve/exit path).
+        """Detach the client and the handle seat, release queues.
 
         With multiple sessions per client only *this* session's state is
         released; the client keeps its SMOD_CLIENT flag (and its peer links
         move to the next surviving session) until the last session dies.
+        The handle side mirrors that: a shared handle merely *detaches* the
+        session's seat and lives on; it is killed (``kill_handle``
+        permitting) only when its last session leaves — the paper's 1:1
+        handle always is that last session.
         """
         if session.torn_down:
             return
@@ -470,23 +521,39 @@ class SessionManager:
             primary = survivors[0]
             client.smod_session = primary
             client.smod_peer = primary.handle.proc
-            client.vmspace.smod_peer = primary.handle.proc.vmspace
+            primary_space = primary.handle.proc.vmspace
+            # vm-level peering (obreak propagation) only ever binds a handle
+            # to the client it force-shared with; a surviving session seated
+            # on someone else's pooled handle must not steal that link
+            client.vmspace.smod_peer = (
+                primary_space if primary_space.smod_peer is client.vmspace
+                else None)
         else:
             client.clear_flag(ProcFlag.SMOD_CLIENT)
             client.smod_session = None
             client.smod_peer = None
             client.vmspace.smod_peer = None
             self._client_sessions.pop(client.pid, None)
-        handle_proc.smod_session = None
+
+        # handle side: release this session's seat
+        seated_ids = self._by_handle_pid.get(handle_proc.pid, [])
+        if session.session_id in seated_ids:
+            seated_ids.remove(session.session_id)
+        last_seat = not seated_ids
+        if last_seat:
+            handle_proc.smod_session = None
+        elif handle_proc.smod_session is session:
+            handle_proc.smod_session = self._by_id.get(seated_ids[0])
         for msqid in (session.request_msqid, session.reply_msqid):
             if msqid >= 0 and self.kernel.msg.lookup(msqid) is not None:
                 try:
                     self.kernel.msg.msgctl_remove(self.kernel.proc0, msqid)
                 except KeyError:
                     pass
-        if kill_handle:
-            session.handle.kill()
-        self._by_handle_pid.pop(handle_proc.pid, None)
+        session.handle.detach_session(session)
+        self.broker.detach(session, last=last_seat, kill=kill_handle)
+        if last_seat:
+            self._by_handle_pid.pop(handle_proc.pid, None)
         if self.decision_cache is not None:
             self.decision_cache.invalidate_session(session.session_id)
         self.kernel.machine.trace.emit("smod.session", "teardown",
@@ -495,10 +562,23 @@ class SessionManager:
 
     def teardown_all_for_client(self, client: Proc, *,
                                 kill_handle: bool = True) -> int:
-        """Tear down every session a client holds (exit/execve path)."""
+        """Tear down every session a client holds (exit/execve path).
+
+        A teardown that raises mid-list must not strand the client's
+        *later* sessions half-attached: every remaining session is still
+        torn down, and the first error is re-raised afterwards rather than
+        swallowed.
+        """
         sessions = self.for_client(client)
+        first_error: Optional[BaseException] = None
         for session in sessions:
-            self.teardown(session, kill_handle=kill_handle)
+            try:
+                self.teardown(session, kill_handle=kill_handle)
+            except BaseException as exc:      # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
         return len(sessions)
 
     def __len__(self) -> int:

@@ -37,6 +37,7 @@ from ..kernel.syscall import (
 )
 from .decision_cache import DecisionCache
 from .dispatch import DispatchConfig, SmodDispatcher
+from .handle_pool import HandleBroker, HandlePolicy
 from .registry import ModuleRegistry
 from .session import SessionDescriptor, SessionManager
 
@@ -55,12 +56,16 @@ FIGURE4_SYSCALLS = (
 class SmodExtension:
     """The SecModule kernel extension: registry + sessions + dispatcher."""
 
-    def __init__(self, kernel: Kernel) -> None:
+    def __init__(self, kernel: Kernel, *,
+                 handle_policy=None) -> None:
         self.kernel = kernel
         self.registry = ModuleRegistry(kernel)
         self.decision_cache = DecisionCache()
+        self.broker = HandleBroker(
+            kernel, default_policy=HandlePolicy.parse(handle_policy))
         self.sessions = SessionManager(kernel, self.registry,
-                                       decision_cache=self.decision_cache)
+                                       decision_cache=self.decision_cache,
+                                       broker=self.broker)
         self.dispatcher = SmodDispatcher(kernel,
                                          decision_cache=self.decision_cache)
         self._installed = False
@@ -214,6 +219,12 @@ class SmodExtension:
         return ok(outcome)
 
 
-def install_secmodule(kernel: Kernel) -> SmodExtension:
-    """Boot-time helper: attach the SecModule extension to a booted kernel."""
-    return SmodExtension(kernel).install()
+def install_secmodule(kernel: Kernel, *, handle_policy=None) -> SmodExtension:
+    """Boot-time helper: attach the SecModule extension to a booted kernel.
+
+    ``handle_policy`` sets the :class:`~repro.secmodule.handle_pool.
+    HandleBroker` default (``"per_session"`` — the paper's 1:1 fork —
+    unless overridden); module owners may still register per-module
+    policies on ``extension.broker``.
+    """
+    return SmodExtension(kernel, handle_policy=handle_policy).install()

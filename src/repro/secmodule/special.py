@@ -66,9 +66,9 @@ def on_exec(extension, proc: Proc, plan) -> None:   # noqa: ARG001 - plan unused
     per normal".  A multi-session client drops *all* of its sessions."""
     extension.sessions.teardown_all_for_client(proc, kill_handle=True)
     # An exec *by the handle itself* would be an escape attempt: the handle
-    # must never run anything but smod_std_handle.  Kill it instead.
-    handle_session = extension.sessions.for_handle(proc)
-    if handle_session is not None:
+    # must never run anything but smod_std_handle.  Kill it instead — and a
+    # shared handle takes every session seated on it down with it.
+    for handle_session in extension.sessions.sessions_for_handle(proc):
         extension.sessions.teardown(handle_session, kill_handle=True)
 
 
@@ -76,10 +76,10 @@ def on_exit(extension, proc: Proc, status: int) -> None:   # noqa: ARG001
     """exit: tear down every session the exiting process participates in."""
     if extension.sessions.teardown_all_for_client(proc, kill_handle=True):
         return
-    handle_session = extension.sessions.for_handle(proc)
-    if handle_session is not None:
-        # The handle died (crash or kill): the client cannot make protected
-        # calls any more; tear the session down but leave the client running.
+    # The handle died (crash or kill): none of the sessions it served can
+    # make protected calls any more; tear each down but leave its client
+    # running.
+    for handle_session in extension.sessions.sessions_for_handle(proc):
         extension.sessions.teardown(handle_session, kill_handle=False)
 
 

@@ -126,6 +126,10 @@ class StubCallFrame:
     #: for the ``framep`` address, which tells a multi-session kernel *which*
     #: of the client's shared regions the frame lives in
     stack: Optional[SimStack] = None
+    #: the session the stub pushed the frame for; a shared (pooled) handle
+    #: routes the frame to that session's secret-stack segment, and the
+    #: kernel rejects frames naming a torn-down session with EINVAL
+    session_id: Optional[int] = None
     #: snapshots of the shared stack at the four Figure 3 checkpoints
     checkpoints: Dict[str, Tuple[StackSlot, ...]] = field(default_factory=dict)
 
@@ -224,6 +228,9 @@ class BatchCallFrame:
     #: the shared stack the super-frame lives on (``framep`` disambiguation,
     #: exactly as on the single-call path)
     stack: Optional[SimStack] = None
+    #: the session the whole queue targets (a super-frame never spans
+    #: sessions); shared handles route the drain with this
+    session_id: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self.frames)

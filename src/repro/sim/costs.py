@@ -82,6 +82,8 @@ SMOD_POLICY_CACHE_HIT = "smod_policy_cache_hit"  # memoized decision lookup
 SMOD_STACK_FIXUP_WORD = "smod_stack_fixup_word"
 SMOD_BATCH_SETUP = "smod_batch_setup"     # per-batch super-frame bookkeeping
 SMOD_BATCH_ENTRY = "smod_batch_entry"     # per-entry walk of the call queue
+SMOD_POOL_ATTACH = "smod_pool_attach"     # seat a session on a live handle
+SMOD_POOL_ROUTE = "smod_pool_route"       # shared handle resolves the calling session
 SMOD_REGISTER_BASE = "smod_register_base"
 CIPHER_BLOCK = "cipher_block"             # decrypt/encrypt one 8-byte block
 KEY_SCHEDULE = "key_schedule"
@@ -117,6 +119,7 @@ ALL_OPERATIONS: tuple[str, ...] = (
     SMOD_SESSION_LOOKUP, SMOD_SHARD_LOCK, SMOD_CRED_CHECK, SMOD_POLICY_STEP,
     SMOD_POLICY_CACHE_HIT,
     SMOD_STACK_FIXUP_WORD, SMOD_BATCH_SETUP, SMOD_BATCH_ENTRY,
+    SMOD_POOL_ATTACH, SMOD_POOL_ROUTE,
     SMOD_REGISTER_BASE, CIPHER_BLOCK, KEY_SCHEDULE,
     USER_STACK_WORD, USER_CALL_OVERHEAD,
     FUNC_BODY_TESTINCR, FUNC_BODY_GETPID, FUNC_BODY_SMOD_GETPID, MALLOC_BODY,
@@ -248,6 +251,8 @@ def _pentium3_table() -> Dict[str, int]:
         SMOD_STACK_FIXUP_WORD: 9,
         SMOD_BATCH_SETUP: 120,
         SMOD_BATCH_ENTRY: 18,
+        SMOD_POOL_ATTACH: 650,
+        SMOD_POOL_ROUTE: 34,
         SMOD_REGISTER_BASE: 9_000,
         CIPHER_BLOCK: 52,
         KEY_SCHEDULE: 1_400,

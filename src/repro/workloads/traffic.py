@@ -24,6 +24,12 @@ same interleaving, call mix and cycle totals.
 Clients may also *batch*: with ``batch_size > 1`` each arrival event
 flushes a queue of protected calls against one session through the batched
 dispatch path, paying the trap and the two context switches once per queue.
+
+Closed-loop think times are exponential by default but may be heavy-tailed
+(``think="lognormal"``/``"pareto"``, same mean, fatter tail), and the
+``handle_policy`` knob registers a broker pool policy for every traffic
+module — ``"per_module"`` runs all of a module's sessions through one
+shared handle co-process instead of forking one per session.
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ from ..hw.machine import Machine, make_paper_machine
 from ..kernel.kernel import Kernel
 from ..obj.image import make_function_image
 from ..secmodule.dispatch import DispatchConfig
+from ..secmodule.handle_pool import HandlePolicy
 from ..secmodule.module import CallEnvironment, SecModuleDefinition
 from ..secmodule.policy import (
     CallQuotaPolicy,
@@ -82,9 +89,23 @@ class TrafficSpec:
     burst_interval_us: float = 4.0
     burst_on_us: float = 120.0
     burst_off_us: float = 480.0
+    #: closed-loop think-time distribution: "exponential" (the classic
+    #: M/M/1-style loop), "lognormal" or "pareto" (heavy-tailed think times;
+    #: same mean, fatter tail).  Open-loop/mmpp schedules ignore this.
+    think: str = "exponential"
+    #: lognormal think: sigma of the underlying normal (tail weight)
+    think_sigma: float = 1.0
+    #: pareto think: tail index (must exceed 1 for a finite mean)
+    think_alpha: float = 2.5
     #: calls queued per flush: 1 issues every call through the paper's
     #: single-call path; >1 flushes queues through sys_smod_call_batch
     batch_size: int = 1
+    #: handle attachment policy registered for every traffic module:
+    #: "per_session" (the paper's 1:1 fork), "per_module" (one shared
+    #: handle per module) or "pooled" (shared up to pool_max_sessions)
+    handle_policy: str = "per_session"
+    #: per-handle session cap when handle_policy="pooled"
+    pool_max_sessions: int = 8
     #: one session per module per client (the multi-session engine); when
     #: False each client opens a single session naming every module
     multi_session: bool = True
@@ -107,8 +128,19 @@ class TrafficSpec:
             raise SimulationError("traffic spec must be positive in all dims")
         if self.arrival not in ("closed", "open", "mmpp"):
             raise SimulationError(f"unknown arrival mode {self.arrival!r}")
+        if self.think not in ("exponential", "lognormal", "pareto"):
+            raise SimulationError(f"unknown think-time model {self.think!r}")
+        if self.think == "pareto" and self.think_alpha <= 1.0:
+            raise SimulationError("pareto think times need think_alpha > 1")
         if self.batch_size < 1:
             raise SimulationError("batch_size must be at least 1")
+        # raises on an unknown policy spec
+        self.broker_policy()
+
+    def broker_policy(self) -> HandlePolicy:
+        """The :class:`HandlePolicy` traffic modules register with the broker."""
+        return HandlePolicy.parse(self.handle_policy,
+                                  max_sessions=self.pool_max_sessions)
 
 
 def traffic_policy(spec: TrafficSpec) -> Policy:
@@ -204,6 +236,10 @@ class TrafficResult:
     cache_stats: Dict[str, int]
     shard_sizes: List[int]
     session_count: int
+    #: live handle co-processes at the end of the run (per_session: one per
+    #: session; pooled/per_module: ceil(sessions / seats) per module set)
+    handle_count: int = 0
+    broker_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def calls_per_second(self) -> float:
@@ -259,11 +295,15 @@ class TrafficEngine:
             return self
         spec = self.spec
         policy = traffic_policy(spec)
+        broker_policy = spec.broker_policy()
         for index in range(spec.modules):
             definition = build_traffic_module(index, policy=policy)
             registered = self.extension.registry.register(
                 definition, uid=0, protection=ProtectionMode.ENCRYPT)
             self.modules.append(registered)
+            # the module owner registers how its handles may be shared
+            self.extension.broker.register_policy(registered.name,
+                                                  broker_policy)
 
         for c in range(spec.clients):
             program = Program.spawn(self.kernel, f"traffic-client{c}",
@@ -339,6 +379,22 @@ class TrafficEngine:
         state.latencies_us.extend([service_us / count] * count)
         state.calls_denied += denied
 
+    def _think_source(self, state: ClientState):
+        """Per-client closed-loop think-time draw (``TrafficSpec.think``).
+
+        The exponential default reproduces the original engine draw for
+        draw; lognormal/pareto keep the same mean think time but add the
+        heavy tail, so a seed change is the only way totals move.
+        """
+        spec = self.spec
+        if spec.think == "lognormal":
+            return lambda: state.rng.lognormal(spec.mean_interval_us,
+                                               spec.think_sigma)
+        if spec.think == "pareto":
+            return lambda: state.rng.pareto(spec.mean_interval_us,
+                                            spec.think_alpha)
+        return lambda: state.rng.exponential(spec.mean_interval_us)
+
     def _interarrival_source(self, state: ClientState):
         """Per-client interarrival draw for the pre-drawn (open) schedules."""
         spec = self.spec
@@ -390,8 +446,9 @@ class TrafficEngine:
                     [max(0.0, self.machine.microseconds() - at)] * count)
                 self._one_flush(state, count)
         else:
+            think = {s.index: self._think_source(s) for s in self.clients}
             for state in self.clients:
-                first = base_us + state.rng.exponential(spec.mean_interval_us)
+                first = base_us + think[state.index]()
                 heapq.heappush(events, (first, tiebreak, state.index))
                 tiebreak += 1
             flushed = {s.index: 0 for s in self.clients}
@@ -404,7 +461,7 @@ class TrafficEngine:
                 self._one_flush(state, count)
                 if state.calls_issued < spec.calls_per_client:
                     next_at = (self.machine.microseconds() +
-                               state.rng.exponential(spec.mean_interval_us))
+                               think[state.index]())
                     heapq.heappush(events, (next_at, tiebreak, state.index))
                     tiebreak += 1
 
@@ -429,6 +486,8 @@ class TrafficEngine:
             cache_stats=self.extension.decision_cache.snapshot(),
             shard_sizes=self.extension.sessions.shard_sizes(),
             session_count=len(self.extension.sessions),
+            handle_count=self.extension.sessions.handle_count(),
+            broker_stats=self.extension.broker.snapshot(),
         )
 
     # ---------------------------------------------------------------- teardown

@@ -195,12 +195,41 @@ class TestBatchSweep:
         assert "identical" in text and "monotonically decreasing: yes" in text
 
 
+class TestPoolSweep:
+    @pytest.fixture(scope="class")
+    def report(self):
+        from repro.bench.pool import run_pool_sweep
+        return run_pool_sweep(seats=(1, 2, 8), sessions=16,
+                              calls_per_session=2)
+
+    def test_handle_count_is_ceil_sessions_over_seats(self, report):
+        assert report.handle_counts_match()
+        assert report.point(1).handle_count == 16
+        assert report.point(8).handle_count == 2
+
+    def test_us_per_call_monotone(self, report):
+        assert report.monotone_us_per_call()
+
+    def test_seat1_lands_on_paper_dispatch_latency(self, report):
+        assert report.us_per_call(report.point(1)) == \
+            pytest.approx(6.407, abs=0.01)
+
+    def test_pooled_establishment_cheaper(self, report):
+        assert report.establish_us(report.point(8)) < \
+            report.establish_us(report.point(1))
+
+    def test_render_reports_the_checks(self, report):
+        text = report.render()
+        assert "ceil(sessions/seats) at every point: yes" in text
+        assert "monotone (non-decreasing) in seats/handle: yes" in text
+
+
 class TestHarnessAndCli:
     def test_experiment_table_covers_design_doc(self):
         for experiment_id in ("fig1", "fig2", "fig3", "fig7", "fig8",
                               "abl-policy", "abl-hardening", "abl-marshalling",
                               "abl-protection", "abl-argsize", "abl-machine",
-                              "abl-throughput", "abl-batch"):
+                              "abl-throughput", "abl-batch", "abl-pool"):
             assert experiment_id in EXPERIMENTS
 
     def test_run_experiment_fig7(self):
@@ -223,6 +252,12 @@ class TestHarnessAndCli:
         assert cli_main(["bench", "batch", "--fast"]) == 0
         out = capsys.readouterr().out
         assert "batch size" in out and "monotonically decreasing: yes" in out
+
+    def test_cli_bench_pool_fast(self, capsys):
+        assert cli_main(["bench", "pool", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "sessions/handle" in out
+        assert "ceil(sessions/seats) at every point: yes" in out
 
     def test_cli_output_file(self, tmp_path, capsys):
         target = tmp_path / "fig7.txt"

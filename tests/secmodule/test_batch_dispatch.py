@@ -317,16 +317,92 @@ class TestBatchOrderingAndQuota:
         assert extra.shared_stack.depth() == 0
 
 
+def _static_chain_system(**kwargs):
+    from repro.secmodule.policy import (
+        CompositePolicy, FunctionDenyPolicy, UidAllowPolicy)
+    chain = CompositePolicy([UidAllowPolicy([1000]),
+                             FunctionDenyPolicy(["test_null"])])
+    return make_system(policy=chain, **kwargs)
+
+
 class TestBatchDecisionCacheInterplay:
     def test_policy_check_runs_per_entry_with_cache(self):
-        from repro.secmodule.policy import (
-            CompositePolicy, FunctionDenyPolicy, UidAllowPolicy)
-        chain = CompositePolicy([UidAllowPolicy([1000]),
-                                 FunctionDenyPolicy(["test_null"])])
-        system = make_system(policy=chain)
+        system = _static_chain_system()
         cache = system.extension.decision_cache
         outcome = system.extension.dispatcher.call_batch(
             system.session, incr_batch(6), config=DispatchConfig(batch_size=6))
         assert outcome.ok
         # first entry misses and stores, the other five hit
         assert cache.misses == 1 and cache.hits == 5
+
+    def test_warm_batch_validates_whole_queue_with_one_epoch_check(self):
+        """A warm queue pays ONE cache-hit charge for the whole flush (the
+        single epoch check) instead of one per entry; the saved charges are
+        counted on the cache."""
+        system = _static_chain_system()
+        cache = system.extension.decision_cache
+        meter = system.machine.meter
+        config = DispatchConfig(batch_size=6)
+        system.extension.dispatcher.call_batch(      # cold: stores the key
+            system.session, incr_batch(6), config=config)
+        charges = meter.count(costs.SMOD_POLICY_CACHE_HIT)
+        hits = cache.hits
+        outcome = system.extension.dispatcher.call_batch(
+            system.session, incr_batch(6), config=config)
+        assert outcome.ok
+        assert meter.count(costs.SMOD_POLICY_CACHE_HIT) == charges + 1
+        assert cache.hits == hits + 6                # per-entry stats intact
+        assert cache.batch_epoch_checks == 1
+        assert cache.batch_saved_charges == 5
+
+    def test_warm_batch_cheaper_than_per_entry_hits(self):
+        """The saved per-entry hit charges show up in cycle accounting."""
+        def warm_flush_cycles(use_batch_path):
+            system = _static_chain_system()
+            config = DispatchConfig(batch_size=6)
+            system.extension.dispatcher.call_batch(
+                system.session, incr_batch(6), config=config)
+            mark = system.machine.clock.checkpoint()
+            if use_batch_path:
+                system.extension.dispatcher.call_batch(
+                    system.session, incr_batch(6), config=config)
+            else:
+                for name, args in incr_batch(6):
+                    system.extension.dispatcher.call(system.session, name,
+                                                     *args, config=config)
+            return (system.machine.clock.since(mark).cycles,
+                    system.machine.spec.profile.cost(
+                        costs.SMOD_POLICY_CACHE_HIT))
+        batched, hit_cost = warm_flush_cycles(True)
+        per_call, _ = warm_flush_cycles(False)
+        # the batch saves (at least) five per-entry epoch checks on top of
+        # the amortized traps and switches
+        assert batched <= per_call - 5 * hit_cost
+
+    def test_epoch_bump_invalidates_batch_prefetch(self):
+        """Re-credentialing between flushes must force re-evaluation — the
+        one epoch check covers the queue only while the epoch stands."""
+        system = _static_chain_system()
+        cache = system.extension.decision_cache
+        config = DispatchConfig(batch_size=4)
+        system.extension.dispatcher.call_batch(
+            system.session, incr_batch(4), config=config)
+        module = next(iter(system.session.modules.values()))
+        credential = module.definition.issuer.issue("alice", uid=1000)
+        system.session.replace_credential(module.m_id, credential)
+        checks = cache.batch_epoch_checks
+        outcome = system.extension.dispatcher.call_batch(
+            system.session, incr_batch(4), config=config)
+        assert outcome.ok
+        assert cache.batch_epoch_checks == checks    # stale: no prefetch hit
+
+    def test_uncacheable_policy_never_prefetches(self):
+        from repro.secmodule.policy import CallQuotaPolicy
+        system = make_system(policy=CallQuotaPolicy(1000))
+        cache = system.extension.decision_cache
+        system.extension.dispatcher.call_batch(
+            system.session, incr_batch(6), config=DispatchConfig(batch_size=6))
+        system.extension.dispatcher.call_batch(
+            system.session, incr_batch(6), config=DispatchConfig(batch_size=6))
+        assert cache.batch_epoch_checks == 0
+        assert cache.batch_served == 0

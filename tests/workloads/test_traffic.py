@@ -204,6 +204,86 @@ class TestTrafficTeardown:
         assert len(engine.extension.decision_cache) == 0
 
 
+class TestHeavyTailedThinkTimes:
+    def test_think_models_run_full_schedule_deterministically(self):
+        for think in ("lognormal", "pareto"):
+            a = run_traffic(small_spec(think=think))
+            b = run_traffic(small_spec(think=think))
+            assert a.total_calls == 4 * 6
+            assert a.total_cycles == b.total_cycles
+            assert a.latencies_us == b.latencies_us
+
+    def test_exponential_default_unchanged(self):
+        """think='exponential' is the original engine draw for draw."""
+        a = run_traffic(small_spec())
+        b = run_traffic(small_spec(think="exponential"))
+        assert a.total_cycles == b.total_cycles
+        assert a.latencies_us == b.latencies_us
+
+    def test_heavy_tail_changes_schedule_not_call_count(self):
+        exp = run_traffic(small_spec())
+        par = run_traffic(small_spec(think="pareto", think_alpha=1.5))
+        assert par.total_calls == exp.total_calls
+        assert par.elapsed_us != exp.elapsed_us
+
+    def test_open_loop_ignores_think_knob(self):
+        a = run_traffic(small_spec(arrival="open"))
+        b = run_traffic(small_spec(arrival="open", think="pareto"))
+        assert a.total_cycles == b.total_cycles
+
+    def test_think_validation(self):
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError):
+            TrafficSpec(think="weibull")
+        with pytest.raises(SimulationError):
+            TrafficSpec(think="pareto", think_alpha=1.0)
+
+
+class TestPooledHandleTraffic:
+    def test_32_clients_4_sessions_one_handle_per_module(self):
+        """The acceptance-bar scenario: 32 clients x 4 modules (one session
+        each per module) all served by one pooled handle per module."""
+        spec = small_spec(clients=32, modules=4, calls_per_client=4,
+                          handle_policy="per_module")
+        engine = TrafficEngine(spec)
+        result = engine.run()
+        assert result.session_count == 32 * 4
+        assert result.handle_count == 4            # one per module
+        assert result.broker_stats["handles_forked"] == 4
+        assert result.broker_stats["attachments"] == 32 * 4 - 4
+        assert result.total_calls == 32 * 4
+        engine.teardown()
+        assert engine.extension.sessions.handle_count() == 0
+        assert len(engine.kernel.msg) == 0
+
+    def test_pooled_cap_respected_under_traffic(self):
+        spec = small_spec(clients=8, modules=1, handle_policy="pooled",
+                          pool_max_sessions=4)
+        result = run_traffic(spec)
+        assert result.session_count == 8
+        assert result.handle_count == 2            # ceil(8 / 4)
+
+    def test_per_session_traffic_unchanged_by_broker(self):
+        a = run_traffic(small_spec())
+        b = run_traffic(small_spec(handle_policy="per_session"))
+        assert a.total_cycles == b.total_cycles
+        assert a.handle_count == a.session_count   # the 1:1 shape
+
+    def test_batched_traffic_through_pooled_handles(self):
+        spec = small_spec(clients=6, modules=2, calls_per_client=8,
+                          batch_size=4, handle_policy="per_module")
+        result = run_traffic(spec)
+        assert result.total_calls == 6 * 8
+        assert result.handle_count == 2
+
+    def test_handle_policy_validation(self):
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError):
+            TrafficSpec(handle_policy="per_galaxy")
+        with pytest.raises(SimulationError):
+            TrafficSpec(handle_policy="pooled", pool_max_sessions=0)
+
+
 class TestSpecValidation:
     def test_rejects_bad_dimensions(self):
         from repro.errors import SimulationError
