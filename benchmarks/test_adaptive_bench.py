@@ -1,0 +1,47 @@
+"""The abl-adaptive experiment: the AIMD controller vs static queue depths.
+
+The acceptance bar for adaptive batching: on a steady Poisson stream the
+controller's converged us/call lands within 20% of the best static batch
+depth, and across an MMPP on/off cycle the depth trajectory rises during
+the burst and falls back to half its peak (or less) in the lull.
+"""
+
+from repro.bench.adaptive import run_adaptive_bench
+
+DEPTHS = (1, 4, 16)
+STATIC_CALLS = 96
+ADAPTIVE_CALLS = 256
+MMPP_CALLS = 256
+
+
+class TestAdaptiveBench:
+    def test_controller_tracks_best_static_depth(self, benchmark):
+        report = benchmark.pedantic(
+            run_adaptive_bench,
+            kwargs={"depths": DEPTHS, "static_calls": STATIC_CALLS,
+                    "adaptive_calls": ADAPTIVE_CALLS,
+                    "mmpp_calls": MMPP_CALLS},
+            iterations=1, rounds=1)
+
+        best = report.best_static()
+        # deeper static batches are cheaper per call on this stream...
+        per_call = [p.mean_service_us for p in report.static_points]
+        assert all(a > b for a, b in zip(per_call, per_call[1:]))
+        assert best.batch_size == max(DEPTHS)
+        # ...and the controller converges to within 20% of the best
+        assert report.within_20_percent()
+        assert report.adaptive_tail_us <= best.mean_service_us * 1.2
+        controller = report.adaptive_controller
+        assert controller["depth"] == max(DEPTHS)
+        # the MMPP leg adapts both ways inside one run
+        assert report.adapted_up_and_down()
+        assert report.mmpp_controller["shrinks"] > 0
+
+        benchmark.extra_info["best_static_us"] = round(
+            best.mean_service_us, 3)
+        benchmark.extra_info["adaptive_tail_us"] = round(
+            report.adaptive_tail_us, 3)
+        benchmark.extra_info["adaptive_vs_best"] = round(
+            report.adaptive_tail_us / best.mean_service_us, 3)
+        benchmark.extra_info["mmpp_max_depth"] = \
+            report.mmpp_controller["max_depth_reached"]

@@ -5,11 +5,20 @@ index and EXPERIMENTS.md) to runner callables that return an object with a
 ``render()`` method.  The CLI and the "regenerate everything" helper iterate
 over this table, so adding an experiment is one new entry here plus its
 benchmark file.
+
+The harness also exports every run machine-readably: ``run_experiment``
+with an ``export_dir`` (the CLI passes the working directory, i.e. the repo
+root) writes ``BENCH_<experiment id>.json`` next to the printed report, so
+the perf trajectory of a checkout is diffable across commits and CI can
+upload the files as build artifacts.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import enum
+import json
+import os
+from dataclasses import dataclass, field, fields, is_dataclass
 from typing import Callable, Dict, List, Optional
 
 from ..workloads.policies import run_keynote_policy, run_policy_chain_sweep
@@ -20,6 +29,7 @@ from .ablations import (
     run_marshalling_ablation,
     run_protection_ablation,
 )
+from .adaptive import run_abl_adaptive
 from .batch import run_abl_batch
 from .figure7 import reproduce_figure7
 from .pool import run_abl_pool
@@ -95,6 +105,10 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         "abl-pool",
         "Handle pooling: one handle co-process serving many sessions",
         run_abl_pool, kind="ablation"),
+    "abl-adaptive": ExperimentSpec(
+        "abl-adaptive",
+        "Adaptive batching: AIMD queue depth from the arrival-rate EWMA",
+        run_abl_adaptive, kind="ablation"),
 }
 
 
@@ -107,18 +121,94 @@ class ExperimentRun:
     rendered: str
 
 
-def run_experiment(experiment_id: str) -> ExperimentRun:
-    """Run one experiment by id."""
+# ------------------------------------------------------------ JSON export
+def to_jsonable(value: object) -> object:
+    """Coerce a result object into something ``json.dump`` accepts.
+
+    Dataclasses become dicts field by field (without ``asdict``'s deep-copy
+    surprises on non-dataclass members), enums their values, and anything
+    else unrecognized its ``str()`` — an export must never fail just
+    because a report grew an exotic field.
+    """
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, enum.Enum):
+        return to_jsonable(value.value)
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(item) for item in value]
+    if is_dataclass(value) and not isinstance(value, type):
+        return {f.name: to_jsonable(getattr(value, f.name))
+                for f in fields(value)}
+    return str(value)
+
+
+def experiment_payload(experiment_id: str, title: str, kind: str,
+                       result: object, rendered: str, *,
+                       params: Optional[Dict[str, object]] = None
+                       ) -> Dict[str, object]:
+    """The machine-readable record written to ``BENCH_<id>.json``.
+
+    ``params`` records the resolved run parameters (client counts, call
+    counts, ``--fast``, ...) so a cross-commit diff of the files can tell a
+    smoke run from the canonical experiment instead of silently comparing
+    runs of different sizes; the harness's default runs record
+    ``{"defaults": True}``.
+    """
+    if hasattr(result, "as_dict"):
+        data = to_jsonable(result.as_dict())
+    elif is_dataclass(result) and not isinstance(result, type):
+        data = to_jsonable(result)
+    else:
+        data = None
+    return {
+        "experiment": experiment_id,
+        "title": title,
+        "kind": kind,
+        "params": to_jsonable(params if params is not None
+                              else {"defaults": True}),
+        "data": data,
+        "rendered": rendered,
+    }
+
+
+def export_payload(payload: Dict[str, object],
+                   directory: str = ".") -> str:
+    """Write one experiment payload to ``<directory>/BENCH_<id>.json``."""
+    path = os.path.join(directory, f"BENCH_{payload['experiment']}.json")
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    return path
+
+
+def export_run(run: ExperimentRun, directory: str = ".") -> str:
+    """Export one executed experiment as ``BENCH_<id>.json``."""
+    return export_payload(
+        experiment_payload(run.spec.experiment_id, run.spec.title,
+                           run.spec.kind, run.result, run.rendered),
+        directory)
+
+
+def run_experiment(experiment_id: str, *,
+                   export_dir: Optional[str] = None) -> ExperimentRun:
+    """Run one experiment by id; ``export_dir`` also writes its JSON record."""
     spec = EXPERIMENTS[experiment_id]
     result = spec.runner()
     rendered = result.render() if hasattr(result, "render") else str(result)
-    return ExperimentRun(spec=spec, result=result, rendered=rendered)
+    run = ExperimentRun(spec=spec, result=result, rendered=rendered)
+    if export_dir is not None:
+        export_run(run, export_dir)
+    return run
 
 
-def run_all(experiment_ids: Optional[List[str]] = None) -> List[ExperimentRun]:
+def run_all(experiment_ids: Optional[List[str]] = None, *,
+            export_dir: Optional[str] = None) -> List[ExperimentRun]:
     """Run several (default: all) experiments in DESIGN.md order."""
     ids = experiment_ids or list(EXPERIMENTS)
-    return [run_experiment(experiment_id) for experiment_id in ids]
+    return [run_experiment(experiment_id, export_dir=export_dir)
+            for experiment_id in ids]
 
 
 def full_report(runs: List[ExperimentRun]) -> str:

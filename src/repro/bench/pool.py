@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..hw.machine import make_paper_machine
 from ..kernel.kernel import Kernel
@@ -33,6 +33,7 @@ from ..secmodule.protection import ProtectionMode
 from ..secmodule.session import SessionDescriptor, build_requirements
 from ..secmodule.smod_syscalls import install_secmodule
 from ..userland.process import Program
+from ..workloads.traffic import TrafficSpec, run_traffic
 from .report import render_table
 
 #: Seats-per-handle values the headline sweep measures.
@@ -41,6 +42,14 @@ DEFAULT_SEATS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
 DEFAULT_SESSIONS = 64
 #: Protected calls issued per session during the measurement phase.
 DEFAULT_CALLS_PER_SESSION = 4
+#: Fairness leg: seats per handle and sessions of the contended phase.
+FAIRNESS_SEATS = 8
+FAIRNESS_SESSIONS = 16
+FAIRNESS_CALLS_PER_SESSION = 8
+#: Fairness leg mean interarrival — well below the ~6.4 us dispatch
+#: latency, so arrivals queue behind the busy handle and per-seat
+#: queueing delay is non-trivial.
+FAIRNESS_MEAN_INTERVAL_US = 3.0
 
 
 @dataclass
@@ -54,6 +63,9 @@ class PoolPoint:
     call_cycles: int
     total_calls: int
 
+    broker_stats: Dict[str, int] = field(default_factory=dict)
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+
     @property
     def cycles_per_call(self) -> float:
         return self.call_cycles / self.total_calls
@@ -64,6 +76,59 @@ class PoolPoint:
 
 
 @dataclass
+class PoolFairness:
+    """The telemetry leg: per-seat queueing delay under contention.
+
+    One pooled system, open-loop Poisson arrivals across every session;
+    the broker's per-seat histograms yield each client's queueing-delay
+    p95 and a Jain fairness index per shared handle.
+    """
+
+    seats: int
+    sessions: int
+    total_calls: int
+    #: handle pid -> {"clients", "per_client": {pid: {p95_us, mean_us}},
+    #: "jain_fairness"} — the broker's seat_delay_report
+    handles: Dict[int, Dict[str, object]] = field(default_factory=dict)
+
+    def worst_jain(self) -> float:
+        if not self.handles:
+            return 1.0
+        return min(entry["jain_fairness"] for entry in self.handles.values())
+
+    def render(self) -> str:
+        rows = []
+        for handle_pid, entry in sorted(self.handles.items()):
+            per_client = entry["per_client"]
+            p95s = [stats["p95_us"] for stats in per_client.values()]
+            rows.append([
+                handle_pid,
+                entry["clients"],
+                f"{min(p95s):.2f}" if p95s else "-",
+                f"{max(p95s):.2f}" if p95s else "-",
+                f"{entry['jain_fairness']:.4f}",
+            ])
+        table = render_table(
+            ["handle pid", "clients", "min client p95 us",
+             "max client p95 us", "Jain fairness"],
+            rows,
+            title=(f"Pooled-handle queueing fairness: {self.sessions} "
+                   f"sessions on pooled({self.seats}) handles, "
+                   f"{self.total_calls} open-loop calls"))
+        detail_lines = []
+        for handle_pid, entry in sorted(self.handles.items()):
+            p95_list = ", ".join(
+                f"pid {client}: {stats['p95_us']:.2f}"
+                for client, stats in sorted(entry["per_client"].items()))
+            detail_lines.append(
+                f"handle {handle_pid} per-client queueing-delay p95 (us): "
+                f"{p95_list}")
+        summary = (f"\nworst Jain fairness index across pooled handles: "
+                   f"{self.worst_jain():.4f}")
+        return table + "\n" + "\n".join(detail_lines) + summary
+
+
+@dataclass
 class PoolReport:
     """The full sweep plus the structural checks the acceptance bar names."""
 
@@ -71,6 +136,8 @@ class PoolReport:
     sessions: int
     mhz: float
     points: List[PoolPoint] = field(default_factory=list)
+    #: the telemetry-driven fairness leg (None when skipped)
+    fairness: Optional[PoolFairness] = None
 
     def point(self, max_sessions: int) -> PoolPoint:
         for point in self.points:
@@ -117,7 +184,51 @@ class PoolReport:
             f"{'yes' if self.handle_counts_match() else 'NO'}"
             f"\nus/call monotone (non-decreasing) in seats/handle: "
             f"{'yes' if self.monotone_us_per_call() else 'NO'}")
-        return table + summary
+        # per-point broker counters (previously measured but never shown)
+        broker_bits = "; ".join(
+            f"{p.max_sessions}: forked={p.broker_stats.get('handles_forked', 0)} "
+            f"attached={p.broker_stats.get('attachments', 0)}"
+            for p in self.points if p.broker_stats)
+        if broker_bits:
+            summary += f"\nbroker stats by seats/handle: {broker_bits}"
+        last = self.points[-1] if self.points else None
+        if last is not None and last.cache_stats:
+            summary += (
+                f"\ndecision cache (seats={last.max_sessions} point): "
+                + " ".join(f"{k}={v}" for k, v in
+                           sorted(last.cache_stats.items())))
+        text = table + summary
+        if self.fairness is not None:
+            text += "\n\n" + self.fairness.render()
+        return text
+
+    def as_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "seats": list(self.seats),
+            "sessions": self.sessions,
+            "mhz": self.mhz,
+            "points": [
+                {"max_sessions": p.max_sessions,
+                 "handle_count": p.handle_count,
+                 "establish_us_per_session": self.establish_us(p),
+                 "cycles_per_call": p.cycles_per_call,
+                 "us_per_call": self.us_per_call(p),
+                 "broker_stats": dict(p.broker_stats),
+                 "cache_stats": dict(p.cache_stats)}
+                for p in self.points],
+            "handle_counts_match": self.handle_counts_match(),
+            "monotone_us_per_call": self.monotone_us_per_call(),
+        }
+        if self.fairness is not None:
+            payload["fairness"] = {
+                "seats": self.fairness.seats,
+                "sessions": self.fairness.sessions,
+                "total_calls": self.fairness.total_calls,
+                "worst_jain": self.fairness.worst_jain(),
+                "handles": {str(pid): entry for pid, entry
+                            in self.fairness.handles.items()},
+            }
+        return payload
 
 
 def _measure_point(max_sessions: int, sessions: int,
@@ -160,14 +271,43 @@ def _measure_point(max_sessions: int, sessions: int,
     return PoolPoint(max_sessions=max_sessions, sessions=sessions,
                      handle_count=handle_count,
                      establish_cycles=establish_cycles,
-                     call_cycles=call_cycles, total_calls=total_calls)
+                     call_cycles=call_cycles, total_calls=total_calls,
+                     broker_stats=extension.broker.snapshot(),
+                     cache_stats=extension.decision_cache.snapshot())
+
+
+def _measure_fairness(*, seats: int = FAIRNESS_SEATS,
+                      sessions: int = FAIRNESS_SESSIONS,
+                      calls_per_session: int = FAIRNESS_CALLS_PER_SESSION,
+                      mean_interval_us: float = FAIRNESS_MEAN_INTERVAL_US,
+                      seed: int = 0x900_1) -> PoolFairness:
+    """The telemetry leg: open-loop contention over pooled handles.
+
+    A telemetry-enabled traffic run (recording never charges the clock, so
+    this leg cannot perturb the sweep's numbers): one client per session on
+    ``pooled(seats)`` handles, each offering a pre-drawn Poisson arrival
+    schedule.  Arrivals landing while the virtual clock is still inside an
+    earlier call wait, and that wait is the per-seat queueing delay the
+    broker's histograms capture and its ``seat_delay_report`` scores.
+    """
+    spec = TrafficSpec(clients=sessions, modules=1,
+                       calls_per_client=calls_per_session, arrival="open",
+                       mean_interval_us=mean_interval_us,
+                       handle_policy="pooled", pool_max_sessions=seats,
+                       telemetry=True, seed=seed)
+    result = run_traffic(spec)
+    return PoolFairness(seats=seats, sessions=sessions,
+                        total_calls=result.total_calls,
+                        handles=result.seat_fairness)
 
 
 def run_pool_sweep(*, seats: Sequence[int] = DEFAULT_SEATS,
                    sessions: int = DEFAULT_SESSIONS,
                    calls_per_session: int = DEFAULT_CALLS_PER_SESSION,
-                   seed: int = 0x900_1) -> PoolReport:
-    """Measure the sweep: one fresh system per seats-per-handle point."""
+                   seed: int = 0x900_1,
+                   fairness: bool = True) -> PoolReport:
+    """Measure the sweep (one fresh system per seats-per-handle point) and,
+    unless disabled, the telemetry-driven queueing-fairness leg."""
     if not seats or min(seats) < 1:
         raise ValueError("seats per handle must be positive")
     if sessions < 1 or calls_per_session < 1:
@@ -177,6 +317,8 @@ def run_pool_sweep(*, seats: Sequence[int] = DEFAULT_SEATS,
     for max_sessions in seats:
         report.points.append(_measure_point(max_sessions, sessions,
                                             calls_per_session, seed))
+    if fairness:
+        report.fairness = _measure_fairness(seed=seed)
     return report
 
 

@@ -83,7 +83,51 @@ class ThroughputReport:
                 f"\nopen-loop queueing delay: "
                 f"p50={self.open_loop.queue_delay_percentile(50):.3f}us "
                 f"p99={self.open_loop.queue_delay_percentile(99):.3f}us")
+        # the full counter sets (previously measured but never shown)
+        summary += (
+            "\ncache_stats (cached run): "
+            + " ".join(f"{k}={v}" for k, v in
+                       sorted(self.cached.cache_stats.items()))
+            + f"\nbroker_stats (cached run): "
+            + " ".join(f"{k}={v}" for k, v in
+                       sorted(self.cached.broker_stats.items()))
+            + f" handle_count={self.cached.handle_count}")
         return table + summary
+
+    def as_dict(self) -> Dict[str, object]:
+        def result_dict(result: TrafficResult) -> Dict[str, object]:
+            return {
+                "total_calls": result.total_calls,
+                "denied_calls": result.denied_calls,
+                "elapsed_us": result.elapsed_us,
+                "total_cycles": result.total_cycles,
+                "cycles_per_call": result.cycles_per_call,
+                "calls_per_second": result.calls_per_second,
+                "latency_us": {
+                    "p50": result.latency_percentile(50),
+                    "p95": result.latency_percentile(95),
+                    "p99": result.latency_percentile(99),
+                },
+                "queue_delay_p99_us": result.queue_delay_percentile(99),
+                "cache_stats": dict(result.cache_stats),
+                "broker_stats": dict(result.broker_stats),
+                "handle_count": result.handle_count,
+                "session_count": result.session_count,
+            }
+
+        payload: Dict[str, object] = {
+            "clients": self.spec.clients,
+            "modules": self.spec.modules,
+            "calls_per_client": self.spec.calls_per_client,
+            "policy_kind": self.spec.policy_kind,
+            "cached": result_dict(self.cached),
+            "uncached": result_dict(self.uncached),
+            "cycles_saved_per_call": self.cycles_saved_per_call,
+            "speedup": self.speedup,
+        }
+        if self.open_loop is not None:
+            payload["open_loop"] = result_dict(self.open_loop)
+        return payload
 
 
 def run_throughput(*, clients: int = DEFAULT_CLIENTS,

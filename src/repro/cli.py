@@ -10,17 +10,33 @@ command line::
     repro describe                # one-page tour of a live system
     repro bench throughput --clients 32   # multi-client traffic engine
     repro bench pool --sessions 64        # handle pooling sweep (abl-pool)
+    repro bench adaptive                  # AIMD batch controller (abl-adaptive)
+    repro stats                   # pretty-print metrics (BENCH_*.json or live)
+
+Experiment and bench commands also write a machine-readable
+``BENCH_<experiment id>.json`` into the working directory (suppress with
+``--no-export``); ``repro stats`` reads those files back.
 """
 
 from __future__ import annotations
 
 import argparse
+import glob
+import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+from .bench.adaptive import DEFAULT_DEPTHS, run_adaptive_bench
 from .bench.batch import DEFAULT_CALLS, DEFAULT_SIZES, run_batch_sweep
 from .bench.figure8 import reproduce_figure8
-from .bench.harness import EXPERIMENTS, full_report, run_all, run_experiment
+from .bench.harness import (
+    EXPERIMENTS,
+    experiment_payload,
+    export_payload,
+    full_report,
+    run_all,
+    run_experiment,
+)
 from .bench.pool import (
     DEFAULT_CALLS_PER_SESSION,
     DEFAULT_SEATS,
@@ -29,6 +45,8 @@ from .bench.pool import (
 )
 from .bench.throughput import run_throughput
 from .secmodule.api import SecModuleSystem
+from .telemetry import render_snapshot
+from .workloads.traffic import TrafficSpec, run_traffic
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,6 +54,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="secmodule-bench",
         description="Regenerate the SecModule paper's tables, figures and ablations.")
     parser.add_argument("-o", "--output", help="write the report to this file")
+    parser.add_argument("--no-export", action="store_true",
+                        help="skip writing BENCH_<id>.json next to the report")
     subparsers = parser.add_subparsers(dest="command")
 
     subparsers.add_parser("list", help="list available experiments")
@@ -90,6 +110,30 @@ def build_parser() -> argparse.ArgumentParser:
     bp.add_argument("--fast", action="store_true",
                     help="CI smoke: fewer sizes and calls")
 
+    ap = bench_sub.add_parser(
+        "adaptive", help="AIMD batch controller vs static queue depths")
+    ap.add_argument("--depths", default=",".join(map(str, DEFAULT_DEPTHS)),
+                    help="comma-separated static depths for the baseline sweep")
+    ap.add_argument("--calls", type=int, default=None,
+                    help="calls in the adaptive steady leg")
+    ap.add_argument("--seed", type=int, default=0xADA_57)
+    ap.add_argument("--fast", action="store_true",
+                    help="CI smoke: fewer depths and calls")
+
+    st = subparsers.add_parser(
+        "stats", help="pretty-print metrics snapshots "
+                      "(from BENCH_*.json files, or a live traffic run)")
+    st.add_argument("paths", nargs="*",
+                    help="BENCH_*.json files to summarize "
+                         "(default: every BENCH_*.json in the working "
+                         "directory; a live run when none exist)")
+    st.add_argument("--live", action="store_true",
+                    help="run a small telemetry-enabled traffic workload "
+                         "and print its metrics snapshot")
+    st.add_argument("--clients", type=int, default=4)
+    st.add_argument("--sample-calls", type=int, default=8)
+    st.add_argument("--seed", type=int, default=0xB07_7E57)
+
     for experiment_id in EXPERIMENTS:
         if experiment_id == "fig8":
             continue
@@ -107,10 +151,82 @@ def _emit(text: str, output: Optional[str]) -> None:
         print(text)
 
 
+#: bench subcommand -> the experiment id its JSON export is filed under
+_BENCH_EXPERIMENT_IDS = {
+    "throughput": "abl-throughput",
+    "batch": "abl-batch",
+    "pool": "abl-pool",
+    "adaptive": "abl-adaptive",
+}
+
+
+def _export_bench(bench_command: str, report: object, rendered: str,
+                  params: Dict[str, object]) -> str:
+    """Write a bench subcommand's result as its experiment's BENCH json."""
+    experiment_id = _BENCH_EXPERIMENT_IDS[bench_command]
+    spec = EXPERIMENTS[experiment_id]
+    return export_payload(
+        experiment_payload(experiment_id, spec.title, spec.kind,
+                           report, rendered, params=params))
+
+
+def _render_payload_value(key: str, value: object, indent: int,
+                          lines: List[str]) -> None:
+    pad = "  " * indent
+    if isinstance(value, dict):
+        if {"counters", "gauges", "histograms"} <= set(value.keys()):
+            lines.append(f"{pad}{key}:")
+            body = render_snapshot(value, title="metrics").splitlines()[2:]
+            lines.extend(pad + "  " + line for line in body)
+            return
+        lines.append(f"{pad}{key}:")
+        for sub_key, sub_value in value.items():
+            _render_payload_value(str(sub_key), sub_value, indent + 1, lines)
+    elif isinstance(value, list):
+        if len(value) > 8 or any(isinstance(v, (dict, list)) for v in value):
+            lines.append(f"{pad}{key}: [{len(value)} entries]")
+        else:
+            lines.append(f"{pad}{key}: {value}")
+    elif isinstance(value, float):
+        lines.append(f"{pad}{key}: {value:.4f}")
+    else:
+        lines.append(f"{pad}{key}: {value}")
+
+
+def _render_bench_file(path: str) -> str:
+    """Summarize one BENCH_<id>.json for ``repro stats``."""
+    with open(path, "r", encoding="utf-8") as stream:
+        payload = json.load(stream)
+    title = f"{path}: [{payload.get('experiment')}] {payload.get('title')}"
+    lines = [title, "-" * len(title)]
+    data = payload.get("data")
+    if isinstance(data, dict):
+        for key, value in data.items():
+            _render_payload_value(str(key), value, 1, lines)
+    elif data is not None:
+        lines.append(f"  data: {data}")
+    else:
+        lines.append("  (no structured data; see the rendered report)")
+    return "\n".join(lines)
+
+
+def _live_stats(clients: int, sample_calls: int, seed: int) -> str:
+    """Run a small telemetry-enabled traffic workload and snapshot it."""
+    spec = TrafficSpec(clients=clients, modules=2,
+                       calls_per_client=sample_calls, arrival="open",
+                       telemetry=True, seed=seed)
+    result = run_traffic(spec)
+    return render_snapshot(
+        result.metrics,
+        title=(f"live metrics: {clients} clients x 2 modules, "
+               f"{sample_calls} calls/client, open-loop arrivals"))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     command = args.command or "list"
+    export_dir = None if args.no_export else "."
 
     if command == "list":
         lines = [f"{experiment_id:<16s} {spec.title}"
@@ -128,7 +244,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if command == "all":
-        runs = run_all(args.only)
+        runs = run_all(args.only, export_dir=export_dir)
         _emit(full_report(runs), args.output)
         return 0
 
@@ -136,11 +252,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         table = reproduce_figure8(trials=args.trials,
                                   sample_calls=args.sample_calls,
                                   seed=args.seed)
-        _emit(table.render(), args.output)
+        rendered = table.render()
+        if export_dir is not None:
+            spec = EXPERIMENTS["fig8"]
+            export_payload(
+                experiment_payload("fig8", spec.title, spec.kind, table,
+                                   rendered,
+                                   params={"trials": args.trials,
+                                           "sample_calls": args.sample_calls,
+                                           "seed": args.seed}),
+                export_dir)
+        _emit(rendered, args.output)
+        return 0
+
+    if command == "stats":
+        paths = list(args.paths) or sorted(glob.glob("BENCH_*.json"))
+        if args.live or not paths:
+            _emit(_live_stats(args.clients, args.sample_calls, args.seed),
+                  args.output)
+            return 0
+        _emit("\n\n".join(_render_bench_file(path) for path in paths),
+              args.output)
         return 0
 
     if command == "bench":
         if args.bench_command == "throughput":
+            params = {"clients": args.clients, "modules": args.modules,
+                      "calls_per_client": args.sample_calls,
+                      "policy_kind": args.policy, "seed": args.seed,
+                      "fast": args.fast}
             report = run_throughput(clients=args.clients, modules=args.modules,
                                     calls_per_client=args.sample_calls,
                                     policy_kind=args.policy, seed=args.seed,
@@ -153,6 +293,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 if sizes == DEFAULT_SIZES:
                     sizes = (1, 4, 16)
                 calls = min(calls, 48)
+            params = {"sizes": sizes, "calls": calls, "seed": args.seed,
+                      "fast": args.fast}
             report = run_batch_sweep(sizes=sizes, calls=calls, seed=args.seed)
         elif args.bench_command == "pool":
             seats = tuple(int(s) for s in args.seats.split(",") if s)
@@ -162,16 +304,36 @@ def main(argv: Optional[List[str]] = None) -> int:
                 if seats == DEFAULT_SEATS:
                     seats = (1, 4, 16)
                 sessions = min(sessions, 16)
+            params = {"seats": seats, "sessions": sessions,
+                      "calls_per_session": args.calls, "seed": args.seed,
+                      "fast": args.fast}
             report = run_pool_sweep(seats=seats, sessions=sessions,
                                     calls_per_session=args.calls,
                                     seed=args.seed)
+        elif args.bench_command == "adaptive":
+            depths = tuple(int(s) for s in args.depths.split(",") if s)
+            kwargs = {"depths": depths, "seed": args.seed}
+            if args.calls is not None:
+                kwargs["adaptive_calls"] = args.calls
+            if args.fast:
+                # shrink only what the user left at the defaults
+                if depths == DEFAULT_DEPTHS:
+                    kwargs["depths"] = (1, 4, 16)
+                kwargs.setdefault("adaptive_calls", 256)
+                kwargs.update(static_calls=96, mmpp_calls=256)
+            params = dict(kwargs, fast=args.fast)
+            report = run_adaptive_bench(**kwargs)
         else:
-            parser.error("usage: repro bench {throughput,batch,pool} [options]")
-        _emit(report.render(), args.output)
+            parser.error("usage: repro bench "
+                         "{throughput,batch,pool,adaptive} [options]")
+        rendered = report.render()
+        if export_dir is not None:
+            _export_bench(args.bench_command, report, rendered, params)
+        _emit(rendered, args.output)
         return 0
 
     if command in EXPERIMENTS:
-        run = run_experiment(command)
+        run = run_experiment(command, export_dir=export_dir)
         _emit(run.rendered, args.output)
         return 0
 

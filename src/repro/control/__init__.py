@@ -1,0 +1,12 @@
+"""Adaptive control plane: policies that react to telemetry while a run
+executes.
+
+The first controller closes the "adaptive batching" roadmap item:
+:class:`~repro.control.adaptive.AdaptiveBatchController` grows and shrinks
+the per-client batched-dispatch queue depth from the observed interarrival
+EWMA the telemetry plane feeds it.
+"""
+
+from .adaptive import AdaptiveBatchController, AdaptiveConfig
+
+__all__ = ["AdaptiveBatchController", "AdaptiveConfig"]

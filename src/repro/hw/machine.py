@@ -17,6 +17,7 @@ from ..sim.clock import VirtualClock
 from ..sim.costs import CostMeter, CostProfile, MODERN_X86_3GHZ, PENTIUM_III_599
 from ..sim.rng import DeterministicRNG
 from ..sim.trace import TraceBuffer
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .cpu import CPU, CPUFeatureFlags
 from .tsc import TimestampCounter
 
@@ -121,6 +122,18 @@ class Machine:
         self.trace = TraceBuffer(self.clock, enabled=self.trace_enabled)
         self.rng = DeterministicRNG(self.seed)
         self.tsc = TimestampCounter(self.clock, self.spec.mhz)
+        self.telemetry: Telemetry = NULL_TELEMETRY
+
+    def attach_telemetry(self, telemetry: Telemetry) -> Telemetry:
+        """Wire a telemetry plane into the machine's observation points.
+
+        Recording never charges the clock, so attaching telemetry leaves
+        every cycle total of a run unchanged (the paper figures stay
+        byte-identical with it on or off).
+        """
+        self.telemetry = telemetry
+        self.meter.telemetry = telemetry
+        return telemetry
 
     # Convenience passthroughs used throughout the kernel --------------------
     def charge(self, operation: str, count: int = 1) -> int:

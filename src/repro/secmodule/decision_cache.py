@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..errors import SimulationError
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .policy import Policy, PolicyDecision
 
 #: Default per-session entry bound.  Far above the working set of every
@@ -94,6 +95,9 @@ class DecisionCache:
         #: ... and the entries those flushes served from the prefetched
         #: decisions; the difference is the per-entry charges saved
         self.batch_served = 0
+        #: mirrored hit/miss/eviction counters when a telemetry plane is
+        #: attached (recording never charges the virtual clock)
+        self.telemetry: Telemetry = NULL_TELEMETRY
 
     def __len__(self) -> int:
         return sum(len(entries) for entries in self._sessions.values())
@@ -106,9 +110,13 @@ class DecisionCache:
         entry = entries.get((m_id, func_id)) if entries is not None else None
         if entry is None or entry.policy_epoch != session.policy_epoch:
             self.misses += 1
+            if self.telemetry.enabled:
+                self.telemetry.cache_event("misses")
             return None
         entries.move_to_end((m_id, func_id))     # most recently used
         self.hits += 1
+        if self.telemetry.enabled:
+            self.telemetry.cache_event("hits")
         return entry.decision
 
     def lookup_batch(self, session, keys) -> Dict[Tuple[int, int], PolicyDecision]:
@@ -142,6 +150,8 @@ class DecisionCache:
         """Record entries answered from a batch prefetch (counted as hits)."""
         self.hits += count
         self.batch_served += count
+        if self.telemetry.enabled:
+            self.telemetry.cache_event("hits", count)
 
     @property
     def batch_saved_charges(self) -> int:
@@ -155,6 +165,8 @@ class DecisionCache:
         if key not in entries and len(entries) >= self.capacity_per_session:
             entries.popitem(last=False)          # least recently used
             self.evictions += 1
+            if self.telemetry.enabled:
+                self.telemetry.cache_event("evictions")
         entries[key] = CacheEntry(decision=decision,
                                   policy_epoch=session.policy_epoch)
         entries.move_to_end(key)
@@ -164,6 +176,8 @@ class DecisionCache:
         """Drop every entry belonging to one session (teardown path)."""
         dropped = len(self._sessions.pop(session_id, ()))
         self.invalidations += dropped
+        if dropped and self.telemetry.enabled:
+            self.telemetry.cache_event("invalidations", dropped)
         return dropped
 
     def invalidate_module(self, m_id: int) -> int:
@@ -177,12 +191,16 @@ class DecisionCache:
         self._sessions = {sid: entries
                           for sid, entries in self._sessions.items() if entries}
         self.invalidations += dropped
+        if dropped and self.telemetry.enabled:
+            self.telemetry.cache_event("invalidations", dropped)
         return dropped
 
     def invalidate_all(self) -> int:
         count = len(self)
         self._sessions.clear()
         self.invalidations += count
+        if count and self.telemetry.enabled:
+            self.telemetry.cache_event("invalidations", count)
         return count
 
     # ------------------------------------------------------------------- stats

@@ -34,6 +34,8 @@ from ..kernel.errno import Errno
 from ..kernel.proc import Proc
 from ..kernel.sysv_msg import Message
 from ..sim import costs
+from ..sim.clock import Stopwatch
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .decision_cache import DecisionCache, policy_is_cacheable
 from .module import CallEnvironment, SecFunction
 from .registry import RegisteredModule
@@ -142,6 +144,8 @@ class SmodDispatcher:
         # explicit None check: an *empty* cache is falsy (it has __len__)
         self.decision_cache = (decision_cache if decision_cache is not None
                                else DecisionCache())
+        #: pure observation — recording never charges the virtual clock
+        self.telemetry: Telemetry = NULL_TELEMETRY
 
     # ------------------------------------------------------------------ helpers
     def _policy_check(self, session: Session, module: RegisteredModule,
@@ -461,6 +465,9 @@ class SmodDispatcher:
         module, function = found
 
         machine = self.kernel.machine
+        telemetry = self.telemetry
+        watch = (Stopwatch(machine.clock, machine.spec.mhz)
+                 if telemetry.enabled else None)
         machine.charge(costs.USER_CALL_OVERHEAD)
         stub = ClientStub(function_name, module.m_id, function.func_id,
                           arg_words=function.arg_words)
@@ -476,9 +483,15 @@ class SmodDispatcher:
         if result.failed:
             # unwind the stub frame exactly as the error return path would
             self._unwind_failed_call(session, frame)
+            if watch is not None:
+                telemetry.record_dispatch(session.session_id, module.name,
+                                          watch.elapsed_us())
             return DispatchOutcome(errno=result.errno, frame=frame)
 
         stub.pop_return(session.shared_stack, frame)
+        if watch is not None:
+            telemetry.record_dispatch(session.session_id, module.name,
+                                      watch.elapsed_us())
         return DispatchOutcome(value=result.value, frame=frame)
 
     def call_batch(self, session: Session,
@@ -522,6 +535,9 @@ class SmodDispatcher:
                 self.call(session, name, *args, config=config)])
 
         machine = self.kernel.machine
+        telemetry = self.telemetry
+        watch = (Stopwatch(machine.clock, machine.spec.mhz)
+                 if telemetry.enabled else None)
         machine.charge(costs.USER_CALL_OVERHEAD)   # one flush, not one per call
         outcomes: List[Optional[DispatchOutcome]] = [None] * len(calls)
         batch_stub = BatchStub()
@@ -558,10 +574,16 @@ class SmodDispatcher:
             for index, frame in zip(pushed, batch.frames):
                 outcomes[index] = DispatchOutcome(errno=result.errno,
                                                   frame=frame)
+            if watch is not None:
+                telemetry.record_batch(session.session_id, len(batch.frames),
+                                       watch.elapsed_us())
             return BatchOutcome(outcomes=list(outcomes), errno=result.errno)
 
         for index, outcome in zip(pushed, result.value.outcomes):
             outcomes[index] = outcome
+        if watch is not None:
+            telemetry.record_batch(session.session_id, len(batch.frames),
+                                   watch.elapsed_us())
         return BatchOutcome(outcomes=list(outcomes))
 
     def _unwind_failed_call(self, session: Session,

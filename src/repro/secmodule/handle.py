@@ -193,6 +193,10 @@ class Handle:
                 f"handle pid {self.proc.pid} received a call before the "
                 f"session handshake completed")
         self._charge_routing()
+        telemetry = self.kernel.machine.telemetry
+        if telemetry.enabled:
+            # a single-call receive drains a queue of depth 1
+            telemetry.record_handle_queue(self.proc.pid, 1)
         secret = self.secret_stack_for(getattr(frame, "session_id", None))
         result = smod_stub_receive(shared_stack, frame, function, env,
                                    secret_stack=secret,
@@ -227,6 +231,9 @@ class Handle:
         # one routing-table walk serves the whole queue (all entries of a
         # super-frame belong to one session)
         self._charge_routing()
+        telemetry = self.kernel.machine.telemetry
+        if telemetry.enabled:
+            telemetry.record_handle_queue(self.proc.pid, len(batch.frames))
         secret = self.secret_stack_for(getattr(batch, "session_id", None))
         results: Dict[int, Any] = {}
         for index in range(len(batch.frames)):

@@ -35,6 +35,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from ..errors import SimulationError
 from ..kernel.proc import Proc, ProcFlag
 from ..sim import costs
+from ..sim.stats import jain_fairness_index
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .handle import Handle
 
 #: Policy kinds, in increasing order of sharing.
@@ -166,6 +168,9 @@ class HandleBroker:
         self.handles_killed = 0
         self.attachments = 0        # sessions seated on an already-live handle
         self.detachments = 0
+        #: per-seat queueing-delay histograms live here when a telemetry
+        #: plane is attached (pure observation, never charges the clock)
+        self.telemetry: Telemetry = NULL_TELEMETRY
 
     # ---------------------------------------------------------------- policies
     def register_policy(self, module_name: str,
@@ -266,6 +271,46 @@ class HandleBroker:
             self.handles_killed += 1
             return True
         return False
+
+    # ------------------------------------------------------ seat-level telemetry
+    def record_queue_delay(self, session, delay_us: float) -> None:
+        """Fold one call's queueing delay into the (handle, client) seat
+        histogram.  No-op unless a telemetry plane is attached."""
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.record_queue_delay(session.handle.proc.pid,
+                                         session.client.pid, delay_us)
+
+    def seat_delay_report(self) -> Dict[int, Dict[str, object]]:
+        """Per-handle queueing-delay fairness across its seated clients.
+
+        For every handle with recorded seat delays: the client count, each
+        client's mean and p95 queueing delay, and the Jain fairness index
+        over the per-client mean delays (1.0 = perfectly even service).
+        Empty when no telemetry plane is attached or nothing was recorded.
+        """
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            return {}
+        by_handle: Dict[int, List] = {}
+        for labels, histogram in telemetry.registry.histograms_named(
+                "pool_queue_delay_us"):
+            by_handle.setdefault(labels["handle"], []).append(
+                (labels["client"], histogram))
+        report: Dict[int, Dict[str, object]] = {}
+        for handle_pid, seats in sorted(by_handle.items()):
+            per_client = {
+                client: {"count": histogram.count,
+                         "mean_us": histogram.mean,
+                         "p95_us": histogram.quantile(95)}
+                for client, histogram in sorted(seats)}
+            means = [stats["mean_us"] for stats in per_client.values()]
+            report[handle_pid] = {
+                "clients": len(per_client),
+                "per_client": per_client,
+                "jain_fairness": jain_fairness_index(means),
+            }
+        return report
 
     # ----------------------------------------------------------- observability
     def pooled_handle_count(self) -> int:

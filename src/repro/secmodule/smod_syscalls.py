@@ -35,6 +35,7 @@ from ..kernel.syscall import (
     SYS_smod_session_info,
     SYS_smod_start_session,
 )
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .decision_cache import DecisionCache
 from .dispatch import DispatchConfig, SmodDispatcher
 from .handle_pool import HandleBroker, HandlePolicy
@@ -68,7 +69,27 @@ class SmodExtension:
                                        broker=self.broker)
         self.dispatcher = SmodDispatcher(kernel,
                                          decision_cache=self.decision_cache)
+        self.telemetry: Telemetry = NULL_TELEMETRY
         self._installed = False
+
+    # --------------------------------------------------------------- telemetry
+    def enable_telemetry(self,
+                         telemetry: Optional[Telemetry] = None) -> Telemetry:
+        """Attach a telemetry plane to every observation point at once.
+
+        Wires the machine (per-operation cost mirror), the dispatcher
+        (per-session latency + batch-flush depths), the decision cache
+        (hit/miss/eviction counters) and the handle broker (per-seat
+        queueing-delay histograms).  Recording is pure observation — cycle
+        totals are unchanged, the paper figures stay byte-identical.
+        """
+        tel = telemetry if telemetry is not None else Telemetry()
+        self.telemetry = tel
+        self.kernel.machine.attach_telemetry(tel)
+        self.dispatcher.telemetry = tel
+        self.decision_cache.telemetry = tel
+        self.broker.telemetry = tel
+        return tel
 
     # ------------------------------------------------------------- installation
     def install(self) -> "SmodExtension":

@@ -42,6 +42,33 @@ class ClockInterval:
         return self.cycles / float(mhz)
 
 
+class Stopwatch:
+    """Measure elapsed virtual microseconds without touching the clock.
+
+    The telemetry tap point at the simulated-cycle layer: the dispatcher's
+    latency taps construct one per observed call/flush and read
+    ``elapsed_us()`` at the exit points.  The reading is pure observation —
+    the clock is never charged, so a run with stopwatches active is
+    cycle-identical to one without.
+    """
+
+    __slots__ = ("_clock", "_mhz", "_start_cycles")
+
+    def __init__(self, clock: "VirtualClock", mhz: float) -> None:
+        self._clock = clock
+        self._mhz = float(mhz)
+        self._start_cycles = clock.cycles
+
+    def restart(self) -> None:
+        self._start_cycles = self._clock.cycles
+
+    def elapsed_cycles(self) -> int:
+        return self._clock.cycles - self._start_cycles
+
+    def elapsed_us(self) -> float:
+        return (self._clock.cycles - self._start_cycles) / self._mhz
+
+
 @dataclass
 class VirtualClock:
     """Monotonic virtual cycle counter.

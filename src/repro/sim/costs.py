@@ -324,6 +324,12 @@ class CostMeter:
         self.profile = profile
         self.clock = clock
         self.op_counts: Dict[str, int] = {}
+        # the telemetry tap point: when a live Telemetry is attached every
+        # charge is mirrored into its per-operation counters (hook-level
+        # instrumentation); the shared null default makes the tap one
+        # attribute load and a never-taken branch
+        from ..telemetry import NULL_TELEMETRY
+        self.telemetry = NULL_TELEMETRY
 
     def charge(self, operation: str, count: int = 1) -> int:
         """Charge ``count`` occurrences of ``operation`` to the clock."""
@@ -334,6 +340,8 @@ class CostMeter:
         cycles = self.profile.cost(operation) * count
         self.clock.advance(cycles)
         self.op_counts[operation] = self.op_counts.get(operation, 0) + count
+        if self.telemetry.enabled:
+            self.telemetry.op_charge(operation, count, cycles)
         return cycles
 
     def charge_words(self, operation: str, words: int) -> int:

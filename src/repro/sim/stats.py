@@ -185,6 +185,23 @@ def coefficient_of_variation(xs: Sequence[float]) -> float:
     return stdev(xs) / m if m else 0.0
 
 
+def jain_fairness_index(xs: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 means every party got the same allocation; ``1/n`` means one party
+    got everything.  Used by the handle-pool telemetry to score how evenly
+    a shared handle's queueing delay spreads across its seated clients.
+    An empty or all-zero allocation is perfectly fair by convention.
+    """
+    if not xs:
+        return 1.0
+    total = float(sum(xs))
+    squares = float(sum(x * x for x in xs))
+    if squares == 0.0:
+        return 1.0
+    return (total * total) / (len(xs) * squares)
+
+
 def percentile(xs: Sequence[float], p: float) -> float:
     """The ``p``-th percentile (0-100) by linear interpolation.
 

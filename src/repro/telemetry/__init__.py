@@ -1,0 +1,46 @@
+"""Telemetry: cheap always-on metrics for the simulated system.
+
+The paper reports only end-of-run aggregates; every adaptive mechanism in
+the roadmap (batch controllers, pool-aware scheduling, locality bonuses)
+needs the system to observe itself *while it runs*.  This package provides
+that observation plane:
+
+* :class:`~repro.telemetry.metrics.Counter`,
+  :class:`~repro.telemetry.metrics.Gauge` and the log-bucketed streaming
+  :class:`~repro.telemetry.metrics.LogHistogram` (p50/p95/p99 without
+  storing samples);
+* :class:`~repro.telemetry.metrics.MetricsRegistry`, a labelled registry of
+  the above;
+* :class:`~repro.telemetry.metrics.Telemetry`, the facade the kernel layers
+  record through, and :data:`~repro.telemetry.metrics.NULL_TELEMETRY`, the
+  compiled-out default whose recording methods are no-ops.
+
+Telemetry **never charges the virtual clock**: recording is observation
+only, so a run with telemetry enabled produces cycle totals identical to
+the same run with telemetry disabled, and the paper's figures stay
+byte-identical either way.
+"""
+
+from .metrics import (
+    NULL_TELEMETRY,
+    Counter,
+    Gauge,
+    LogHistogram,
+    MetricsRegistry,
+    NullTelemetry,
+    Telemetry,
+    make_telemetry,
+    render_snapshot,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LogHistogram",
+    "MetricsRegistry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "Telemetry",
+    "make_telemetry",
+    "render_snapshot",
+]

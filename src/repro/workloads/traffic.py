@@ -30,6 +30,13 @@ Closed-loop think times are exponential by default but may be heavy-tailed
 ``handle_policy`` knob registers a broker pool policy for every traffic
 module — ``"per_module"`` runs all of a module's sessions through one
 shared handle co-process instead of forking one per session.
+
+Two observation/control knobs ride on top: ``telemetry=True`` attaches the
+telemetry plane (per-session latency histograms, batch-flush depths,
+cache and per-seat queueing-delay counters — pure observation, cycle
+totals unchanged) and ``adaptive_batch=True`` hands the flush depth to the
+per-client AIMD controller in :mod:`repro.control.adaptive`, which grows
+and shrinks the queue from the observed interarrival EWMA.
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
+from ..control.adaptive import AdaptiveBatchController, AdaptiveConfig
 from ..errors import SimulationError
 from ..hw.machine import Machine, make_paper_machine
 from ..kernel.kernel import Kernel
@@ -60,7 +68,8 @@ from ..secmodule.session import SessionDescriptor, build_requirements
 from ..secmodule.smod_syscalls import SmodExtension, install_secmodule
 from ..sim import costs
 from ..sim.rng import DeterministicRNG, TwoStateMMPP
-from ..sim.stats import percentile
+from ..sim.stats import mean, percentile
+from ..telemetry import NULL_TELEMETRY, Telemetry, make_telemetry
 from ..userland.process import Program
 
 #: call-mix weights: (function name, relative weight)
@@ -100,6 +109,18 @@ class TrafficSpec:
     #: calls queued per flush: 1 issues every call through the paper's
     #: single-call path; >1 flushes queues through sys_smod_call_batch
     batch_size: int = 1
+    #: let the AIMD controller grow/shrink the flush depth per client from
+    #: the observed interarrival EWMA (open-loop/mmpp arrivals only; the
+    #: static batch_size knob must stay at 1)
+    adaptive_batch: bool = False
+    #: controller depth ceiling when adaptive_batch is on; a ceiling of 1
+    #: pins every flush to the paper's single-call path (the AIMD floor)
+    adaptive_max_depth: int = 64
+    #: collect telemetry (per-session latency histograms, batch-flush
+    #: depths, cache and per-seat queueing-delay counters) into the run's
+    #: ``metrics`` snapshot; recording never charges the virtual clock, so
+    #: cycle totals are identical with this on or off
+    telemetry: bool = False
     #: handle attachment policy registered for every traffic module:
     #: "per_session" (the paper's 1:1 fork), "per_module" (one shared
     #: handle per module) or "pooled" (shared up to pool_max_sessions)
@@ -134,6 +155,18 @@ class TrafficSpec:
             raise SimulationError("pareto think times need think_alpha > 1")
         if self.batch_size < 1:
             raise SimulationError("batch_size must be at least 1")
+        if self.adaptive_batch:
+            if self.arrival not in ("open", "mmpp"):
+                raise SimulationError(
+                    "adaptive batching needs open-loop arrivals "
+                    "(arrival='open' or 'mmpp'): the controller tracks the "
+                    "offered interarrival rate")
+            if self.batch_size != 1:
+                raise SimulationError(
+                    "adaptive_batch replaces the static batch_size knob; "
+                    "leave batch_size at 1")
+            if self.adaptive_max_depth < 1:
+                raise SimulationError("adaptive_max_depth must be >= 1")
         # raises on an unknown policy spec
         self.broker_policy()
 
@@ -240,6 +273,35 @@ class TrafficResult:
     #: session; pooled/per_module: ceil(sessions / seats) per module set)
     handle_count: int = 0
     broker_stats: Dict[str, int] = field(default_factory=dict)
+    #: telemetry snapshot (``TrafficSpec(telemetry=True)`` runs only)
+    metrics: Dict[str, object] = field(default_factory=dict)
+    #: adaptive-controller snapshots, one per client (adaptive runs only)
+    adaptive: Dict[str, object] = field(default_factory=dict)
+    #: the broker's per-handle queueing-delay fairness report (telemetry
+    #: runs with open-loop arrivals; empty otherwise)
+    seat_fairness: Dict[int, Dict[str, object]] = field(default_factory=dict)
+
+    @property
+    def mean_service_us(self) -> float:
+        """Mean per-call service latency (dispatch only, no idle time)."""
+        return mean(self.latencies_us)
+
+    def tail_mean_service_us(self, fraction: float = 0.5) -> float:
+        """Mean service latency over the last ``fraction`` of each run.
+
+        ``latencies_us`` is chronological per client, so for a one-client
+        run this is the converged-state cost after a controller's ramp-up;
+        multi-client runs get the per-client tails concatenated.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise SimulationError("tail fraction must be in (0, 1]")
+        per_client = self.spec.calls_per_client
+        tail: List[float] = []
+        for start in range(0, len(self.latencies_us), per_client):
+            chunk = self.latencies_us[start:start + per_client]
+            keep = max(1, int(len(chunk) * fraction))
+            tail.extend(chunk[len(chunk) - keep:])
+        return mean(tail)
 
     @property
     def calls_per_second(self) -> float:
@@ -281,9 +343,13 @@ class TrafficEngine:
         self.kernel = Kernel(machine=self.machine).boot()
         self.extension: SmodExtension = install_secmodule(self.kernel)
         self.extension.sessions.charge_shard_locks = spec.smp_shard_locks
+        self.telemetry: Telemetry = NULL_TELEMETRY
+        if spec.telemetry:
+            self.telemetry = self.extension.enable_telemetry(make_telemetry(True))
         self.rng = DeterministicRNG(spec.seed)
         self.modules: List = []
         self.clients: List[ClientState] = []
+        self._controllers: Dict[int, AdaptiveBatchController] = {}
         self._built = False
         self._mix_names = [name for name, _ in spec.call_mix]
         self._mix_weights = [weight for _, weight in spec.call_mix]
@@ -351,33 +417,51 @@ class TrafficEngine:
                 if function_name == "test_incr" else ())
         return function_name, args
 
-    def _one_flush(self, state: ClientState, count: int) -> None:
-        """One arrival event: ``count`` calls against one session.
+    def _dispatch_queue(self, state: ClientState, session,
+                        queue: List[Tuple[str, Tuple]]) -> None:
+        """Dispatch one client queue against one session and record it.
 
-        ``count == 1`` goes through the ordinary single-call path (so a
-        ``batch_size=1`` run is the paper's per-call dispatch, cycle for
-        cycle); larger counts flush one queue through the batched path.  A
-        queue targets a single module/session — a super-frame lives on
-        exactly one shared stack.
+        A queue of one goes through the ordinary single-call path (so a
+        depth-1 flush is the paper's per-call dispatch, cycle for cycle);
+        longer queues flush through the batched path in one chunk.
         """
-        registered = self.modules[state.rng.integer(0, len(self.modules) - 1)]
-        session = state.pick_session(registered.m_id)
+        count = len(queue)
         mark = self.machine.clock.checkpoint()
         if count == 1:
-            name, args = self._draw_call(state, 0)
+            name, args = queue[0]
             outcome = self.extension.dispatcher.call(
                 session, name, *args, config=self.config)
             denied = 0 if outcome.ok else 1
         else:
-            calls = [self._draw_call(state, offset) for offset in range(count)]
+            config = (self.config if self.config.batch_size >= count
+                      else replace(self.config, batch_size=count))
             batch = self.extension.dispatcher.call_batch(
-                session, calls, config=self.config)
+                session, queue, config=config)
             denied = batch.denied
         service_us = self.machine.clock.since(mark).microseconds(
             self.machine.spec.mhz)
         state.calls_issued += count
         state.latencies_us.extend([service_us / count] * count)
         state.calls_denied += denied
+
+    def _one_flush(self, state: ClientState, count: int, *,
+                   scheduled_at: Optional[float] = None) -> None:
+        """One arrival event: ``count`` calls against one session.
+
+        A queue targets a single module/session — a super-frame lives on
+        exactly one shared stack.  Open-loop callers pass the event's
+        scheduled time so the queueing delay (start minus schedule) is
+        recorded per call and fed to the broker's per-seat histograms.
+        """
+        registered = self.modules[state.rng.integer(0, len(self.modules) - 1)]
+        session = state.pick_session(registered.m_id)
+        if scheduled_at is not None:
+            delay = max(0.0, self.machine.microseconds() - scheduled_at)
+            state.queue_delays_us.extend([delay] * count)
+            for _ in range(count):
+                self.extension.broker.record_queue_delay(session, delay)
+        queue = [self._draw_call(state, offset) for offset in range(count)]
+        self._dispatch_queue(state, session, queue)
 
     def _think_source(self, state: ClientState):
         """Per-client closed-loop think-time draw (``TrafficSpec.think``).
@@ -407,13 +491,105 @@ class TrafficEngine:
             return mmpp.next_interarrival
         return lambda: state.rng.exponential(spec.mean_interval_us)
 
+    def _open_schedule(self, events_per_client: int
+                       ) -> List[Tuple[float, int, int]]:
+        """Pre-draw every client's open-loop arrival heap.
+
+        Entries are ``(fire_time_us, tiebreak, client_index)``; the
+        tiebreak keeps heap ordering deterministic when two clients share a
+        fire time.  Shared by the static open/mmpp path (one event per
+        flush) and the adaptive path (one event per call), so the two can
+        never diverge on schedule semantics — the depth-1 cycle-identity
+        guarantee rests on that.
+        """
+        events: List[Tuple[float, int, int]] = []
+        tiebreak = 0
+        base_us = self.machine.microseconds()
+        for state in self.clients:
+            draw = self._interarrival_source(state)
+            at = base_us
+            for _ in range(events_per_client):
+                at += draw()
+                heapq.heappush(events, (at, tiebreak, state.index))
+                tiebreak += 1
+        return events
+
+    def _run_adaptive(self) -> None:
+        """Open-loop arrivals, one call each, flushed by the AIMD controller.
+
+        Each client accumulates arrivals in a pending queue targeting one
+        module — chosen when the queue opens, so a depth-1 controller draws
+        the exact RNG sequence of the static single-call open loop and
+        stays cycle-identical to it.  The queue flushes when it reaches the
+        controller's current depth, and lull detection is **gap-based**: an
+        arrival gap at or beyond ``linger_us`` drains the queue at that
+        next arrival, so a burst's stragglers wait at most one lull (not an
+        age-based timer — holding a filling queue is the price of
+        amortization, and the recorded queueing delays state it honestly).
+        A client's last arrival drains whatever it leaves pending, so tail
+        calls are never deferred to another client's schedule.
+        """
+        spec = self.spec
+        events = self._open_schedule(spec.calls_per_client)
+        start_us = self.machine.microseconds()
+        controllers = {
+            state.index: AdaptiveBatchController(
+                AdaptiveConfig(max_depth=spec.adaptive_max_depth),
+                telemetry=self.telemetry, client=state.index,
+                start_us=start_us)
+            for state in self.clients}
+        pending: Dict[int, List[Tuple[str, Tuple]]] = \
+            {state.index: [] for state in self.clients}
+        arrivals: Dict[int, List[float]] = \
+            {state.index: [] for state in self.clients}
+        target: Dict[int, object] = {}
+
+        def flush(index: int) -> None:
+            queue = pending[index]
+            if not queue:
+                return
+            state = self.clients[index]
+            session = state.pick_session(target[index].m_id)
+            now_us = self.machine.microseconds()
+            for at in arrivals[index]:
+                delay = max(0.0, now_us - at)
+                state.queue_delays_us.append(delay)
+                self.extension.broker.record_queue_delay(session, delay)
+            self._dispatch_queue(state, session, queue)
+            controllers[index].on_flush(len(queue),
+                                        self.machine.microseconds())
+            queue.clear()
+            arrivals[index].clear()
+
+        remaining: Dict[int, int] = \
+            {state.index: spec.calls_per_client for state in self.clients}
+        while events:
+            at, _, index = heapq.heappop(events)
+            state = self.clients[index]
+            self._advance_clock_to(at)
+            controller = controllers[index]
+            if controller.observe_arrival(at) and pending[index]:
+                flush(index)        # lull: the queue will not fill, drain it
+            if not pending[index]:
+                # a queue targets one module/session for its whole lifetime
+                target[index] = self.modules[
+                    state.rng.integer(0, len(self.modules) - 1)]
+            pending[index].append(self._draw_call(state, len(pending[index])))
+            arrivals[index].append(at)
+            remaining[index] -= 1
+            if len(pending[index]) >= controller.depth or not remaining[index]:
+                flush(index)
+        for state in self.clients:
+            flush(state.index)      # safety net; the last arrival drained it
+        self._controllers = controllers
+
     def run(self) -> TrafficResult:
         """Drive the full call schedule and collect the result."""
         self.build()
         spec = self.spec
         start_mark = self.machine.clock.checkpoint()
 
-        # each arrival event flushes up to batch_size calls
+        # static paths: each arrival event flushes up to batch_size calls
         flushes = math.ceil(spec.calls_per_client / spec.batch_size)
         last_flush = (spec.calls_per_client -
                       (flushes - 1) * spec.batch_size)
@@ -421,20 +597,11 @@ class TrafficEngine:
         def flush_size(nth: int) -> int:
             return spec.batch_size if nth < flushes - 1 else last_flush
 
-        # (fire_time_us, tiebreak, client_index); the tiebreak keeps heap
-        # ordering deterministic when two clients share a fire time
-        events: List[Tuple[float, int, int]] = []
-        tiebreak = 0
-        base_us = self.machine.microseconds()
-        if spec.arrival in ("open", "mmpp"):
+        if spec.adaptive_batch:
+            self._run_adaptive()
+        elif spec.arrival in ("open", "mmpp"):
             # pre-draw every arrival per client, independent of completions
-            for state in self.clients:
-                draw = self._interarrival_source(state)
-                at = base_us
-                for _ in range(flushes):
-                    at += draw()
-                    heapq.heappush(events, (at, tiebreak, state.index))
-                    tiebreak += 1
+            events = self._open_schedule(flushes)
             flushed: Dict[int, int] = {s.index: 0 for s in self.clients}
             while events:
                 at, _, index = heapq.heappop(events)
@@ -442,10 +609,12 @@ class TrafficEngine:
                 self._advance_clock_to(at)
                 count = flush_size(flushed[index])
                 flushed[index] += 1
-                state.queue_delays_us.extend(
-                    [max(0.0, self.machine.microseconds() - at)] * count)
-                self._one_flush(state, count)
+                self._one_flush(state, count, scheduled_at=at)
         else:
+            # closed loop: the next event is drawn after each completion
+            events: List[Tuple[float, int, int]] = []
+            tiebreak = 0
+            base_us = self.machine.microseconds()
             think = {s.index: self._think_source(s) for s in self.clients}
             for state in self.clients:
                 first = base_us + think[state.index]()
@@ -488,6 +657,13 @@ class TrafficEngine:
             session_count=len(self.extension.sessions),
             handle_count=self.extension.sessions.handle_count(),
             broker_stats=self.extension.broker.snapshot(),
+            metrics=(self.telemetry.snapshot()
+                     if self.telemetry.enabled else {}),
+            adaptive=({"per_client": [self._controllers[s.index].snapshot()
+                                      for s in self.clients]}
+                      if self._controllers else {}),
+            seat_fairness=(self.extension.broker.seat_delay_report()
+                           if self.telemetry.enabled else {}),
         )
 
     # ---------------------------------------------------------------- teardown
