@@ -1,0 +1,46 @@
+"""abl-simspeed: the trace-replay wall-clock benchmark's acceptance bar.
+
+Wall-clock numbers are machine-dependent, so the tier-1 assertions are the
+*identity* half of the bar (replay must not change a single virtual number)
+plus the structural facts (traces record, confirm and replay).  The >= 10x
+headline is asserted loosely at a small size — the full-size run prints the
+real figure — because CI machines vary wildly in single-core speed.
+"""
+
+from __future__ import annotations
+
+from repro.bench.simspeed import run_simspeed
+
+
+def test_simspeed_small_run_is_byte_identical():
+    report = run_simspeed(calls=2_000, fast=False)
+    assert report.cycles_identical
+    assert report.ops_identical
+    assert report.identical
+    stats = report.trace_stats
+    assert stats["records"] > 0
+    assert stats["confirms"] > 0
+    assert stats["replays"] > stats["records"]
+    # nearly every call replays once the handful of keys go hot
+    assert stats["replays"] >= report.calls - 50
+
+
+def test_simspeed_replay_is_faster():
+    report = run_simspeed(calls=4_000, fast=False)
+    # identity is the hard bar (speedup reports 0.0 on any mismatch); the
+    # wall-clock ratio itself is only sanity-checked loosely here because
+    # shared CI runners can stall either timed leg — the canonical >= 10x
+    # figure comes from the full-size `repro bench simspeed` run
+    assert report.identical
+    assert report.speedup > 1.0
+
+
+def test_simspeed_fast_flag_caps_calls():
+    report = run_simspeed(calls=1_000_000, fast=True)
+    assert report.calls <= 4_000
+
+
+def test_simspeed_render_mentions_the_target():
+    report = run_simspeed(calls=1_000, fast=False)
+    text = report.render()
+    assert "speedup" in text and "byte-identical" in text

@@ -18,6 +18,7 @@ from __future__ import annotations
 import enum
 import json
 import os
+import time
 from dataclasses import dataclass, field, fields, is_dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -33,6 +34,7 @@ from .adaptive import run_abl_adaptive
 from .batch import run_abl_batch
 from .figure7 import reproduce_figure7
 from .pool import run_abl_pool
+from .simspeed import run_abl_simspeed
 from .figure8 import reproduce_figure8
 from .figures123 import reproduce_figure1, reproduce_figure2, reproduce_figure3
 from .report import render_table, section
@@ -109,6 +111,10 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         "abl-adaptive",
         "Adaptive batching: AIMD queue depth from the arrival-rate EWMA",
         run_abl_adaptive, kind="ablation"),
+    "abl-simspeed": ExperimentSpec(
+        "abl-simspeed",
+        "Simulator speed: trace-replay dispatch off vs on (wall clock)",
+        run_abl_simspeed, kind="ablation"),
 }
 
 
@@ -119,6 +125,8 @@ class ExperimentRun:
     spec: ExperimentSpec
     result: object
     rendered: str
+    #: host wall-clock seconds the runner took (None when not measured)
+    wall_seconds: Optional[float] = None
 
 
 # ------------------------------------------------------------ JSON export
@@ -144,9 +152,24 @@ def to_jsonable(value: object) -> object:
     return str(value)
 
 
+def result_total_calls(result: object) -> Optional[int]:
+    """Simulated protected calls a result covers (for the wall-rate field).
+
+    Reports may define ``bench_total_calls`` explicitly; otherwise a plain
+    integer ``total_calls`` attribute is used.  None when the result has no
+    meaningful call count (layout figures, dmesg tables).
+    """
+    for attribute in ("bench_total_calls", "total_calls"):
+        value = getattr(result, attribute, None)
+        if isinstance(value, int) and value > 0:
+            return value
+    return None
+
+
 def experiment_payload(experiment_id: str, title: str, kind: str,
                        result: object, rendered: str, *,
-                       params: Optional[Dict[str, object]] = None
+                       params: Optional[Dict[str, object]] = None,
+                       wall_seconds: Optional[float] = None
                        ) -> Dict[str, object]:
     """The machine-readable record written to ``BENCH_<id>.json``.
 
@@ -155,6 +178,11 @@ def experiment_payload(experiment_id: str, title: str, kind: str,
     smoke run from the canonical experiment instead of silently comparing
     runs of different sizes; the harness's default runs record
     ``{"defaults": True}``.
+
+    ``wall_seconds`` is the host wall-clock time the run took; together
+    with the result's call count it yields ``calls_per_wall_second`` — the
+    simulator-throughput trajectory of a checkout.  Both are machine-
+    dependent and excluded from the ``repro bench diff`` regression gate.
     """
     if hasattr(result, "as_dict"):
         data = to_jsonable(result.as_dict())
@@ -162,6 +190,7 @@ def experiment_payload(experiment_id: str, title: str, kind: str,
         data = to_jsonable(result)
     else:
         data = None
+    total_calls = result_total_calls(result)
     return {
         "experiment": experiment_id,
         "title": title,
@@ -170,6 +199,10 @@ def experiment_payload(experiment_id: str, title: str, kind: str,
                               else {"defaults": True}),
         "data": data,
         "rendered": rendered,
+        "wall_seconds": wall_seconds,
+        "calls_per_wall_second": (
+            total_calls / wall_seconds
+            if wall_seconds and total_calls else None),
     }
 
 
@@ -187,7 +220,8 @@ def export_run(run: ExperimentRun, directory: str = ".") -> str:
     """Export one executed experiment as ``BENCH_<id>.json``."""
     return export_payload(
         experiment_payload(run.spec.experiment_id, run.spec.title,
-                           run.spec.kind, run.result, run.rendered),
+                           run.spec.kind, run.result, run.rendered,
+                           wall_seconds=run.wall_seconds),
         directory)
 
 
@@ -195,9 +229,12 @@ def run_experiment(experiment_id: str, *,
                    export_dir: Optional[str] = None) -> ExperimentRun:
     """Run one experiment by id; ``export_dir`` also writes its JSON record."""
     spec = EXPERIMENTS[experiment_id]
+    start = time.perf_counter()
     result = spec.runner()
+    wall_seconds = time.perf_counter() - start
     rendered = result.render() if hasattr(result, "render") else str(result)
-    run = ExperimentRun(spec=spec, result=result, rendered=rendered)
+    run = ExperimentRun(spec=spec, result=result, rendered=rendered,
+                        wall_seconds=wall_seconds)
     if export_dir is not None:
         export_run(run, export_dir)
     return run

@@ -1,0 +1,198 @@
+"""Simulator-speed benchmark: the ``abl-simspeed`` experiment.
+
+Every other experiment in this repo measures *virtual* time — cycles the
+simulated kernel charges for the protection mechanisms under study.  This
+one measures the simulator itself: wall-clock protected calls per second
+with the trace-replay dispatch fast path off versus on, over the same
+deterministic steady-state traffic workload.
+
+The point is the ROADMAP's "runs as fast as the hardware allows" leg
+applied to our own hot path: the interception-layer literature (arXiv:
+1803.07495) argues a measurement path must be cheap or it bounds what you
+can measure, and here the op-by-op execution of the fixed per-call charge
+sequence is exactly such a bound — it caps how many calls ``abl-throughput``
+and ``abl-adaptive`` can push through a run.  Replay collapses the recorded
+sequence into one aggregated clock charge per call, with byte-identical
+accounting (the report cross-checks cycle totals and the full op histogram
+between the two legs and refuses to claim a speedup if they differ).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..secmodule.dispatch import DispatchConfig
+from ..workloads.traffic import TrafficEngine, TrafficSpec
+from .report import render_table
+
+#: Protected calls issued per leg (10^5; the CLI scales up to 10^7).
+DEFAULT_CALLS = 100_000
+#: CI smoke size.
+FAST_CALLS = 4_000
+DEFAULT_CLIENTS = 4
+DEFAULT_SEED = 0x51A_57
+
+
+@dataclass
+class SimspeedLeg:
+    """One measured configuration (replay off or on)."""
+
+    label: str
+    use_trace_replay: bool
+    total_calls: int
+    wall_seconds: float
+    total_cycles: int
+    clock_events: int
+    op_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def calls_per_wall_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.total_calls / self.wall_seconds
+
+    @property
+    def wall_us_per_call(self) -> float:
+        if self.total_calls == 0:
+            return 0.0
+        return self.wall_seconds * 1e6 / self.total_calls
+
+
+@dataclass
+class SimspeedReport:
+    """Both legs plus the byte-identity cross-check."""
+
+    calls: int
+    clients: int
+    modules: int
+    seed: int
+    legs: List[SimspeedLeg] = field(default_factory=list)
+    #: the replay leg's trace-cache statistics (records/confirms/replays)
+    trace_stats: Dict[str, int] = field(default_factory=dict)
+
+    def leg(self, use_trace_replay: bool) -> SimspeedLeg:
+        for leg in self.legs:
+            if leg.use_trace_replay == use_trace_replay:
+                return leg
+        raise KeyError(use_trace_replay)
+
+    # -- the acceptance-bar checks ------------------------------------------
+    @property
+    def cycles_identical(self) -> bool:
+        off, on = self.leg(False), self.leg(True)
+        return (off.total_cycles == on.total_cycles
+                and off.clock_events == on.clock_events)
+
+    @property
+    def ops_identical(self) -> bool:
+        return self.leg(False).op_counts == self.leg(True).op_counts
+
+    @property
+    def identical(self) -> bool:
+        return self.cycles_identical and self.ops_identical
+
+    @property
+    def speedup(self) -> float:
+        """Wall-clock calls/sec gain of replay on over replay off.
+
+        Reported as 0 when the legs are not byte-identical: a fast path
+        that changes the measured numbers is not a fast path, it is a bug.
+        """
+        if not self.identical:
+            return 0.0
+        off, on = self.leg(False), self.leg(True)
+        if off.calls_per_wall_second <= 0:
+            return 0.0
+        return on.calls_per_wall_second / off.calls_per_wall_second
+
+    #: total simulated calls across both legs (for the export's
+    #: calls_per_wall_second field)
+    @property
+    def bench_total_calls(self) -> int:
+        return sum(leg.total_calls for leg in self.legs)
+
+    # -- rendering -----------------------------------------------------------
+    def render(self) -> str:
+        rows = []
+        for leg in self.legs:
+            rows.append([
+                leg.label,
+                f"{leg.total_calls:,}",
+                f"{leg.wall_seconds:.3f}",
+                f"{leg.calls_per_wall_second:,.0f}",
+                f"{leg.wall_us_per_call:.2f}",
+                f"{leg.total_cycles:,}",
+            ])
+        table = render_table(
+            ["trace replay", "calls", "wall sec", "calls/sec (wall)",
+             "wall us/call", "virtual cycles"],
+            rows,
+            title=(f"Simulator speed: {self.clients} clients x "
+                   f"{self.modules} module(s), open-loop steady traffic, "
+                   f"depth 1"))
+        identity = ("byte-identical (cycles, events, op histogram)"
+                    if self.identical else "MISMATCH — replay is buggy")
+        stats = self.trace_stats
+        summary = (
+            f"\nreplay off vs on accounting: {identity}"
+            f"\nwall-clock speedup: {self.speedup:.2f}x"
+            f" (target >= 10x on steady-state traffic)"
+            f"\ntrace cache: {stats.get('records', 0)} records, "
+            f"{stats.get('confirms', 0)} confirms, "
+            f"{stats.get('replays', 0)} replays, "
+            f"{stats.get('hot', 0)} hot entries")
+        return table + summary
+
+
+def _run_leg(spec: TrafficSpec, *, use_trace_replay: bool) -> tuple:
+    """Build the system (untimed), then time the traffic run itself."""
+    engine = TrafficEngine(
+        spec,
+        dispatch_config=DispatchConfig(use_trace_replay=use_trace_replay))
+    engine.build()
+    start = time.perf_counter()
+    result = engine.run()
+    wall = time.perf_counter() - start
+    leg = SimspeedLeg(
+        label="on" if use_trace_replay else "off",
+        use_trace_replay=use_trace_replay,
+        total_calls=result.total_calls,
+        wall_seconds=wall,
+        total_cycles=engine.machine.clock.cycles,
+        clock_events=engine.machine.clock.events,
+        op_counts=dict(engine.machine.meter.op_counts),
+    )
+    return leg, engine.extension.dispatcher.trace_cache.snapshot()
+
+
+def run_simspeed(*, calls: int = DEFAULT_CALLS,
+                 clients: int = DEFAULT_CLIENTS, modules: int = 1,
+                 seed: int = DEFAULT_SEED,
+                 fast: bool = False) -> SimspeedReport:
+    """Measure wall-clock calls/sec with the replay fast path off vs on.
+
+    ``calls`` is the total protected-call count per leg (split across the
+    clients); both legs run the identical deterministic workload, so the
+    virtual accounting must match to the byte and only wall time may move.
+    """
+    if fast:
+        calls = min(calls, FAST_CALLS)
+    if calls < clients:
+        raise ValueError("simspeed needs at least one call per client")
+    spec = TrafficSpec(clients=clients, modules=modules,
+                       calls_per_client=calls // clients,
+                       arrival="open", seed=seed)
+    report = SimspeedReport(calls=calls, clients=clients, modules=modules,
+                            seed=seed)
+    off_leg, _ = _run_leg(spec, use_trace_replay=False)
+    on_leg, trace_stats = _run_leg(spec, use_trace_replay=True)
+    report.legs = [off_leg, on_leg]
+    report.trace_stats = trace_stats
+    return report
+
+
+def run_abl_simspeed() -> SimspeedReport:
+    """Harness entry point (the ``abl-simspeed`` experiment id)."""
+    return run_simspeed()

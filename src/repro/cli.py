@@ -24,10 +24,12 @@ import argparse
 import glob
 import json
 import sys
+import time
 from typing import Dict, List, Optional
 
 from .bench.adaptive import DEFAULT_DEPTHS, run_adaptive_bench
 from .bench.batch import DEFAULT_CALLS, DEFAULT_SIZES, run_batch_sweep
+from .bench.diff import BenchDiffError, diff_files
 from .bench.figure8 import reproduce_figure8
 from .bench.harness import (
     EXPERIMENTS,
@@ -43,6 +45,7 @@ from .bench.pool import (
     DEFAULT_SESSIONS,
     run_pool_sweep,
 )
+from .bench.simspeed import DEFAULT_CALLS as SIMSPEED_CALLS, run_simspeed
 from .bench.throughput import run_throughput
 from .secmodule.api import SecModuleSystem
 from .telemetry import render_snapshot
@@ -120,6 +123,25 @@ def build_parser() -> argparse.ArgumentParser:
     ap.add_argument("--fast", action="store_true",
                     help="CI smoke: fewer depths and calls")
 
+    sp = bench_sub.add_parser(
+        "simspeed", help="simulator wall-clock speed: trace replay off vs on")
+    sp.add_argument("--calls", type=int, default=SIMSPEED_CALLS,
+                    help="protected calls per leg (10^5 to 10^7)")
+    sp.add_argument("--clients", type=int, default=4)
+    sp.add_argument("--modules", type=int, default=1)
+    sp.add_argument("--seed", type=int, default=0x51A_57)
+    sp.add_argument("--fast", action="store_true",
+                    help="CI smoke: a few thousand calls per leg")
+
+    dp = bench_sub.add_parser(
+        "diff", help="regression gate: compare two BENCH_<id>.json exports")
+    dp.add_argument("old", help="baseline export (e.g. benchmarks/baselines/"
+                                "BENCH_fig8.json)")
+    dp.add_argument("new", help="freshly generated export to check")
+    dp.add_argument("--rel-tol", type=float, default=0.0,
+                    help="relative tolerance before a cycle increase fails "
+                         "(default 0: byte-exact)")
+
     st = subparsers.add_parser(
         "stats", help="pretty-print metrics snapshots "
                       "(from BENCH_*.json files, or a live traffic run)")
@@ -157,17 +179,20 @@ _BENCH_EXPERIMENT_IDS = {
     "batch": "abl-batch",
     "pool": "abl-pool",
     "adaptive": "abl-adaptive",
+    "simspeed": "abl-simspeed",
 }
 
 
 def _export_bench(bench_command: str, report: object, rendered: str,
-                  params: Dict[str, object]) -> str:
+                  params: Dict[str, object],
+                  wall_seconds: Optional[float] = None) -> str:
     """Write a bench subcommand's result as its experiment's BENCH json."""
     experiment_id = _BENCH_EXPERIMENT_IDS[bench_command]
     spec = EXPERIMENTS[experiment_id]
     return export_payload(
         experiment_payload(experiment_id, spec.title, spec.kind,
-                           report, rendered, params=params))
+                           report, rendered, params=params,
+                           wall_seconds=wall_seconds))
 
 
 def _render_payload_value(key: str, value: object, indent: int,
@@ -249,9 +274,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if command == "fig8":
+        fig8_started = time.perf_counter()
         table = reproduce_figure8(trials=args.trials,
                                   sample_calls=args.sample_calls,
                                   seed=args.seed)
+        wall_seconds = time.perf_counter() - fig8_started
         rendered = table.render()
         if export_dir is not None:
             spec = EXPERIMENTS["fig8"]
@@ -260,7 +287,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                                    rendered,
                                    params={"trials": args.trials,
                                            "sample_calls": args.sample_calls,
-                                           "seed": args.seed}),
+                                           "seed": args.seed},
+                                   wall_seconds=wall_seconds),
                 export_dir)
         _emit(rendered, args.output)
         return 0
@@ -276,6 +304,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if command == "bench":
+        if args.bench_command == "diff":
+            try:
+                diff = diff_files(args.old, args.new, rel_tol=args.rel_tol)
+            except (BenchDiffError, OSError, json.JSONDecodeError) as exc:
+                print(f"bench diff error: {exc}", file=sys.stderr)
+                return 2
+            _emit(diff.render(), args.output)
+            return 0 if diff.ok else 1
+        bench_started = time.perf_counter()
         if args.bench_command == "throughput":
             params = {"clients": args.clients, "modules": args.modules,
                       "calls_per_client": args.sample_calls,
@@ -323,12 +360,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                 kwargs.update(static_calls=96, mmpp_calls=256)
             params = dict(kwargs, fast=args.fast)
             report = run_adaptive_bench(**kwargs)
+        elif args.bench_command == "simspeed":
+            params = {"calls": args.calls, "clients": args.clients,
+                      "modules": args.modules, "seed": args.seed,
+                      "fast": args.fast}
+            report = run_simspeed(calls=args.calls, clients=args.clients,
+                                  modules=args.modules, seed=args.seed,
+                                  fast=args.fast)
         else:
             parser.error("usage: repro bench "
-                         "{throughput,batch,pool,adaptive} [options]")
+                         "{throughput,batch,pool,adaptive,simspeed,diff} "
+                         "[options]")
+        wall_seconds = time.perf_counter() - bench_started
         rendered = report.render()
         if export_dir is not None:
-            _export_bench(args.bench_command, report, rendered, params)
+            _export_bench(args.bench_command, report, rendered, params,
+                          wall_seconds)
         _emit(rendered, args.output)
         return 0
 

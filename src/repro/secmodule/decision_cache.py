@@ -40,7 +40,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SimulationError
 from ..telemetry import NULL_TELEMETRY, Telemetry
@@ -98,6 +98,12 @@ class DecisionCache:
         #: mirrored hit/miss/eviction counters when a telemetry plane is
         #: attached (recording never charges the virtual clock)
         self.telemetry: Telemetry = NULL_TELEMETRY
+        #: armed by the dispatcher while recording a trace: every hit's key
+        #: lands here so a replay can repeat the exact LRU touches
+        self._touch_log: Optional[List[Tuple[int, int]]] = None
+        #: the dispatcher's trace cache (when trace replay is wired up);
+        #: invalidations forward so stale traces die with stale decisions
+        self.trace_cache = None
 
     def __len__(self) -> int:
         return sum(len(entries) for entries in self._sessions.values())
@@ -115,6 +121,8 @@ class DecisionCache:
             return None
         entries.move_to_end((m_id, func_id))     # most recently used
         self.hits += 1
+        if self._touch_log is not None:
+            self._touch_log.append((m_id, func_id))
         if self.telemetry.enabled:
             self.telemetry.cache_event("hits")
         return entry.decision
@@ -141,6 +149,8 @@ class DecisionCache:
             if entry is None or entry.policy_epoch != epoch:
                 continue
             entries.move_to_end(key)          # most recently used
+            if self._touch_log is not None:
+                self._touch_log.append(key)
             found[key] = entry.decision
         if found:
             self.batch_epoch_checks += 1
@@ -171,6 +181,56 @@ class DecisionCache:
                                   policy_epoch=session.policy_epoch)
         entries.move_to_end(key)
 
+    # ----------------------------------------------------------- trace replay
+    def start_touch_log(self) -> None:
+        """Arm hit-key logging for one recorded dispatch span."""
+        self._touch_log = []
+
+    def stop_touch_log(self) -> Tuple[Tuple[int, int], ...]:
+        """Disarm logging and return the hit keys the span touched."""
+        log = self._touch_log or []
+        self._touch_log = None
+        return tuple(log)
+
+    def replay_touch(self, session, keys: Sequence[Tuple[int, int]]) -> bool:
+        """Repeat a recorded span's LRU touches without re-evaluating.
+
+        Returns False — the caller must fall back to the op-by-op path —
+        when any recorded key is gone or stale (evicted by another key's
+        store, invalidated out-of-band): a replay then would diverge from
+        what the slow path would have recomputed.
+        """
+        if not keys:
+            return True
+        entries = self._sessions.get(session.session_id)
+        if entries is None:
+            return False
+        epoch = session.policy_epoch
+        for key in keys:
+            entry = entries.get(key)
+            if entry is None or entry.policy_epoch != epoch:
+                return False
+            entries.move_to_end(key)
+        return True
+
+    def credit_replay(self, *, hits: int = 0, misses: int = 0,
+                      batch_epoch_checks: int = 0,
+                      batch_served: int = 0) -> None:
+        """Fold one replayed span's counter deltas into the statistics.
+
+        Keeps ``snapshot()`` (and the mirrored telemetry counters) identical
+        between a replayed run and the op-by-op execution it stands in for.
+        """
+        self.hits += hits
+        self.misses += misses
+        self.batch_epoch_checks += batch_epoch_checks
+        self.batch_served += batch_served
+        if self.telemetry.enabled:
+            if hits:
+                self.telemetry.cache_event("hits", hits)
+            if misses:
+                self.telemetry.cache_event("misses", misses)
+
     # ------------------------------------------------------------ invalidation
     def invalidate_session(self, session_id: int) -> int:
         """Drop every entry belonging to one session (teardown path)."""
@@ -178,6 +238,8 @@ class DecisionCache:
         self.invalidations += dropped
         if dropped and self.telemetry.enabled:
             self.telemetry.cache_event("invalidations", dropped)
+        if self.trace_cache is not None:
+            self.trace_cache.invalidate_session(session_id)
         return dropped
 
     def invalidate_module(self, m_id: int) -> int:
@@ -193,6 +255,8 @@ class DecisionCache:
         self.invalidations += dropped
         if dropped and self.telemetry.enabled:
             self.telemetry.cache_event("invalidations", dropped)
+        if self.trace_cache is not None:
+            self.trace_cache.invalidate_module(m_id)
         return dropped
 
     def invalidate_all(self) -> int:
@@ -201,6 +265,8 @@ class DecisionCache:
         self.invalidations += count
         if count and self.telemetry.enabled:
             self.telemetry.cache_event("invalidations", count)
+        if self.trace_cache is not None:
+            self.trace_cache.invalidate_all()
         return count
 
     # ------------------------------------------------------------------- stats

@@ -26,6 +26,7 @@ the ablation benchmarks can quantify them.
 from __future__ import annotations
 
 import enum
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -85,6 +86,14 @@ class DispatchConfig:
     #: amortize those fixed costs across the queue.  ``call_batch`` chunks
     #: longer queues to this bound.
     batch_size: int = 1
+    #: trace-replay fast path: record the exact charge sequence of a
+    #: steady-state protected call (or batch flush) once, then replay later
+    #: identical calls as one aggregated clock charge.  Accounting is
+    #: byte-identical either way — cycle totals, op histograms, cache
+    #: statistics — the knob only trades simulator wall-clock for the
+    #: op-by-op execution (see docs/performance.md); disable it to force
+    #: every call down the op-by-op path.
+    use_trace_replay: bool = True
     #: record Figure 3 stack snapshots (off for the million-call benchmarks)
     record_checkpoints: bool = False
 
@@ -133,17 +142,157 @@ class BatchOutcome:
         return len(self.outcomes)
 
 
+# --------------------------------------------------------------------------
+# Trace-replay fast path.
+#
+# The paper's numbers are per-call totals of a *fixed* op sequence (trap,
+# policy check, two context switches, msgsnd/reply, stack fixups) — yet the
+# simulator re-executes that sequence op by op on every one of the millions
+# of calls a traffic run issues.  The trace cache records the sequence once
+# per steady-state key, proves it stable with a confirming second execution,
+# and then replays it as one aggregated clock charge (plus the handful of
+# explicit state deltas the slow path would have made).  Anything the replay
+# cannot reproduce exactly — stateful policy chains, checkpoint recording,
+# variable-cost function bodies, a live TraceBuffer — stays on the op-by-op
+# path for good.
+# --------------------------------------------------------------------------
+
+#: TraceEntry life cycle: freshly recorded entries are CONFIRMING until a
+#: second execution reproduces the identical charge sequence and state
+#: deltas; only then do replays begin.  Keys whose sequence keeps changing
+#: are POISONED and never attempted again (their recording overhead would
+#: be pure waste).
+TRACE_CONFIRMING, TRACE_HOT, TRACE_POISONED = 0, 1, 2
+
+#: consecutive confirm mismatches before a key is poisoned
+TRACE_MISMATCH_LIMIT = 8
+
+
+class TraceEntry:
+    """One recorded dispatch span: its charge sequence and state deltas."""
+
+    __slots__ = (
+        "state", "strikes", "raw_ops", "trace",
+        # guards revalidated before every replay
+        "policy_epoch", "handle_epoch", "cache_epoch", "hardening_sig",
+        # state deltas the slow path would have applied
+        "dispatched", "denied", "served",
+        "cache_hits", "cache_misses", "cache_batch_checks",
+        "cache_batch_served", "cache_touch_keys",
+        # replay plumbing
+        "env", "handle", "m_ids",
+        # outcome template: single calls use ``errno``; batch flushes use
+        # ``batch_plan`` (one (module, function, errno) triple per entry)
+        "errno", "batch_plan", "any_executed", "depth",
+    )
+
+    def effects_signature(self) -> Tuple:
+        """Everything beyond the charge sequence that must repeat exactly."""
+        return (self.dispatched, self.denied, self.served,
+                self.cache_hits, self.cache_misses, self.cache_batch_checks,
+                self.cache_batch_served, self.cache_touch_keys,
+                self.errno,
+                tuple(errno for _, _, errno in self.batch_plan)
+                if self.batch_plan is not None else None)
+
+
+class TraceCache:
+    """Per-dispatcher store of recorded call traces, LRU-bounded.
+
+    Keys are ``(session_id, call shape, DispatchConfig)`` tuples; the shape
+    is ``(m_id, func_id)`` for a single call and the per-entry tuple of
+    those pairs for a batch flush, so every distinct op sequence gets its
+    own trace.  Invalidation is two-layered: cheap per-replay guard checks
+    (policy epoch, handle seat epoch, session liveness) catch anything that
+    changed under a live key, and the explicit ``invalidate_*`` hooks —
+    forwarded from the decision cache and the handle broker — drop entries
+    eagerly so the cache never fills with dead keys.
+    """
+
+    DEFAULT_CAPACITY = 4096
+
+    def __init__(self, *, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise SimulationError("trace cache needs a positive capacity")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple, TraceEntry]" = OrderedDict()
+        #: bumped by ``invalidate_all``; every entry records the epoch it was
+        #: stored under, so a bump retires the whole cache in O(1)
+        self.epoch = 0
+        # observability
+        self.records = 0
+        self.confirms = 0
+        self.replays = 0
+        self.mismatches = 0
+        self.poisoned = 0
+        self.fallbacks = 0
+        self.invalidated = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: Tuple) -> Optional[TraceEntry]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def store(self, key: Tuple, entry: TraceEntry) -> None:
+        if key not in self._entries and len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+
+    # ------------------------------------------------------------ invalidation
+    def invalidate_session(self, session_id: int) -> int:
+        stale = [key for key in self._entries if key[0] == session_id]
+        for key in stale:
+            del self._entries[key]
+        self.invalidated += len(stale)
+        return len(stale)
+
+    def invalidate_module(self, m_id: int) -> int:
+        stale = [key for key, entry in self._entries.items()
+                 if m_id in entry.m_ids]
+        for key in stale:
+            del self._entries[key]
+        self.invalidated += len(stale)
+        return len(stale)
+
+    def invalidate_all(self) -> int:
+        count = len(self._entries)
+        self._entries.clear()
+        self.invalidated += count
+        self.epoch += 1
+        return count
+
+    def snapshot(self) -> Dict[str, int]:
+        hot = sum(1 for e in self._entries.values() if e.state == TRACE_HOT)
+        return {"entries": len(self._entries), "hot": hot,
+                "records": self.records, "confirms": self.confirms,
+                "replays": self.replays, "mismatches": self.mismatches,
+                "poisoned": self.poisoned, "fallbacks": self.fallbacks,
+                "invalidated": self.invalidated, "evictions": self.evictions}
+
+
 class SmodDispatcher:
     """Executes protected calls for established sessions."""
 
     def __init__(self, kernel, *,
-                 decision_cache: Optional[DecisionCache] = None) -> None:
+                 decision_cache: Optional[DecisionCache] = None,
+                 trace_cache: Optional[TraceCache] = None) -> None:
         self.kernel = kernel
         self.calls_dispatched = 0
         self.calls_denied = 0
         # explicit None check: an *empty* cache is falsy (it has __len__)
         self.decision_cache = (decision_cache if decision_cache is not None
                                else DecisionCache())
+        self.trace_cache = (trace_cache if trace_cache is not None
+                            else TraceCache())
+        # decision invalidations retire the traces recorded under them
+        self.decision_cache.trace_cache = self.trace_cache
         #: pure observation — recording never charges the virtual clock
         self.telemetry: Telemetry = NULL_TELEMETRY
 
@@ -222,6 +371,211 @@ class SmodDispatcher:
         elif mode is HardeningMode.SUSPEND_CLIENT:
             self.kernel.sched.resume(session.client)
             machine.charge(costs.SCHED_ENQUEUE)
+
+    # ----------------------------------------------------- trace-replay helpers
+    def _traceable(self, session: Session, function: SecFunction,
+                   module: RegisteredModule, config: DispatchConfig,
+                   machine) -> bool:
+        """May this call's charge sequence be recorded and replayed at all?
+
+        Everything that can make the sequence vary call-to-call under an
+        unchanged key stays on the op-by-op path: stateful (non-static)
+        policy chains, variable-cost function bodies, Figure 3 checkpoint
+        recording, and a live event TraceBuffer (replay skips its emits).
+        """
+        return (config.use_trace_replay
+                and not config.record_checkpoints
+                and not machine.trace.enabled
+                and function.fixed_cost
+                and session.established and not session.torn_down
+                and (not config.per_call_policy_check
+                     or policy_is_cacheable(module.definition.policy)))
+
+    @staticmethod
+    def _shared_entry_signature(session: Session) -> Tuple[int, ...]:
+        """Page counts of the client's shared map entries (UNMAP hardening
+        charges are a function of these, so they guard those traces)."""
+        return tuple(e.pages
+                     for e in session.client.vmspace.shared_entries())
+
+    def _trace_guard_ok(self, entry: TraceEntry, session: Session) -> bool:
+        """Cheap precondition re-validation before a replay."""
+        if not session.established or session.torn_down:
+            return False
+        if session.policy_epoch != entry.policy_epoch:
+            return False
+        if session.handle.trace_epoch != entry.handle_epoch:
+            return False
+        if entry.cache_epoch != self.trace_cache.epoch:
+            return False
+        if entry.hardening_sig is not None and \
+                entry.hardening_sig != self._shared_entry_signature(session):
+            return False
+        return True
+
+    def _begin_trace_recording(self, session: Session):
+        """Arm the meter's charge log and snapshot every affected counter."""
+        recorder = self.kernel.machine.meter.record_trace()
+        if not recorder.start():
+            return None
+        cache = self.decision_cache
+        cache.start_touch_log()
+        snapshot = (self.calls_dispatched, self.calls_denied,
+                    session.handle.calls_served,
+                    cache.hits, cache.misses, cache.batch_epoch_checks,
+                    cache.batch_served, cache.evictions, cache.invalidations,
+                    len(cache))
+        return (recorder, snapshot)
+
+    def _abort_trace_recording(self, recording) -> None:
+        recorder, _ = recording
+        recorder.abort()
+        self.decision_cache.stop_touch_log()
+
+    def _finish_trace_recording(self, recording, key: Tuple,
+                                session: Session, module_ids, *,
+                                config: DispatchConfig,
+                                errno: Optional[Errno] = None,
+                                batch_plan=None, any_executed: bool = True,
+                                depth: int = 1) -> None:
+        """Turn one recorded slow execution into a (confirming) trace entry."""
+        recorder, before = recording
+        raw_ops = recorder.stop()
+        touches = self.decision_cache.stop_touch_log()
+        cache = self.decision_cache
+        (d0, n0, s0, h0, m0, bc0, bs0, ev0, inv0, len0) = before
+        if (cache.evictions != ev0 or cache.invalidations != inv0
+                or len(cache) != len0):
+            # the span changed the decision cache's *structure* (a first-call
+            # store, an eviction): not steady state yet — a replay could not
+            # repeat it.  The next execution records again.
+            return
+        entry = TraceEntry()
+        entry.state = TRACE_CONFIRMING
+        entry.strikes = 0
+        entry.raw_ops = raw_ops
+        entry.trace = None
+        entry.policy_epoch = session.policy_epoch
+        entry.handle_epoch = session.handle.trace_epoch
+        entry.cache_epoch = self.trace_cache.epoch
+        entry.hardening_sig = (
+            self._shared_entry_signature(session)
+            if config.hardening is HardeningMode.UNMAP_CLIENT else None)
+        entry.dispatched = self.calls_dispatched - d0
+        entry.denied = self.calls_denied - n0
+        entry.served = session.handle.calls_served - s0
+        entry.cache_hits = cache.hits - h0
+        entry.cache_misses = cache.misses - m0
+        entry.cache_batch_checks = cache.batch_epoch_checks - bc0
+        entry.cache_batch_served = cache.batch_served - bs0
+        entry.cache_touch_keys = touches
+        entry.env = CallEnvironment(kernel=self.kernel, session=session,
+                                    client=session.client,
+                                    handle=session.handle.proc)
+        entry.handle = session.handle
+        entry.m_ids = frozenset(module_ids)
+        entry.errno = errno
+        entry.batch_plan = batch_plan
+        entry.any_executed = any_executed
+        entry.depth = depth
+        self._observe_trace(key, entry)
+
+    def _observe_trace(self, key: Tuple, entry: TraceEntry) -> None:
+        """The record → confirm → hot state machine for one key."""
+        cache = self.trace_cache
+        existing = cache.lookup(key)
+        if (existing is not None and existing.state != TRACE_POISONED
+                and existing.raw_ops == entry.raw_ops
+                and existing.effects_signature() == entry.effects_signature()):
+            # a second execution reproduced the sequence exactly: promote
+            # (the guards are refreshed from this, newest, execution)
+            entry.state = TRACE_HOT
+            entry.trace = self.kernel.machine.meter.build_trace(entry.raw_ops)
+            cache.confirms += 1
+            cache.store(key, entry)
+            return
+        if existing is not None:
+            cache.mismatches += 1
+            entry.strikes = existing.strikes + 1
+            if entry.strikes >= TRACE_MISMATCH_LIMIT:
+                entry.state = TRACE_POISONED
+                cache.poisoned += 1
+        cache.records += 1
+        cache.store(key, entry)
+
+    def _replay_effects(self, entry: TraceEntry, session: Session) -> bool:
+        """Apply a hot trace's aggregated charges and state deltas.
+
+        Returns False (nothing applied) when the decision-cache touches can
+        no longer be repeated — the caller falls back to the slow path.
+        """
+        cache = self.decision_cache
+        if entry.cache_touch_keys and not cache.replay_touch(
+                session, entry.cache_touch_keys):
+            self.trace_cache.fallbacks += 1
+            return False
+        self.kernel.machine.meter.charge_trace(entry.trace)
+        if (entry.cache_hits or entry.cache_misses
+                or entry.cache_batch_checks or entry.cache_batch_served):
+            cache.credit_replay(hits=entry.cache_hits,
+                                misses=entry.cache_misses,
+                                batch_epoch_checks=entry.cache_batch_checks,
+                                batch_served=entry.cache_batch_served)
+        self.calls_dispatched += entry.dispatched
+        self.calls_denied += entry.denied
+        entry.handle.calls_served += entry.served
+        self.trace_cache.replays += 1
+        return True
+
+    def _replay_single(self, entry: TraceEntry, session: Session,
+                       module: RegisteredModule, function: SecFunction,
+                       args) -> Optional[DispatchOutcome]:
+        """Replay one hot single-call trace; None → take the slow path."""
+        machine = self.kernel.machine
+        telemetry = self.telemetry
+        watch = (Stopwatch(machine.clock, machine.spec.mhz)
+                 if telemetry.enabled else None)
+        if not self._replay_effects(entry, session):
+            return None
+        if entry.errno is not None:
+            if watch is not None:
+                telemetry.record_dispatch(session.session_id, module.name,
+                                          watch.elapsed_us())
+            return DispatchOutcome(errno=entry.errno)
+        session.note_call(module)
+        value = function.impl(entry.env, *args)
+        if watch is not None:
+            telemetry.record_handle_queue(entry.handle.proc.pid, 1)
+            telemetry.record_dispatch(session.session_id, module.name,
+                                      watch.elapsed_us())
+        return DispatchOutcome(value=value)
+
+    def _replay_batch(self, entry: TraceEntry, session: Session,
+                      calls) -> Optional[BatchOutcome]:
+        """Replay one hot batch-flush trace; None → take the slow path."""
+        machine = self.kernel.machine
+        telemetry = self.telemetry
+        watch = (Stopwatch(machine.clock, machine.spec.mhz)
+                 if telemetry.enabled else None)
+        if not self._replay_effects(entry, session):
+            return None
+        env = entry.env
+        outcomes: List[DispatchOutcome] = []
+        for (module, function, errno), (_, args) in zip(entry.batch_plan,
+                                                        calls):
+            if errno is not None:
+                outcomes.append(DispatchOutcome(errno=errno))
+            else:
+                session.note_call(module)
+                outcomes.append(
+                    DispatchOutcome(value=function.impl(env, *args)))
+        if watch is not None:
+            if entry.any_executed:
+                telemetry.record_handle_queue(entry.handle.proc.pid,
+                                              entry.depth)
+            telemetry.record_batch(session.session_id, entry.depth,
+                                   watch.elapsed_us())
+        return BatchOutcome(outcomes=outcomes)
 
     # -------------------------------------------------------------- kernel path
     def sys_smod_call(self, client: Proc, session: Session,
@@ -457,7 +811,11 @@ class SmodDispatcher:
         """The full user-visible call: client stub + trap + kernel path + unwind.
 
         This is what the SecModule-converted libc's wrappers boil down to and
-        what the Figure 8 benchmark loops over.
+        what the Figure 8 benchmark loops over.  In steady state (an
+        already-confirmed trace whose preconditions still hold) the whole
+        sequence is replayed as one aggregated clock charge; the first two
+        executions of a key, and anything the trace cache cannot prove
+        repeatable, run op by op below.
         """
         found = session.find_function(function_name)
         if found is None:
@@ -465,34 +823,59 @@ class SmodDispatcher:
         module, function = found
 
         machine = self.kernel.machine
+        key = None
+        if self._traceable(session, function, module, config, machine):
+            key = (session.session_id, (module.m_id, function.func_id),
+                   config)
+            entry = self.trace_cache.lookup(key)
+            if entry is not None:
+                if entry.state == TRACE_HOT \
+                        and self._trace_guard_ok(entry, session):
+                    outcome = self._replay_single(entry, session, module,
+                                                  function, args)
+                    if outcome is not None:
+                        return outcome
+                elif entry.state == TRACE_POISONED:
+                    key = None        # recording this key again is pure waste
+
+        recording = (self._begin_trace_recording(session)
+                     if key is not None else None)
         telemetry = self.telemetry
         watch = (Stopwatch(machine.clock, machine.spec.mhz)
                  if telemetry.enabled else None)
-        machine.charge(costs.USER_CALL_OVERHEAD)
-        stub = ClientStub(function_name, module.m_id, function.func_id,
-                          arg_words=function.arg_words)
-        frame = stub.push_call(session.shared_stack, args,
-                               record_checkpoints=config.record_checkpoints)
-        # the stub records the session the frame belongs to, so a shared
-        # (pooled) handle can route it to the right secret-stack segment
-        frame.session_id = session.session_id
+        try:
+            machine.charge(costs.USER_CALL_OVERHEAD)
+            stub = ClientStub(function_name, module.m_id, function.func_id,
+                              arg_words=function.arg_words)
+            frame = stub.push_call(
+                session.shared_stack, args,
+                record_checkpoints=config.record_checkpoints)
+            # the stub records the session the frame belongs to, so a shared
+            # (pooled) handle can route it to the right secret-stack segment
+            frame.session_id = session.session_id
 
-        result = self.kernel.syscall(
-            session.client, "smod_call", frame, module.m_id, function.func_id,
-            config)
-        if result.failed:
-            # unwind the stub frame exactly as the error return path would
-            self._unwind_failed_call(session, frame)
-            if watch is not None:
-                telemetry.record_dispatch(session.session_id, module.name,
-                                          watch.elapsed_us())
-            return DispatchOutcome(errno=result.errno, frame=frame)
-
-        stub.pop_return(session.shared_stack, frame)
+            result = self.kernel.syscall(
+                session.client, "smod_call", frame, module.m_id,
+                function.func_id, config)
+            if result.failed:
+                # unwind the stub frame exactly as the error return path would
+                self._unwind_failed_call(session, frame)
+                outcome = DispatchOutcome(errno=result.errno, frame=frame)
+            else:
+                stub.pop_return(session.shared_stack, frame)
+                outcome = DispatchOutcome(value=result.value, frame=frame)
+        except BaseException:
+            if recording is not None:
+                self._abort_trace_recording(recording)
+            raise
+        if recording is not None:
+            self._finish_trace_recording(recording, key, session,
+                                         (module.m_id,), config=config,
+                                         errno=outcome.errno)
         if watch is not None:
             telemetry.record_dispatch(session.session_id, module.name,
                                       watch.elapsed_us())
-        return DispatchOutcome(value=result.value, frame=frame)
+        return outcome
 
     def call_batch(self, session: Session,
                    calls: Sequence[Tuple[str, Tuple[Any, ...]]], *,
@@ -535,54 +918,99 @@ class SmodDispatcher:
                 self.call(session, name, *args, config=config)])
 
         machine = self.kernel.machine
+        # resolve every name once: the trace-eligibility check, the stub
+        # build and the recorded batch plan all consume this list
+        found_list = [session.find_function(name) for name, _ in calls]
+        key = None
+        if all(found is not None for found in found_list) and all(
+                self._traceable(session, function, module, config, machine)
+                for module, function in found_list):
+            shape = tuple((module.m_id, function.func_id)
+                          for module, function in found_list)
+            key = (session.session_id, shape, config)
+            entry = self.trace_cache.lookup(key)
+            if entry is not None:
+                if entry.state == TRACE_HOT \
+                        and self._trace_guard_ok(entry, session):
+                    replayed = self._replay_batch(entry, session, calls)
+                    if replayed is not None:
+                        return replayed
+                elif entry.state == TRACE_POISONED:
+                    key = None
+
+        recording = (self._begin_trace_recording(session)
+                     if key is not None else None)
         telemetry = self.telemetry
         watch = (Stopwatch(machine.clock, machine.spec.mhz)
                  if telemetry.enabled else None)
-        machine.charge(costs.USER_CALL_OVERHEAD)   # one flush, not one per call
-        outcomes: List[Optional[DispatchOutcome]] = [None] * len(calls)
-        batch_stub = BatchStub()
-        pushed: List[int] = []
-        for index, (name, args) in enumerate(calls):
-            found = session.find_function(name)
-            if found is None:
-                # never reaches the stack or the kernel, exactly like the
-                # single path's pre-trap ENOENT
-                outcomes[index] = DispatchOutcome(errno=Errno.ENOENT)
-                continue
-            module, function = found
-            batch_stub.enqueue(
-                ClientStub(name, module.m_id, function.func_id,
-                           arg_words=function.arg_words), args)
-            pushed.append(index)
-        if not len(batch_stub):
-            return BatchOutcome(outcomes=list(outcomes))
+        try:
+            machine.charge(costs.USER_CALL_OVERHEAD)  # one flush, not per call
+            outcomes: List[Optional[DispatchOutcome]] = [None] * len(calls)
+            batch_stub = BatchStub()
+            pushed: List[int] = []
+            for index, ((name, args), found) in enumerate(zip(calls,
+                                                              found_list)):
+                if found is None:
+                    # never reaches the stack or the kernel, exactly like the
+                    # single path's pre-trap ENOENT
+                    outcomes[index] = DispatchOutcome(errno=Errno.ENOENT)
+                    continue
+                module, function = found
+                batch_stub.enqueue(
+                    ClientStub(name, module.m_id, function.func_id,
+                               arg_words=function.arg_words), args)
+                pushed.append(index)
+            if not len(batch_stub):
+                if recording is not None:
+                    self._abort_trace_recording(recording)
+                return BatchOutcome(outcomes=list(outcomes))
 
-        batch = batch_stub.push_batch(
-            session.shared_stack,
-            record_checkpoints=config.record_checkpoints)
-        batch.session_id = session.session_id
-        for frame in batch.frames:
-            frame.session_id = session.session_id
-        result = self.kernel.syscall(session.client, "smod_call_batch",
-                                     batch, config)
-        if result.failed:
-            # whole-queue rejection: nothing executed, nothing drained — the
-            # client stub unwinds every frame itself, topmost (frames[0])
-            # first
+            batch = batch_stub.push_batch(
+                session.shared_stack,
+                record_checkpoints=config.record_checkpoints)
+            batch.session_id = session.session_id
             for frame in batch.frames:
-                self._unwind_failed_call(session, frame)
-            for index, frame in zip(pushed, batch.frames):
-                outcomes[index] = DispatchOutcome(errno=result.errno,
-                                                  frame=frame)
-            if watch is not None:
-                telemetry.record_batch(session.session_id, len(batch.frames),
-                                       watch.elapsed_us())
-            return BatchOutcome(outcomes=list(outcomes), errno=result.errno)
+                frame.session_id = session.session_id
+            result = self.kernel.syscall(session.client, "smod_call_batch",
+                                         batch, config)
+            if result.failed:
+                # whole-queue rejection: nothing executed, nothing drained —
+                # the client stub unwinds every frame itself, topmost
+                # (frames[0]) first
+                for frame in batch.frames:
+                    self._unwind_failed_call(session, frame)
+                for index, frame in zip(pushed, batch.frames):
+                    outcomes[index] = DispatchOutcome(errno=result.errno,
+                                                      frame=frame)
+                if recording is not None:
+                    # a dead/foreign session is not a steady state to memoize
+                    self._abort_trace_recording(recording)
+                    recording = None
+                if watch is not None:
+                    telemetry.record_batch(session.session_id,
+                                           len(batch.frames),
+                                           watch.elapsed_us())
+                return BatchOutcome(outcomes=list(outcomes),
+                                    errno=result.errno)
 
-        for index, outcome in zip(pushed, result.value.outcomes):
-            outcomes[index] = outcome
+            for index, outcome in zip(pushed, result.value.outcomes):
+                outcomes[index] = outcome
+        except BaseException:
+            if recording is not None:
+                self._abort_trace_recording(recording)
+            raise
+        if recording is not None:
+            batch_plan = tuple(
+                (module, function, outcome.errno)
+                for (module, function), outcome in zip(found_list, outcomes))
+            self._finish_trace_recording(
+                recording, key, session,
+                tuple(module.m_id for module, _ in found_list),
+                config=config, batch_plan=batch_plan,
+                any_executed=any(o.errno is None for o in outcomes),
+                depth=len(calls))
         if watch is not None:
-            telemetry.record_batch(session.session_id, len(batch.frames),
+            telemetry.record_batch(session.session_id, len(pushed),
                                    watch.elapsed_us())
         return BatchOutcome(outcomes=list(outcomes))
 

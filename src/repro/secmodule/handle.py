@@ -78,6 +78,10 @@ class Handle:
         self.loaded: Dict[int, LoadedModule] = {}
         self.ready = False
         self.calls_served = 0
+        #: bumped on every seat attach/detach: the per-receive routing charge
+        #: is a function of the seat count, so recorded dispatch traces keyed
+        #: under an older epoch must fall back to the slow path and re-record
+        self.trace_epoch = 0
 
     # ------------------------------------------------------------- setup steps
     def map_secret_region(self) -> None:
@@ -139,6 +143,7 @@ class Handle:
         """Add a routing-table entry and a secret-stack segment for a session."""
         if session.session_id in self.attached_sessions:
             return
+        self.trace_epoch += 1
         self.attached_sessions[session.session_id] = session
         if not self._session_stacks:
             # the first seat uses the original secret stack — the 1:1 shape
@@ -149,6 +154,8 @@ class Handle:
                 machine=self.kernel.machine)
 
     def detach_session(self, session) -> None:
+        if session.session_id in self.attached_sessions:
+            self.trace_epoch += 1
         self.attached_sessions.pop(session.session_id, None)
         self._session_stacks.pop(session.session_id, None)
 

@@ -171,6 +171,18 @@ class HandleBroker:
         #: per-seat queueing-delay histograms live here when a telemetry
         #: plane is attached (pure observation, never charges the clock)
         self.telemetry: Telemetry = NULL_TELEMETRY
+        #: the dispatcher's trace cache (wired by SmodExtension): a seat
+        #: joining or leaving a shared handle changes the routing cost every
+        #: *other* seated session pays per call, so their recorded traces
+        #: are dropped eagerly here (the per-replay seat-epoch guard would
+        #: catch them anyway; this keeps the cache from pooling dead keys)
+        self.trace_cache = None
+
+    def _invalidate_seat_traces(self, handle: Handle) -> None:
+        if self.trace_cache is None:
+            return
+        for session_id in list(handle.attached_sessions):
+            self.trace_cache.invalidate_session(session_id)
 
     # ---------------------------------------------------------------- policies
     def register_policy(self, module_name: str,
@@ -248,6 +260,7 @@ class HandleBroker:
                            detail_handle=handle.proc.pid,
                            detail_seats=handle.session_count + 1)
         self.attachments += 1
+        self._invalidate_seat_traces(handle)
 
     # ------------------------------------------------------------------ detach
     def detach(self, session, *, last: bool, kill: bool = True) -> bool:
@@ -260,6 +273,8 @@ class HandleBroker:
         handle = session.handle
         self.detachments += 1
         if not last:
+            # the survivors' routing cost just changed: drop their traces
+            self._invalidate_seat_traces(handle)
             return False
         for key, handles in list(self._pools.items()):
             if handle in handles:

@@ -140,24 +140,32 @@ def _impl_getppid(env: CallEnvironment) -> int:
 
 def libc_behaviours() -> Dict[str, FunctionSpec]:
     """The audited symbols and their simulated behaviours."""
+    # The allocator and string families charge the cost model from inside
+    # their implementations (arena walks, obreak, per-byte copies), so their
+    # per-call cost depends on the arguments: fixed_cost=False keeps them
+    # permanently on the op-by-op dispatch path.
     return {
         "malloc": FunctionSpec(_impl_malloc, cost_op=costs.MALLOC_BODY,
-                               arg_words=1, doc="allocate client heap memory"),
+                               arg_words=1, fixed_cost=False,
+                               doc="allocate client heap memory"),
         "free": FunctionSpec(_impl_free, cost_op=costs.MALLOC_BODY,
-                             arg_words=1, doc="release client heap memory"),
+                             arg_words=1, fixed_cost=False,
+                             doc="release client heap memory"),
         "calloc": FunctionSpec(_impl_calloc, cost_op=costs.MALLOC_BODY,
-                               arg_words=2, doc="allocate zeroed client memory"),
+                               arg_words=2, fixed_cost=False,
+                               doc="allocate zeroed client memory"),
         "realloc": FunctionSpec(_impl_realloc, cost_op=costs.MALLOC_BODY,
-                                arg_words=2, doc="resize a client allocation"),
-        "memcpy": FunctionSpec(_impl_memcpy, arg_words=3,
+                                arg_words=2, fixed_cost=False,
+                                doc="resize a client allocation"),
+        "memcpy": FunctionSpec(_impl_memcpy, arg_words=3, fixed_cost=False,
                                doc="copy bytes within client memory"),
-        "memset": FunctionSpec(_impl_memset, arg_words=3,
+        "memset": FunctionSpec(_impl_memset, arg_words=3, fixed_cost=False,
                                doc="fill client memory"),
-        "memcmp": FunctionSpec(_impl_memcmp, arg_words=3,
+        "memcmp": FunctionSpec(_impl_memcmp, arg_words=3, fixed_cost=False,
                                doc="compare client memory"),
-        "strlen": FunctionSpec(_impl_strlen, arg_words=1,
+        "strlen": FunctionSpec(_impl_strlen, arg_words=1, fixed_cost=False,
                                doc="length of a client C string"),
-        "strcpy": FunctionSpec(_impl_strcpy, arg_words=2,
+        "strcpy": FunctionSpec(_impl_strcpy, arg_words=2, fixed_cost=False,
                                doc="copy a client C string"),
         "getpid": FunctionSpec(_impl_getpid, cost_op=costs.FUNC_BODY_SMOD_GETPID,
                                arg_words=0,

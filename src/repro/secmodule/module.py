@@ -62,6 +62,14 @@ class SecFunction:
     arg_words: int = 1
     #: whether the function needs §4.3-style special handling
     special: bool = False
+    #: True when the body's simulated cost is exactly ``cost_op`` — the
+    #: implementation itself never charges the cost model or mutates kernel
+    #: state (no ``env.charge``, no re-entering the kernel).  Only such
+    #: functions are eligible for the trace-replay dispatch fast path:
+    #: replay re-executes the implementation for its return value, so an
+    #: implementation doing its own charging would double-count.  malloc &
+    #: friends (arena walks, obreak, per-byte copies) set this False.
+    fixed_cost: bool = True
     doc: str = ""
 
     def invoke(self, env: CallEnvironment, *args: Any) -> Any:
@@ -94,13 +102,15 @@ class SecModuleDefinition:
     def add_function(self, name: str, impl: FunctionImpl, *,
                      cost_op: str = costs.FUNC_BODY_TESTINCR,
                      arg_words: int = 1, special: bool = False,
+                     fixed_cost: bool = True,
                      doc: str = "") -> SecFunction:
         if name in self._functions_by_name:
             raise ConfigurationError(
                 f"module {self.name!r} already protects a function {name!r}")
         function = SecFunction(name=name, func_id=self._next_func_id,
                                impl=impl, cost_op=cost_op,
-                               arg_words=arg_words, special=special, doc=doc)
+                               arg_words=arg_words, special=special,
+                               fixed_cost=fixed_cost, doc=doc)
         self._next_func_id += 1
         self._functions_by_name[name] = function
         self._functions_by_id[function.func_id] = function

@@ -69,6 +69,9 @@ class SmodExtension:
                                        broker=self.broker)
         self.dispatcher = SmodDispatcher(kernel,
                                          decision_cache=self.decision_cache)
+        # seat changes on shared handles retire the affected call traces
+        # (the dispatcher wired decision-cache invalidations in its ctor)
+        self.broker.trace_cache = self.dispatcher.trace_cache
         self.telemetry: Telemetry = NULL_TELEMETRY
         self._installed = False
 

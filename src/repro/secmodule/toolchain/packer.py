@@ -36,6 +36,10 @@ class FunctionSpec:
     impl: Callable
     cost_op: str = costs.FUNC_BODY_TESTINCR
     arg_words: int = 1
+    #: see :attr:`repro.secmodule.module.SecFunction.fixed_cost` — False for
+    #: implementations that charge the cost model themselves (allocator,
+    #: string ops), which bars them from the trace-replay fast path
+    fixed_cost: bool = True
     doc: str = ""
 
 
@@ -134,7 +138,8 @@ def pack_library(library: Archive | ObjectImage, *,
             continue
         definition.add_function(symbol, spec.impl, cost_op=spec.cost_op,
                                 arg_words=spec.arg_words,
-                                special=is_special, doc=spec.doc)
+                                special=is_special,
+                                fixed_cost=spec.fixed_cost, doc=spec.doc)
 
     if len(definition) == 0:
         raise ToolchainError(

@@ -99,6 +99,24 @@ class VirtualClock:
         self.events += 1
         return self.cycles
 
+    def advance_many(self, cycles: int, events: int) -> int:
+        """Charge an aggregated span: ``cycles`` total over ``events`` charges.
+
+        The trace-replay fast path collapses a recorded sequence of charges
+        into one call; passing the recorded event count keeps ``events``
+        (and every interval measured across the replay) identical to the
+        op-by-op execution it stands in for.
+        """
+        if cycles < 0 or events < 0:
+            raise ValueError(
+                f"cannot advance clock backwards: {cycles} cycles / "
+                f"{events} events")
+        if self._frozen:
+            return self.cycles
+        self.cycles += cycles
+        self.events += events
+        return self.cycles
+
     def checkpoint(self) -> ClockCheckpoint:
         """Return a snapshot to later measure an interval against."""
         return ClockCheckpoint(cycles=self.cycles, events=self.events)

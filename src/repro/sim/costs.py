@@ -27,8 +27,9 @@ Two philosophies were possible here:
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, Mapping
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 
@@ -311,6 +312,74 @@ def get_profile(name: str) -> CostProfile:
         ) from None
 
 
+class CallTrace:
+    """An aggregated record of one span's charge sequence.
+
+    Built from the raw ``(operation, count)`` events a :class:`TraceRecorder`
+    captured, it precomputes everything a replay needs: per-operation totals
+    (to keep the op histogram exact), per-operation cycles (for the telemetry
+    mirror), the grand cycle total (one clock advance) and the number of
+    individual charge events (so ``VirtualClock.events`` stays identical to
+    the op-by-op execution).
+    """
+
+    __slots__ = ("ops", "op_cycles", "total_cycles", "events")
+
+    def __init__(self, raw_ops: Sequence[Tuple[str, int]],
+                 profile: CostProfile) -> None:
+        aggregated: Dict[str, int] = {}
+        for operation, count in raw_ops:
+            aggregated[operation] = aggregated.get(operation, 0) + count
+        #: per-operation totals, in first-occurrence order
+        self.ops: Tuple[Tuple[str, int], ...] = tuple(aggregated.items())
+        #: ``(operation, count, cycles)`` triples for the telemetry mirror
+        self.op_cycles: Tuple[Tuple[str, int, int], ...] = tuple(
+            (operation, count, profile.cost(operation) * count)
+            for operation, count in self.ops)
+        self.total_cycles: int = sum(c for _, _, c in self.op_cycles)
+        self.events: int = len(raw_ops)
+
+    def __repr__(self) -> str:
+        return (f"CallTrace(ops={len(self.ops)}, events={self.events}, "
+                f"cycles={self.total_cycles})")
+
+
+class TraceRecorder:
+    """Captures the exact charge sequence of one dispatch span.
+
+    ``start`` arms the meter's trace log; every subsequent :meth:`CostMeter.
+    charge` appends its ``(operation, count)`` pair until ``stop`` disarms
+    it and returns the raw sequence.  Recording never nests: a second
+    ``start`` while armed returns False and the inner span simply stays part
+    of the outer recording.
+    """
+
+    def __init__(self, meter: "CostMeter") -> None:
+        self.meter = meter
+        self._armed = False
+
+    def start(self) -> bool:
+        if self.meter._trace_log is not None:
+            return False
+        self.meter._trace_log = []
+        self._armed = True
+        return True
+
+    def stop(self) -> Tuple[Tuple[str, int], ...]:
+        if not self._armed:
+            return ()
+        raw = self.meter._trace_log or []
+        self.meter._trace_log = None
+        self._armed = False
+        return tuple(raw)
+
+    def abort(self) -> None:
+        """Disarm without keeping the partial sequence (error paths)."""
+        if self._armed:
+            self.meter._trace_log = None
+            self._armed = False
+
+
 class CostMeter:
     """Binds a :class:`CostProfile` to a :class:`VirtualClock`.
 
@@ -318,12 +387,24 @@ class CostMeter:
     per-operation histogram so tests can assert statements such as "a
     SecModule call performs exactly two context switches" — the structural
     facts behind the paper's latency table.
+
+    The dispatch hot loop runs :meth:`charge` millions of times per traffic
+    trial, so the body stays lean: the profile's cost table and the clock's
+    ``advance`` are bound once at construction, and the histogram is a
+    :class:`collections.Counter` (one C-level ``+=`` instead of a
+    get-then-store pair).
     """
 
     def __init__(self, profile: CostProfile, clock) -> None:
         self.profile = profile
         self.clock = clock
-        self.op_counts: Dict[str, int] = {}
+        self.op_counts: Counter = Counter()
+        #: per-operation cycle table, aliased out of the profile so a charge
+        #: pays one dict index instead of an attribute walk + method call
+        self._costs: Dict[str, int] = dict(profile.cycles)
+        self._advance = clock.advance
+        #: armed by a :class:`TraceRecorder`: raw (operation, count) events
+        self._trace_log: Optional[List[Tuple[str, int]]] = None
         # the telemetry tap point: when a live Telemetry is attached every
         # charge is mirrored into its per-operation counters (hook-level
         # instrumentation); the shared null default makes the tap one
@@ -333,20 +414,52 @@ class CostMeter:
 
     def charge(self, operation: str, count: int = 1) -> int:
         """Charge ``count`` occurrences of ``operation`` to the clock."""
-        if count < 0:
+        if count <= 0:
+            if count == 0:
+                return 0
             raise ValueError("count must be non-negative")
-        if count == 0:
-            return 0
-        cycles = self.profile.cost(operation) * count
-        self.clock.advance(cycles)
-        self.op_counts[operation] = self.op_counts.get(operation, 0) + count
+        cycles = self._costs[operation] * count
+        self._advance(cycles)
+        self.op_counts[operation] += count
+        if self._trace_log is not None:
+            self._trace_log.append((operation, count))
         if self.telemetry.enabled:
             self.telemetry.op_charge(operation, count, cycles)
         return cycles
 
     def charge_words(self, operation: str, words: int) -> int:
-        """Charge a per-word operation (e.g. :data:`COPY_WORD`)."""
-        return self.charge(operation, count=max(0, words))
+        """Charge a per-word operation (e.g. :data:`COPY_WORD`).
+
+        A negative word count is a caller bug (a size went negative), not a
+        request to charge nothing — it raises exactly as :meth:`charge`
+        does, instead of being silently clamped to zero.
+        """
+        return self.charge(operation, count=words)
+
+    def record_trace(self) -> TraceRecorder:
+        """A recorder bound to this meter (the dispatch fast path's tap)."""
+        return TraceRecorder(self)
+
+    def build_trace(self, raw_ops: Sequence[Tuple[str, int]]) -> CallTrace:
+        """Aggregate a recorded charge sequence under this meter's profile."""
+        return CallTrace(raw_ops, self.profile)
+
+    def charge_trace(self, trace: CallTrace) -> int:
+        """Replay a recorded span as one aggregated clock charge.
+
+        Guarantees byte-identical accounting with the op-by-op execution it
+        replaces: one ``advance_many`` keeps cycles *and* the event count
+        exact, the per-operation histogram is merged from the trace's
+        totals, and an attached telemetry plane receives the same per-op
+        mirror it would have seen live.
+        """
+        self.clock.advance_many(trace.total_cycles, trace.events)
+        counts = self.op_counts
+        for operation, count in trace.ops:
+            counts[operation] += count
+        if self.telemetry.enabled:
+            self.telemetry.op_charge_bulk(trace.op_cycles)
+        return trace.total_cycles
 
     def count(self, operation: str) -> int:
         """Number of times ``operation`` has been charged."""

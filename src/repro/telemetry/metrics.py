@@ -330,6 +330,19 @@ class Telemetry:
         self.op_counts[operation] = self.op_counts.get(operation, 0) + count
         self.op_cycles[operation] = self.op_cycles.get(operation, 0) + cycles
 
+    def op_charge_bulk(self, items) -> None:
+        """Mirror a replayed :class:`~repro.sim.costs.CallTrace` in one call.
+
+        ``items`` is the trace's ``(operation, count, cycles)`` triples; the
+        resulting per-operation counters are exactly what the op-by-op
+        execution would have recorded.
+        """
+        counts = self.op_counts
+        cycles_map = self.op_cycles
+        for operation, count, cycles in items:
+            counts[operation] = counts.get(operation, 0) + count
+            cycles_map[operation] = cycles_map.get(operation, 0) + cycles
+
     # --------------------------------------------------- dispatch-layer taps
     def record_dispatch(self, session_id: int, module_name: str,
                         latency_us: float) -> None:
@@ -400,6 +413,9 @@ class NullTelemetry(Telemetry):
     enabled = False
 
     def op_charge(self, operation: str, count: int, cycles: int) -> None:
+        pass
+
+    def op_charge_bulk(self, items) -> None:
         pass
 
     def record_dispatch(self, session_id: int, module_name: str,

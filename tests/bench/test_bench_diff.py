@@ -1,0 +1,191 @@
+"""The ``repro bench diff`` regression gate."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.diff import (
+    BenchDiffError,
+    compare_payloads,
+    diff_files,
+    load_payload,
+)
+from repro.bench.harness import experiment_payload, export_payload
+
+
+def make_payload(**data_overrides):
+    data = {
+        "total_cycles": 1_000_000,
+        "points": [
+            {"batch_size": 1, "cycles": 400_000, "us_per_call": 6.4},
+            {"batch_size": 8, "cycles": 100_000, "us_per_call": 0.8},
+        ],
+        "op_counts": {"context_switch": 400, "trap_entry": 200},
+        "calls_per_second": 156_000.0,
+        "wall_seconds": 3.21,           # machine-dependent: never compared
+    }
+    data.update(data_overrides)
+    return {"experiment": "abl-test", "title": "t", "kind": "ablation",
+            "params": {"calls": 192, "fast": False}, "data": data,
+            "rendered": "", "wall_seconds": 1.0,
+            "calls_per_wall_second": 123.0}
+
+
+class TestCompare:
+    def test_identical_payloads_pass(self):
+        diff = compare_payloads(make_payload(), make_payload())
+        assert diff.ok and not diff.items
+        assert diff.compared > 0
+
+    def test_cycle_increase_fails(self):
+        new = make_payload(total_cycles=1_000_001)
+        diff = compare_payloads(make_payload(), new)
+        assert not diff.ok
+        assert [i.path for i in diff.regressions] == ["data.total_cycles"]
+
+    def test_nested_cycle_increase_fails(self):
+        new = make_payload()
+        new["data"]["points"][1]["cycles"] += 5
+        diff = compare_payloads(make_payload(), new)
+        assert not diff.ok
+
+    def test_microsecond_increase_fails(self):
+        new = make_payload()
+        new["data"]["points"][0]["us_per_call"] = 6.5
+        diff = compare_payloads(make_payload(), new)
+        assert not diff.ok
+
+    def test_cycle_decrease_is_an_improvement_not_a_failure(self):
+        new = make_payload(total_cycles=900_000)
+        diff = compare_payloads(make_payload(), new)
+        assert diff.ok
+        assert len(diff.items) == 1 and diff.items[0].guarded
+
+    def test_unguarded_change_reported_but_passes(self):
+        new = make_payload(calls_per_second=150_000.0)
+        diff = compare_payloads(make_payload(), new)
+        assert diff.ok and len(diff.items) == 1
+
+    def test_wall_fields_ignored(self):
+        new = make_payload(wall_seconds=99.0)
+        new["wall_seconds"] = 42.0
+        new["calls_per_wall_second"] = 7.0
+        diff = compare_payloads(make_payload(), new)
+        assert diff.ok and not diff.items
+
+    def test_rel_tol_loosens_the_gate(self):
+        new = make_payload(total_cycles=1_000_001)
+        assert compare_payloads(make_payload(), new, rel_tol=0.01).ok
+        assert not compare_payloads(make_payload(), new, rel_tol=0.0).ok
+
+    def test_different_experiments_rejected(self):
+        other = make_payload()
+        other["experiment"] = "abl-other"
+        with pytest.raises(BenchDiffError):
+            compare_payloads(make_payload(), other)
+
+    def test_different_params_rejected(self):
+        """A smoke run must never be diffed against a canonical baseline."""
+        smoke = make_payload()
+        smoke["params"] = {"calls": 16, "fast": True}
+        with pytest.raises(BenchDiffError):
+            compare_payloads(make_payload(), smoke)
+
+    def test_harness_defaults_marker_compatible_with_resolved_defaults(self):
+        """`repro <id>` exports record {"defaults": true}; they must remain
+        diffable against a baseline that recorded resolved default params."""
+        harness_run = make_payload()
+        harness_run["params"] = {"defaults": True}
+        diff = compare_payloads(make_payload(), harness_run)
+        assert diff.ok
+        # ... but not against a smoke run
+        smoke = make_payload()
+        smoke["params"] = {"calls": 16, "fast": True}
+        with pytest.raises(BenchDiffError):
+            compare_payloads(smoke, harness_run)
+
+    def test_schema_drift_reported(self):
+        new = make_payload()
+        new["data"]["new_metric"] = 5
+        del new["data"]["calls_per_second"]
+        diff = compare_payloads(make_payload(), new)
+        assert diff.ok
+        assert diff.only_new == ["data.new_metric"]
+        assert diff.only_old == ["data.calls_per_second"]
+
+
+class TestCli:
+    def test_cli_bench_simspeed_fast_exports(self, tmp_path, monkeypatch,
+                                             capsys):
+        from repro.cli import main as cli_main
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["bench", "simspeed", "--fast", "--calls",
+                         "800"]) == 0
+        out = capsys.readouterr().out
+        assert "byte-identical" in out
+        payload = json.loads((tmp_path / "BENCH_abl-simspeed.json")
+                             .read_text())
+        assert payload["experiment"] == "abl-simspeed"
+        assert payload["wall_seconds"] > 0
+        assert payload["calls_per_wall_second"] > 0
+
+    def test_cli_bench_diff_exit_codes(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+        old = make_payload()
+        ok = copy.deepcopy(old)
+        bad = copy.deepcopy(old)
+        bad["data"]["total_cycles"] += 1
+        paths = {}
+        for name, payload in (("old", old), ("ok", ok), ("bad", bad)):
+            path = tmp_path / f"{name}.json"
+            path.write_text(json.dumps(payload))
+            paths[name] = str(path)
+        assert cli_main(["bench", "diff", paths["old"], paths["ok"]]) == 0
+        capsys.readouterr()
+        assert cli_main(["bench", "diff", paths["old"], paths["bad"]]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        assert cli_main(["bench", "diff", paths["old"],
+                         str(tmp_path / "missing.json")]) == 2
+
+    def test_simspeed_registered_in_harness(self):
+        from repro.bench.harness import EXPERIMENTS
+        assert "abl-simspeed" in EXPERIMENTS
+        assert EXPERIMENTS["abl-simspeed"].kind == "ablation"
+
+
+class TestFiles:
+    def test_roundtrip_through_files(self, tmp_path):
+        old = make_payload()
+        new = copy.deepcopy(old)
+        new["data"]["total_cycles"] += 1
+        old_path = tmp_path / "old.json"
+        new_path = tmp_path / "new.json"
+        old_path.write_text(json.dumps(old))
+        new_path.write_text(json.dumps(new))
+        diff = diff_files(str(old_path), str(new_path))
+        assert not diff.ok
+        assert "REGRESSION" in diff.render()
+
+    def test_load_rejects_non_bench_json(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"no": "experiment"}))
+        with pytest.raises(BenchDiffError):
+            load_payload(str(path))
+
+    def test_harness_export_is_diffable_against_itself(self, tmp_path):
+        """A real export (with wall fields) must self-compare clean."""
+        class Result:
+            total_calls = 10
+            def as_dict(self):
+                return {"total_cycles": 5, "rate_us": 1.5}
+        payload = experiment_payload("abl-x", "t", "ablation", Result(),
+                                     "body", wall_seconds=0.25)
+        path = export_payload(payload, str(tmp_path))
+        diff = diff_files(path, path)
+        assert diff.ok and not diff.items
+        exported = json.loads(open(path).read())
+        assert exported["wall_seconds"] == 0.25
+        assert exported["calls_per_wall_second"] == pytest.approx(40.0)

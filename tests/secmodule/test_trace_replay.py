@@ -1,0 +1,299 @@
+"""Trace-replay dispatch fast path: differential identity and invalidation.
+
+The acceptance bar for the fast path is *byte identity*: every cycle total,
+clock event count, per-operation histogram and cache statistic must be the
+same with ``use_trace_replay`` on and off — the knob may only change how
+fast the simulator runs, never what it measures.  These tests run the same
+deterministic workloads both ways and compare everything; the invalidation
+tests then prove each precondition (policy epoch, pooled-handle seats,
+hardening mode, stateful policy chains) forces the slow path without
+breaking identity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.secmodule.api import SecModuleSystem
+from repro.secmodule.dispatch import (
+    DispatchConfig,
+    HardeningMode,
+    TRACE_HOT,
+    TraceCache,
+)
+from repro.sim import costs
+from repro.workloads.traffic import TrafficEngine, TrafficSpec
+
+
+def run_engine(spec: TrafficSpec, *, use_trace_replay: bool):
+    engine = TrafficEngine(
+        spec,
+        dispatch_config=DispatchConfig(use_trace_replay=use_trace_replay))
+    result = engine.run()
+    return engine, result
+
+
+def accounting(engine, result):
+    """Everything that must be identical between replay on and off."""
+    return {
+        "cycles": engine.machine.clock.cycles,
+        "events": engine.machine.clock.events,
+        "ops": dict(engine.machine.meter.op_counts),
+        "cache": result.cache_stats,
+        "total_calls": result.total_calls,
+        "denied": result.denied_calls,
+        "latencies": result.latencies_us,
+        "dispatched": engine.extension.dispatcher.calls_dispatched,
+        "session_calls": sorted(
+            (s.session_id, s.calls_made)
+            for s in engine.extension.sessions.active_sessions()),
+        "metrics": result.metrics,
+    }
+
+
+def assert_differential_identity(spec: TrafficSpec, *,
+                                 expect_replays: bool = True):
+    off_engine, off_result = run_engine(spec, use_trace_replay=False)
+    on_engine, on_result = run_engine(spec, use_trace_replay=True)
+    assert accounting(off_engine, off_result) == \
+        accounting(on_engine, on_result)
+    stats = on_engine.extension.dispatcher.trace_cache.snapshot()
+    if expect_replays:
+        assert stats["replays"] > 0
+    return stats
+
+
+class TestDifferentialIdentity:
+    def test_closed_loop_depth1(self):
+        stats = assert_differential_identity(
+            TrafficSpec(clients=4, modules=2, calls_per_client=60))
+        assert stats["hot"] > 0
+
+    def test_open_loop_depth1(self):
+        assert_differential_identity(
+            TrafficSpec(clients=4, modules=2, calls_per_client=60,
+                        arrival="open"))
+
+    def test_mmpp_batched(self):
+        # random per-flush shapes repeat rarely at depth 4; identity must
+        # hold regardless of how many flushes actually replay
+        assert_differential_identity(
+            TrafficSpec(clients=3, modules=2, calls_per_client=64,
+                        arrival="mmpp", batch_size=4),
+            expect_replays=False)
+
+    def test_adaptive_controller(self):
+        assert_differential_identity(
+            TrafficSpec(clients=3, modules=2, calls_per_client=80,
+                        arrival="open", adaptive_batch=True,
+                        adaptive_max_depth=8))
+
+    def test_pooled_handles(self):
+        assert_differential_identity(
+            TrafficSpec(clients=6, modules=2, calls_per_client=40,
+                        handle_policy="pooled", pool_max_sessions=3))
+
+    def test_telemetry_attached(self):
+        # the metrics snapshot itself is part of the compared accounting
+        assert_differential_identity(
+            TrafficSpec(clients=3, modules=2, calls_per_client=40,
+                        arrival="open", telemetry=True))
+
+    def test_single_module_homogeneous_batches(self):
+        # one module + one-function mix: batch shapes repeat, batches replay
+        spec = TrafficSpec(clients=2, modules=1, calls_per_client=64,
+                           batch_size=8,
+                           call_mix=(("test_incr", 1.0),))
+        stats = assert_differential_identity(spec)
+        assert stats["replays"] > 0
+
+
+def make_system(**kwargs):
+    return SecModuleSystem.create(include_libc=False, **kwargs)
+
+
+def hot_entries(system) -> int:
+    cache = system.extension.dispatcher.trace_cache
+    return sum(1 for e in cache._entries.values() if e.state == TRACE_HOT)
+
+
+class TestStateMachine:
+    def test_third_call_replays(self):
+        system = make_system()
+        cache = system.extension.dispatcher.trace_cache
+        for i in range(5):
+            assert system.call("test_incr", i) == i + 1
+        # call 1 records, call 2 confirms, calls 3..5 replay
+        assert cache.confirms >= 1
+        assert cache.replays == 3
+        assert hot_entries(system) == 1
+
+    def test_replay_preserves_per_call_charges(self):
+        """A replayed call charges exactly what a slow call charges."""
+        system = make_system()
+        meter = system.machine.meter
+        system.call("test_incr", 0)
+        before = meter.snapshot()
+        clock_before = system.machine.clock.cycles
+        system.call("test_incr", 1)          # confirm pass (slow)
+        slow_diff = meter.diff(before)
+        slow_cycles = system.machine.clock.cycles - clock_before
+        before = meter.snapshot()
+        clock_before = system.machine.clock.cycles
+        system.call("test_incr", 2)          # replayed
+        assert system.extension.dispatcher.trace_cache.replays == 1
+        assert meter.diff(before) == slow_diff
+        assert system.machine.clock.cycles - clock_before == slow_cycles
+
+    def test_disabled_knob_never_records(self):
+        system = make_system()
+        config = DispatchConfig(use_trace_replay=False)
+        for i in range(4):
+            system.call("test_incr", i, config=config)
+        cache = system.extension.dispatcher.trace_cache
+        assert len(cache) == 0 and cache.replays == 0
+
+    def test_return_values_follow_arguments_on_replay(self):
+        system = make_system()
+        values = [system.call("test_incr", i * 7) for i in range(6)]
+        assert values == [i * 7 + 1 for i in range(6)]
+
+
+class TestInvalidation:
+    def test_policy_epoch_bump_forces_slow_path(self):
+        """replace_credential must retire the hot trace (and identity holds)."""
+        def run(replay: bool):
+            system = make_system(seed=77)
+            config = DispatchConfig(use_trace_replay=replay)
+            for i in range(4):
+                system.call("test_incr", i, config=config)
+            session = system.session
+            m_id = next(iter(session.credentials))
+            session.replace_credential(m_id, session.credentials[m_id])
+            for i in range(4):
+                system.call("test_incr", 100 + i, config=config)
+            return (system.machine.clock.cycles,
+                    dict(system.machine.meter.op_counts),
+                    system.extension.dispatcher.trace_cache.snapshot())
+        slow_cycles, slow_ops, _ = run(False)
+        fast_cycles, fast_ops, stats = run(True)
+        assert (slow_cycles, slow_ops) == (fast_cycles, fast_ops)
+        assert stats["replays"] > 0
+        # after the bump the next call re-executes op by op (a second
+        # confirmation under the new epoch) instead of replaying stale state
+        assert stats["confirms"] >= 2
+
+    def test_seat_attach_and_detach_invalidate_pooled_traces(self):
+        def run(replay: bool):
+            system = SecModuleSystem.create_multi(
+                clients=2, include_libc=False, handle_policy="pooled:4",
+                seed=99)
+            config = DispatchConfig(use_trace_replay=replay)
+            first, second = system.sessions[0], system.sessions[1]
+            dispatcher = system.extension.dispatcher
+            for i in range(4):
+                dispatcher.call(first, "test_incr", i, config=config)
+            # a third seat joins the shared handle: routing cost changes
+            system.attach_client()
+            third = system.sessions[2]
+            for i in range(4):
+                dispatcher.call(first, "test_incr", 10 + i, config=config)
+            # ... and leaves again
+            system.extension.sessions.teardown(third)
+            for i in range(4):
+                dispatcher.call(first, "test_incr", 20 + i, config=config)
+                dispatcher.call(second, "test_incr", 20 + i, config=config)
+            return (system.machine.clock.cycles,
+                    dict(system.machine.meter.op_counts))
+        assert run(False) == run(True)
+
+    def test_seat_change_recorded_in_op_histogram(self):
+        """Sanity: the routing charge really differs across seat counts, so
+        a stale trace would be observably wrong."""
+        system = SecModuleSystem.create_multi(
+            clients=2, include_libc=False, handle_policy="pooled:4", seed=5)
+        dispatcher = system.extension.dispatcher
+        meter = system.machine.meter
+        for i in range(4):
+            dispatcher.call(system.sessions[0], "test_incr", i)
+        routed_two_seats = meter.count(costs.SMOD_POOL_ROUTE)
+        assert routed_two_seats > 0
+
+    def test_hardening_mode_change_uses_distinct_traces(self):
+        def run(replay: bool):
+            system = make_system(seed=11)
+            plain = DispatchConfig(use_trace_replay=replay)
+            hardened = DispatchConfig(
+                use_trace_replay=replay,
+                hardening=HardeningMode.SUSPEND_CLIENT)
+            for i in range(4):
+                system.call("test_incr", i, config=plain)
+            for i in range(4):
+                system.call("test_incr", i, config=hardened)
+            for i in range(4):
+                system.call("test_incr", i, config=plain)
+            return (system.machine.clock.cycles,
+                    dict(system.machine.meter.op_counts))
+        assert run(False) == run(True)
+
+    def test_quota_policy_chain_stays_on_slow_path(self):
+        spec = TrafficSpec(clients=2, modules=1, calls_per_client=40,
+                           policy_kind="quota", quota_calls=10)
+        off_engine, off_result = run_engine(spec, use_trace_replay=False)
+        on_engine, on_result = run_engine(spec, use_trace_replay=True)
+        assert accounting(off_engine, off_result) == \
+            accounting(on_engine, on_result)
+        stats = on_engine.extension.dispatcher.trace_cache.snapshot()
+        # a dynamic (quota) clause in the chain disqualifies every call
+        assert stats["replays"] == 0 and stats["records"] == 0
+        # the quota actually bit: denials happened identically both ways
+        assert on_result.denied_calls == off_result.denied_calls
+        assert on_result.denied_calls > 0
+
+    def test_variable_cost_function_never_replayed(self):
+        """malloc's arena charges depend on its arguments: fixed_cost=False
+        must keep it off the fast path forever."""
+        system = SecModuleSystem.create(seed=3)       # include_libc=True
+        for size in (64, 128, 4096, 64, 64, 64):
+            assert system.call("malloc", size) != 0
+        cache = system.extension.dispatcher.trace_cache
+        assert cache.replays == 0
+
+    def test_module_removal_drops_traces(self):
+        system = make_system(seed=21)
+        for i in range(4):
+            system.call("test_incr", i)
+        cache = system.extension.dispatcher.trace_cache
+        assert len(cache) > 0
+        m_id = next(iter(system.session.modules))
+        system.extension.decision_cache.invalidate_module(m_id)
+        assert len(cache) == 0
+
+    def test_teardown_drops_traces(self):
+        system = make_system(seed=23)
+        for i in range(4):
+            system.call("test_incr", i)
+        cache = system.extension.dispatcher.trace_cache
+        assert len(cache) > 0
+        system.extension.sessions.teardown(system.session)
+        assert len(cache) == 0
+
+
+class _DummyEntry:
+    state = 0
+    m_ids = frozenset()
+
+
+class TestTraceCacheBounds:
+    def test_capacity_evicts_lru(self):
+        cache = TraceCache(capacity=2)
+        cache.store(("s", 1), _DummyEntry())
+        cache.store(("s", 2), _DummyEntry())
+        cache.store(("s", 3), _DummyEntry())
+        assert len(cache) == 2 and cache.evictions == 1
+        assert cache.lookup(("s", 1)) is None
+
+    def test_rejects_nonpositive_capacity(self):
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError):
+            TraceCache(capacity=0)
