@@ -11,7 +11,7 @@ from repro.kernel.kernel import make_booted_kernel
 from repro.rpc.rpcgen import generate_service
 from repro.rpc.rpcgen import testincr_interface as make_testincr_interface
 from repro.secmodule.api import SecModuleSystem
-from repro.workloads.microbench import PAPER_SPECS, run_native_getpid
+from repro.workloads.microbench import PAPER_SPECS
 
 #: Trial shape used for the per-row benches (small enough to keep the
 #: pytest-benchmark wall-clock reasonable; the virtual-time results do not

@@ -7,7 +7,6 @@ cycles/call reduction against per-call policy evaluation of the same
 static chain.
 """
 
-import pytest
 
 from repro.bench.throughput import run_throughput
 from repro.secmodule.dispatch import DispatchConfig

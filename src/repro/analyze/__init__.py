@@ -1,0 +1,41 @@
+"""Simulator-invariant static analysis (``repro analyze``).
+
+Every mechanism grown on top of the paper's cycle accounting — decision
+cache, batching, pooling, telemetry, trace replay — is admissible only
+because it keeps that accounting byte-identical.  The differential test
+suite catches violations *after* they execute; this package encodes the
+underlying rules as AST-level checks that fail before a nondeterministic
+call or an un-accounted clock charge ever reaches a benchmark:
+
+* **DET** — no wall-clock or ambient randomness in simulation paths; all
+  randomness flows through :class:`repro.sim.rng.DeterministicRNG`.
+* **COST** — every ``charge(...)`` names a constant from
+  :mod:`repro.sim.costs`; the cost table carries no dead or unknown ops.
+* **CLOCK** — only the :class:`~repro.sim.costs.CostMeter` advances the
+  :class:`~repro.sim.clock.VirtualClock`.
+* **TELEM** — the telemetry plane never imports the cost model or charges
+  the clock: recording is pure observation.
+* **EPOCH** — state annotated ``# smod: guarded-by <epoch>`` is only
+  mutated by methods that bump that epoch (the invalidation web the
+  decision cache and trace replay depend on).
+
+Findings are suppressed per line with ``# smod: allow(<RULE>)  reason`` —
+every exemption must carry a reviewable reason string — or per file through
+the committed allowlist in :mod:`repro.analyze.config`.
+"""
+
+from .config import AnalysisConfig
+from .core import Checker, Finding, SourceFile, all_checkers, register
+from .runner import AnalysisReport, analyze_tree, iter_rules
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisReport",
+    "Checker",
+    "Finding",
+    "SourceFile",
+    "all_checkers",
+    "analyze_tree",
+    "iter_rules",
+    "register",
+]

@@ -1,0 +1,5 @@
+"""Checker modules; importing this package registers every checker."""
+
+from . import clock, cost, determinism, epoch, telemetry  # noqa: F401
+
+__all__ = ["clock", "cost", "determinism", "epoch", "telemetry"]

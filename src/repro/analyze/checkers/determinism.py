@@ -1,0 +1,69 @@
+"""DET: no ambient nondeterminism in simulation paths.
+
+Every benchmark table regenerates bit-identically from a seed because all
+randomness flows through :class:`repro.sim.rng.DeterministicRNG` and all
+"time" is the :class:`~repro.sim.clock.VirtualClock`.  A single stray
+``time.time()`` or ``random.random()`` silently breaks that: the run still
+passes its own tests but stops being reproducible.  This checker bans the
+ambient sources at the call site (DET001) and, for the modules whose every
+use is nondeterministic, at the import (DET002).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..core import Checker, Finding, SourceFile, dotted_name, module_aliases, register
+
+#: exact dotted call names that read the wall clock or ambient entropy
+BANNED_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.clock_gettime", "time.clock_gettime_ns", "time.sleep",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+    "os.urandom", "os.getrandom",
+    "uuid.uuid1", "uuid.uuid3", "uuid.uuid4",
+})
+
+#: dotted prefixes where *every* callable is nondeterministic
+BANNED_PREFIXES = ("random.", "secrets.", "numpy.random.")
+
+#: module imports that are wrong regardless of use
+BANNED_IMPORTS = frozenset({"random", "secrets"})
+
+
+@register
+class DeterminismChecker(Checker):
+    name = "determinism"
+    rules = {
+        "DET001": "call to a wall-clock or ambient-randomness source; use "
+                  "the VirtualClock / DeterministicRNG instead",
+        "DET002": "import of an inherently nondeterministic module "
+                  "(random, secrets)",
+    }
+
+    def check(self, source: SourceFile, ctx) -> Iterable[Finding]:
+        aliases = module_aliases(source.tree)
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                module = (node.names[0].name if isinstance(node, ast.Import)
+                          else node.module or "")
+                root = module.split(".")[0]
+                if root in BANNED_IMPORTS:
+                    yield Finding(
+                        "DET002", source.rel_path, node.lineno,
+                        f"import of nondeterministic module {root!r}; draw "
+                        f"from sim.rng.DeterministicRNG")
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func, aliases)
+                if name is None:
+                    continue
+                if name in BANNED_CALLS or name.startswith(BANNED_PREFIXES):
+                    yield Finding(
+                        "DET001", source.rel_path, node.lineno,
+                        f"nondeterministic call {name}(); simulation paths "
+                        f"must use the VirtualClock / DeterministicRNG")

@@ -1,0 +1,188 @@
+"""EPOCH: annotated state is only mutated alongside its epoch bump.
+
+The invalidation web behind the decision cache and the trace-replay fast
+path is a set of integer epochs: ``Session.policy_epoch`` stales memoized
+policy decisions, ``Handle.trace_epoch`` stales recorded dispatch traces
+when the seat count (and hence the routing charge) changes, and
+``TraceCache.epoch`` retires a whole cache generation.  A mutator that
+touches the guarded state but forgets the bump produces the worst kind of
+bug: a replay that is *fast and wrong*, charging yesterday's cycles for
+today's configuration.
+
+Fields are annotated at their definition::
+
+    #: routing table: session_id -> attached Session
+    # smod: guarded-by trace_epoch
+    self.attached_sessions = {}
+
+and every method of the class that mutates the field (assignment,
+``del``, or a mutating method call such as ``pop``/``clear``/``update``)
+must also bump ``self.<epoch>`` — or carry a reasoned
+``# smod: allow(EPOCH001)`` explaining why this particular mutation does
+not invalidate (e.g. entries are removed outright rather than staled).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core import Checker, Directive, Finding, SourceFile, register
+
+#: method names that mutate a container in place
+MUTATING_METHODS = frozenset({
+    "clear", "pop", "popitem", "update", "setdefault",
+    "append", "extend", "insert", "remove", "discard", "add",
+})
+
+#: methods where guarded state is being *constructed*, not mutated
+CONSTRUCTORS = frozenset({"__init__", "__post_init__", "__new__"})
+
+
+def _self_attribute(node: ast.AST) -> Optional[str]:
+    """``self.X`` -> ``"X"`` (also through one subscript: ``self.X[k]``)."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _mutated_fields(body: List[ast.stmt]) -> List[Tuple[str, int]]:
+    """Every ``self.<field>`` mutated anywhere in a method body."""
+    mutated: List[Tuple[str, int]] = []
+    for node in ast.walk(ast.Module(body=body, type_ignores=[])):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                field = _self_attribute(target)
+                if field is not None:
+                    mutated.append((field, node.lineno))
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                field = _self_attribute(target)
+                if field is not None:
+                    mutated.append((field, node.lineno))
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in MUTATING_METHODS):
+                field = _self_attribute(func.value)
+                if field is not None:
+                    mutated.append((field, node.lineno))
+    return mutated
+
+
+def _bumped_epochs(body: List[ast.stmt]) -> Set[str]:
+    """Every ``self.<epoch>`` assigned or augmented in a method body."""
+    bumped: Set[str] = set()
+    for node in ast.walk(ast.Module(body=body, type_ignores=[])):
+        if isinstance(node, ast.AugAssign):
+            field = _self_attribute(node.target)
+            if field is not None and not isinstance(node.target, ast.Subscript):
+                bumped.add(field)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    bumped.add(target.attr)
+    return bumped
+
+
+@register
+class EpochChecker(Checker):
+    name = "epoch"
+    rules = {
+        "EPOCH001": "method mutates guarded state without bumping its epoch "
+                    "(stale cached decisions/traces would replay)",
+        "EPOCH002": "guarded-by annotation is malformed: unknown epoch "
+                    "attribute or not attached to a class field",
+    }
+
+    def check(self, source: SourceFile, ctx) -> Iterable[Finding]:
+        guard_directives = [d for d in source.directives
+                            if d.kind == "guarded-by"]
+        if not guard_directives:
+            return
+        consumed: Set[int] = set()
+        for node in source.tree.body:
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(source, node, consumed)
+        for directive in guard_directives:
+            if directive.line not in consumed:
+                yield Finding(
+                    "EPOCH002", source.rel_path, directive.line,
+                    f"guarded-by {directive.epoch}: annotation is not "
+                    f"attached to a class field definition")
+
+    # ------------------------------------------------------------- per class
+    def _check_class(self, source: SourceFile, cls: ast.ClassDef,
+                     consumed: Set[int]) -> Iterable[Finding]:
+        guarded: Dict[str, Directive] = {}
+        attributes: Set[str] = set()
+
+        # class-level fields (dataclass style)
+        for node in cls.body:
+            target = None
+            if isinstance(node, ast.AnnAssign) and isinstance(node.target,
+                                                              ast.Name):
+                target = node.target.id
+            elif (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)):
+                target = node.targets[0].id
+            if target is None:
+                continue
+            attributes.add(target)
+            directive = source.guard_at(node.lineno)
+            if directive is not None:
+                guarded[target] = directive
+                consumed.add(directive.line)
+
+        # instance fields assigned in any method (``self.X = ...``)
+        methods = [node for node in cls.body
+                   if isinstance(node, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef))]
+        for method in methods:
+            for node in ast.walk(method):
+                if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    targets = (node.targets if isinstance(node, ast.Assign)
+                               else [node.target])
+                    for target in targets:
+                        field = _self_attribute(target)
+                        if field is None or isinstance(target, ast.Subscript):
+                            continue
+                        attributes.add(field)
+                        if method.name in CONSTRUCTORS:
+                            directive = source.guard_at(node.lineno)
+                            if directive is not None:
+                                guarded[field] = directive
+                                consumed.add(directive.line)
+
+        if not guarded:
+            return
+
+        # the named epoch must itself be an attribute of the class
+        for field, directive in sorted(guarded.items()):
+            if directive.epoch not in attributes:
+                yield Finding(
+                    "EPOCH002", source.rel_path, directive.line,
+                    f"field {field!r} is guarded by unknown epoch attribute "
+                    f"{directive.epoch!r} (not defined on {cls.name})")
+
+        # every mutator must bump the guarding epoch
+        for method in methods:
+            if method.name in CONSTRUCTORS:
+                continue
+            bumped = _bumped_epochs(method.body)
+            for field, line in _mutated_fields(method.body):
+                directive = guarded.get(field)
+                if directive is None or directive.epoch not in attributes:
+                    continue
+                if directive.epoch not in bumped:
+                    yield Finding(
+                        "EPOCH001", source.rel_path, line,
+                        f"{cls.name}.{method.name} mutates {field!r} "
+                        f"without bumping {directive.epoch!r}")

@@ -1,0 +1,272 @@
+"""Framework for the invariant checkers: findings, directives, registry.
+
+The analysis is purely syntactic: every source file is parsed once with
+:mod:`ast` (for the code) and :mod:`tokenize` (for the ``# smod:``
+directives, which live in comments that ``ast`` discards), wrapped in a
+:class:`SourceFile`, and handed to every registered :class:`Checker`.
+Checkers never import the code under analysis, so a file that would crash
+at import time still gets checked — and checking can never perturb the
+simulation it is guarding.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Type
+
+# ---------------------------------------------------------------------------
+# Findings
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source line."""
+
+    rule: str
+    path: str              # posix-style path relative to the analysis root
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "message": self.message}
+
+
+# ---------------------------------------------------------------------------
+# Directives (``# smod:`` comments)
+# ---------------------------------------------------------------------------
+
+#: ``# smod: allow(RULE[, RULE...])  reason text``
+_ALLOW_RE = re.compile(r"allow\(\s*([A-Z0-9_,\s]+?)\s*\)\s*(.*)$")
+#: ``# smod: guarded-by epoch_attr``
+_GUARDED_RE = re.compile(r"guarded-by\s+([A-Za-z_][A-Za-z0-9_]*)\s*$")
+#: anchored at the start of the comment so prose that merely *mentions* a
+#: directive (docs, this framework's own comments) never parses as one
+_DIRECTIVE_RE = re.compile(r"^#\s*smod:\s*(.*)$")
+
+
+@dataclass
+class Directive:
+    """One parsed ``# smod:`` comment."""
+
+    kind: str                      # "allow" | "guarded-by" | "unknown"
+    line: int                      # line the comment sits on
+    target_line: int               # line the directive applies to
+    rules: Tuple[str, ...] = ()    # allow: suppressed rule ids
+    epoch: str = ""                # guarded-by: the epoch attribute name
+    reason: str = ""               # allow: the mandatory justification
+    raw: str = ""
+    used: bool = field(default=False, compare=False)
+
+
+def parse_directives(source: str) -> List[Directive]:
+    """Extract every ``# smod:`` directive with exact line positions.
+
+    A directive on a comment-only line applies to the next line holding
+    actual code (comment continuation lines are skipped over); a trailing
+    directive applies to its own line.
+    """
+    directives: List[Directive] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except tokenize.TokenError:
+        return directives
+    non_code = {tokenize.COMMENT, tokenize.NL, tokenize.NEWLINE,
+                tokenize.INDENT, tokenize.DEDENT, tokenize.ENDMARKER}
+    code_lines = sorted({token.start[0] for token in tokens
+                         if token.type not in non_code})
+
+    def next_code_line(after: int) -> int:
+        for line in code_lines:
+            if line > after:
+                return line
+        return after + 1
+
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE_RE.match(token.string.strip())
+        if match is None:
+            continue
+        line = token.start[0]
+        standalone = token.string.strip() == token.line.strip()
+        target = next_code_line(line) if standalone else line
+        body = match.group(1).strip()
+        allow = _ALLOW_RE.match(body)
+        if allow is not None:
+            rules = tuple(r.strip() for r in allow.group(1).split(",")
+                          if r.strip())
+            directives.append(Directive(
+                kind="allow", line=line, target_line=target, rules=rules,
+                reason=allow.group(2).strip(), raw=body))
+            continue
+        guarded = _GUARDED_RE.match(body)
+        if guarded is not None:
+            directives.append(Directive(
+                kind="guarded-by", line=line, target_line=target,
+                epoch=guarded.group(1), raw=body))
+            continue
+        directives.append(Directive(kind="unknown", line=line,
+                                    target_line=target, raw=body))
+    return directives
+
+
+# ---------------------------------------------------------------------------
+# Source files
+# ---------------------------------------------------------------------------
+
+
+class SourceFile:
+    """One parsed source file plus its directives.
+
+    ``rel_path`` is the posix path relative to the analysis root (e.g.
+    ``repro/sim/costs.py``); checkers key their scoping decisions
+    (allowlists, telemetry purity) off it rather than the absolute path so
+    reports are stable across machines.
+    """
+
+    def __init__(self, path: Path, rel_path: str, source: str) -> None:
+        self.path = path
+        self.rel_path = rel_path
+        self.source = source
+        self.tree = ast.parse(source, filename=str(path))
+        self.directives = parse_directives(source)
+        self._guards: Optional[Dict[int, Directive]] = None
+
+    @classmethod
+    def load(cls, path: Path, root: Path) -> "SourceFile":
+        rel = path.relative_to(root).as_posix()
+        return cls(path, rel, path.read_text(encoding="utf-8"))
+
+    # -- directive queries ---------------------------------------------------
+    def allows(self, rule: str, line: int) -> Optional[Directive]:
+        """The allow-directive suppressing ``rule`` at ``line``, if any."""
+        for directive in self.directives:
+            if (directive.kind == "allow" and rule in directive.rules
+                    and directive.target_line == line):
+                return directive
+        return None
+
+    def guard_at(self, line: int) -> Optional[Directive]:
+        """The guarded-by directive annotating ``line``, if any."""
+        if self._guards is None:
+            self._guards = {d.target_line: d for d in self.directives
+                            if d.kind == "guarded-by"}
+        return self._guards.get(line)
+
+    def part_of(self, *segments: str) -> bool:
+        """Whether any of ``segments`` appears as a path component."""
+        parts = self.rel_path.split("/")
+        return any(segment in parts for segment in segments)
+
+
+# ---------------------------------------------------------------------------
+# Import resolution shared by several checkers
+# ---------------------------------------------------------------------------
+
+
+def module_aliases(tree: ast.AST) -> Dict[str, str]:
+    """Map local names to the canonical dotted path they import.
+
+    ``import numpy as np`` binds ``np -> numpy``; ``from time import
+    perf_counter`` binds ``perf_counter -> time.perf_counter``; relative
+    imports keep only the trailing module path (``from ..sim import costs``
+    binds ``costs -> sim.costs``), which is what the checkers match on.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                canonical = f"{base}.{alias.name}" if base else alias.name
+                aliases[alias.asname or alias.name] = canonical
+    return aliases
+
+
+def dotted_name(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Resolve an attribute chain to a dotted path, through import aliases.
+
+    ``np.random.default_rng`` with ``np -> numpy`` resolves to
+    ``numpy.random.default_rng``.  Chains not rooted in an imported name
+    (``self._rng.uniform``) resolve to None — they are attribute accesses on
+    objects, not module-level calls.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = node.id
+    if root not in aliases:
+        return None
+    parts.append(aliases[root])
+    return ".".join(reversed(parts))
+
+
+# ---------------------------------------------------------------------------
+# Checker registry
+# ---------------------------------------------------------------------------
+
+
+class Checker:
+    """Base class: one named family of rules.
+
+    ``check(source, ctx)`` runs per file; ``finalize(ctx)`` runs once after
+    every file has been seen (for cross-file rules such as dead-constant
+    detection).  ``ctx`` is the shared :class:`~repro.analyze.runner.
+    AnalysisContext`.
+    """
+
+    #: short family name, e.g. ``"cost"``
+    name: str = ""
+    #: rule id -> one-line description (the catalogue ``--list-rules`` prints)
+    rules: Dict[str, str] = {}
+
+    def check(self, source: SourceFile, ctx) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finalize(self, ctx) -> Iterable[Finding]:
+        return ()
+
+
+_REGISTRY: Dict[str, Type[Checker]] = {}
+
+
+def register(checker_cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding a checker to the global registry."""
+    if not checker_cls.name:
+        raise ValueError(f"checker {checker_cls.__name__} has no name")
+    if checker_cls.name in _REGISTRY:
+        raise ValueError(f"duplicate checker name {checker_cls.name!r}")
+    _REGISTRY[checker_cls.name] = checker_cls
+    return checker_cls
+
+
+def all_checkers() -> List[Checker]:
+    """Fresh instances of every registered checker, in registration order."""
+    from . import checkers as _checkers  # noqa: F401  (import registers them)
+    return [cls() for cls in _REGISTRY.values()]
+
+
+def rule_catalogue() -> Dict[str, str]:
+    """Every known rule id -> description, across all checkers."""
+    from . import checkers as _checkers  # noqa: F401
+    catalogue: Dict[str, str] = {}
+    for cls in _REGISTRY.values():
+        catalogue.update(cls.rules)
+    return catalogue

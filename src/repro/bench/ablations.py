@@ -15,7 +15,7 @@ several alternatives without measuring them; these ablations fill that gap:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Sequence, Tuple
 
 from ..hw.machine import Machine, make_modern_machine, make_paper_machine
 from ..kernel.cred import unprivileged
@@ -29,7 +29,6 @@ from ..secmodule.registry import ModuleRegistry
 from ..secmodule.smod_syscalls import install_secmodule
 from ..sim.stats import MeasurementSummary
 from ..workloads.microbench import (
-    BenchmarkSpec,
     PAPER_SPECS,
     run_native_getpid,
     run_rpc_testincr,

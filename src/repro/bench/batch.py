@@ -20,7 +20,7 @@ Two invariants anchor the sweep:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..secmodule.api import SecModuleSystem
 from ..secmodule.dispatch import DispatchConfig

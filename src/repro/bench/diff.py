@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 #: path segments naming machine-dependent values — never compared
 WALL_MARKER = "wall"

@@ -17,8 +17,8 @@ slots), not the prose.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from ..hw.machine import make_paper_machine
 from ..kernel.uvm.layout import (

@@ -11,7 +11,7 @@ the same cycle accounting the Figure 8 rows use.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..secmodule.dispatch import DispatchConfig

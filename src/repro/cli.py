@@ -25,6 +25,7 @@ import glob
 import json
 import sys
 import time
+from pathlib import Path
 from typing import Dict, List, Optional
 
 from .bench.adaptive import DEFAULT_DEPTHS, run_adaptive_bench
@@ -141,6 +142,20 @@ def build_parser() -> argparse.ArgumentParser:
     dp.add_argument("--rel-tol", type=float, default=0.0,
                     help="relative tolerance before a cycle increase fails "
                          "(default 0: byte-exact)")
+
+    an = subparsers.add_parser(
+        "analyze", help="simulator-invariant static analysis "
+                        "(determinism, cost, clock, telemetry, epoch lints)")
+    an.add_argument("--format", choices=["human", "json"], default="human",
+                    help="findings as human-readable lines or one JSON blob")
+    an.add_argument("--root", default=None,
+                    help="directory tree to scan "
+                         "(default: the installed repro package)")
+    an.add_argument("--rules", default=None,
+                    help="comma-separated rule ids or family prefixes to "
+                         "run (e.g. DET,COST001); default: all")
+    an.add_argument("--list-rules", action="store_true",
+                    help="print the rule catalogue and exit")
 
     st = subparsers.add_parser(
         "stats", help="pretty-print metrics snapshots "
@@ -292,6 +307,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                 export_dir)
         _emit(rendered, args.output)
         return 0
+
+    if command == "analyze":
+        from .analyze import analyze_tree, iter_rules
+        from .analyze.config import default_config
+        if args.list_rules:
+            lines = [f"{rule:<10s} {description}"
+                     for rule, description in iter_rules().items()]
+            _emit("\n".join(lines), args.output)
+            return 0
+        only = tuple(rule.strip()
+                     for rule in (args.rules or "").split(",") if rule.strip())
+        overrides = {"only_rules": only} if only else {}
+        root = Path(args.root).resolve() if args.root else None
+        report = analyze_tree(default_config(root, **overrides))
+        _emit(report.render_json() if args.format == "json"
+              else report.render(), args.output)
+        return 0 if report.ok else 1
 
     if command == "stats":
         paths = list(args.paths) or sorted(glob.glob("BENCH_*.json"))

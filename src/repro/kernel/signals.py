@@ -11,9 +11,9 @@ text), which is enforced here and relied on by the session-lifetime tests.
 from __future__ import annotations
 
 import enum
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
-from .proc import Proc, ProcFlag, ProcState
+from .proc import Proc
 
 
 class Signal(enum.IntEnum):

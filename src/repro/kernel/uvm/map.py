@@ -19,13 +19,13 @@ setup show up in the latency accounting.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
 from ...errors import SimulationError
 from ...sim import costs
 from .layout import PAGE_SIZE, page_align_down, page_align_up
-from .page import AMap, Anon, PageAllocator, UVMObject
+from .page import AMap, PageAllocator, UVMObject
 
 
 class Protection(enum.Flag):

@@ -18,7 +18,7 @@ machine so a runaway simulation fails the way a real 512 MB box would.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, Optional
 
 from ...errors import SimulationError

@@ -12,8 +12,8 @@ credentials that allow access".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from dataclasses import dataclass
+from typing import List, Sequence
 
 from .image import (
     ObjectImage,

@@ -11,7 +11,7 @@ objects; see :mod:`repro.secmodule.toolchain.link`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from ..errors import ToolchainError
 from .archive import Archive

@@ -9,7 +9,7 @@ likewise excluded from the per-call numbers of Figure 8.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..errors import SimulationError

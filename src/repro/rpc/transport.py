@@ -17,7 +17,7 @@ SecModule handle blocks on its message queue.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..errors import SimulationError
 from ..kernel.errno import Errno, SyscallResult, fail, ok

@@ -16,8 +16,7 @@ size sweeps show XDR's per-item cost against SecModule's zero-copy stack.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from ..errors import SimulationError
 from ..sim import costs

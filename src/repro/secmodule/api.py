@@ -39,7 +39,6 @@ from ..errors import SimulationError
 from ..hw.machine import Machine, make_paper_machine
 from ..kernel.kernel import Kernel
 from ..kernel.proc import Proc
-from ..sim import costs
 from ..userland.process import Program
 from .credentials import Credential
 from .dispatch import DispatchConfig, DispatchOutcome
@@ -49,12 +48,7 @@ from .module import SecModuleDefinition
 from .policy import Policy
 from .protection import ProtectionMode
 from .registry import RegisteredModule
-from .session import (
-    Session,
-    SessionDescriptor,
-    SessionRequirement,
-    build_requirements,
-)
+from .session import Session, SessionDescriptor, build_requirements
 from .smod_syscalls import SmodExtension, install_secmodule
 from .toolchain.link import link_secmodule_client
 from .toolchain.packer import PackResult

@@ -19,7 +19,7 @@ credentials issued by someone who never knew the module secret.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 

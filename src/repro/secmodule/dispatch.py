@@ -215,6 +215,7 @@ class TraceCache:
         if capacity < 1:
             raise SimulationError("trace cache needs a positive capacity")
         self.capacity = capacity
+        # smod: guarded-by epoch
         self._entries: "OrderedDict[Tuple, TraceEntry]" = OrderedDict()
         #: bumped by ``invalidate_all``; every entry records the epoch it was
         #: stored under, so a bump retires the whole cache in O(1)
@@ -240,8 +241,12 @@ class TraceCache:
 
     def store(self, key: Tuple, entry: TraceEntry) -> None:
         if key not in self._entries and len(self._entries) >= self.capacity:
+            # smod: allow(EPOCH001)  evicting never stales survivors: the
+            # epoch only retires entries wholesale (invalidate_all)
             self._entries.popitem(last=False)
             self.evictions += 1
+        # smod: allow(EPOCH001)  inserting a fresh entry cannot stale it;
+        # it is recorded under the current epoch by construction
         self._entries[key] = entry
         self._entries.move_to_end(key)
 
@@ -249,6 +254,8 @@ class TraceCache:
     def invalidate_session(self, session_id: int) -> int:
         stale = [key for key in self._entries if key[0] == session_id]
         for key in stale:
+            # smod: allow(EPOCH001)  entries are removed outright, not staled;
+            # the epoch exists for O(1) wholesale retirement only
             del self._entries[key]
         self.invalidated += len(stale)
         return len(stale)
@@ -257,6 +264,8 @@ class TraceCache:
         stale = [key for key, entry in self._entries.items()
                  if m_id in entry.m_ids]
         for key in stale:
+            # smod: allow(EPOCH001)  entries are removed outright, not staled;
+            # the epoch exists for O(1) wholesale retirement only
             del self._entries[key]
         self.invalidated += len(stale)
         return len(stale)

@@ -15,7 +15,7 @@ frame before replying.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from ..errors import SimulationError
@@ -23,7 +23,7 @@ from ..kernel.proc import Proc, ProcFlag
 from ..kernel.uvm.layout import SECRET_BASE, SECRET_SIZE
 from ..sim import costs
 from .module import CallEnvironment, SecFunction
-from .protection import ProtectionMode, handle_plaintext_view
+from .protection import handle_plaintext_view
 from .registry import RegisteredModule
 from .stubs import (
     BatchCallFrame,
@@ -70,7 +70,10 @@ class Handle:
         self.client = client
         self.secret_stack = SimStack(name=f"secret-stack[pid {proc.pid}]",
                                      machine=kernel.machine)
-        #: routing table: session_id -> attached Session
+        #: routing table: session_id -> attached Session; the per-receive
+        #: routing charge depends on the seat count, so recorded dispatch
+        #: traces go stale on every change
+        # smod: guarded-by trace_epoch
         self.attached_sessions: Dict[int, object] = {}
         #: per-session secret-stack segments (first session uses the
         #: original ``secret_stack`` so the 1:1 shape is byte-identical)

@@ -10,12 +10,12 @@ issuer, so a random user cannot unregister someone else's module.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError
 from ..sim import costs
-from .credentials import Credential, CredentialIssuer, validate_credential
+from .credentials import Credential, validate_credential
 from .crypto import EncryptedModuleText, ModuleKey, encrypt_module_text
 from .module import SecModuleDefinition
 from .protection import ProtectionMode

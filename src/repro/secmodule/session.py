@@ -34,9 +34,9 @@ from ..kernel.uvm.space import uvmspace_force_share, uvmspace_map_window
 from ..sim import costs
 from .credentials import Credential, validate_credential
 from .handle import Handle
-from .handle_pool import HandleBroker, HandlePolicy
+from .handle_pool import HandleBroker
 from .policy import PolicyContext
-from .protection import ClientTextGuard, ProtectionMode, apply_client_protection
+from .protection import ClientTextGuard, apply_client_protection
 from .registry import ModuleRegistry, RegisteredModule
 from .stubs import SimStack
 
@@ -99,8 +99,10 @@ class Session:
     torn_down: bool = False
     calls_made: int = 0
     #: per-module call counters (for quota policies)
+    # smod: guarded-by policy_epoch
     calls_per_module: Dict[int, int] = field(default_factory=dict)
     #: credentials presented at establishment, per module id
+    # smod: guarded-by policy_epoch
     credentials: Dict[int, Credential] = field(default_factory=dict)
     #: bumped whenever credential or quota state changes out-of-band; cached
     #: policy decisions recorded under an older epoch become stale
@@ -143,6 +145,9 @@ class Session:
 
     def note_call(self, module: RegisteredModule) -> None:
         self.calls_made += 1
+        # smod: allow(EPOCH001)  counting *up* is the uncached hot path:
+        # quota chains are never memoized, so advancing the counter cannot
+        # stale a cached decision — only out-of-band resets invalidate
         self.calls_per_module[module.m_id] = (
             self.calls_per_module.get(module.m_id, 0) + 1)
 

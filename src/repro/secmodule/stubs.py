@@ -68,6 +68,8 @@ class SimStack:
 
     def _charge(self, op: Optional[str], count: int = 1) -> None:
         if self.machine is not None and op is not None:
+            # smod: allow(COST002)  forwarding wrapper; push/pop call sites
+            # pass USER_STACK_WORD / SMOD_STACK_FIXUP_WORD costs constants
             self.machine.charge(op, count)
 
     def push(self, kind: SlotKind, value: Any, *,

@@ -9,7 +9,7 @@ already in the headers, as needed").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence
+from typing import List, Sequence
 
 from ...obj.archive import Archive
 from ...obj.image import ObjectImage

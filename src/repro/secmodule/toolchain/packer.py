@@ -20,7 +20,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ...errors import ToolchainError
 from ...obj.archive import Archive
-from ...obj.image import ObjectImage, Section, Symbol, SymbolType
+from ...obj.image import ObjectImage, Section, Symbol
 from ...sim import costs
 from ..module import SecModuleDefinition
 from ..policy import Policy

@@ -19,8 +19,8 @@ coalesces neighbours on free.  It is used three ways:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 from ...errors import SimulationError
 from ...sim import costs

@@ -19,7 +19,7 @@ reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, Optional
 
 from ..hw.machine import Machine, make_paper_machine

@@ -14,7 +14,7 @@ the required access control check".  These workloads quantify that claim:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..hw.machine import make_paper_machine
 from ..secmodule.keynote import (

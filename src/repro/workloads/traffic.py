@@ -408,7 +408,9 @@ class TrafficEngine:
         if target_us > now_us:
             idle_cycles = int(round((target_us - now_us) *
                                     self.machine.spec.mhz))
-            self.machine.clock.advance(idle_cycles)
+            # routed through the meter (never clock.advance directly): the
+            # CostMeter is the single charging authority — CLOCK001
+            self.machine.idle(idle_cycles)
 
     def _draw_call(self, state: ClientState, offset: int) -> Tuple[str, Tuple]:
         function_name = state.rng.weighted_choice(self._mix_names,

@@ -1,0 +1,9 @@
+"""A file every checker should pass without comment."""
+
+from sim import costs
+
+
+def call(machine):
+    machine.charge(costs.TRAP)
+    machine.charge_words(costs.MSG_SEND, 2)
+    machine.idle(10)

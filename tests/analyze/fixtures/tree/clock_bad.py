@@ -1,0 +1,10 @@
+"""CLOCK fixtures: unmetered VirtualClock advances."""
+
+
+def skip_ahead(clock):
+    clock.advance(500)            # -> CLOCK001
+    clock.advance_many(100, 3)    # -> CLOCK001
+
+
+def metered(machine):
+    machine.idle(500)             # ok: routed through the meter

@@ -1,0 +1,12 @@
+"""COST fixtures: literal, unresolvable, and unknown charge operations."""
+
+from sim import costs
+from sim.costs import MSG_SEND
+
+
+def run(machine, op):
+    machine.charge("trap")           # -> COST001 (string literal)
+    machine.charge(costs.TRAP)       # ok: names a table constant
+    machine.charge_words(MSG_SEND, 4)  # ok: constant imported directly
+    machine.charge(costs.NOT_A_COST)   # -> COST003 (not in the table)
+    machine.charge(op)               # -> COST002 (unresolvable forward)

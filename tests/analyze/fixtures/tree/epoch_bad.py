@@ -1,0 +1,29 @@
+"""EPOCH fixtures: guarded state mutated with and without its bump."""
+
+
+class Cache:
+    def __init__(self):
+        # smod: guarded-by epoch
+        self.entries = {}
+        self.epoch = 0
+
+    def forgot_bump(self, key):
+        self.entries.pop(key)     # -> EPOCH001 (no epoch bump)
+
+    def bumps(self, key, value):
+        self.entries[key] = value
+        self.epoch += 1           # ok: mutation + bump
+
+    def excused(self, key):
+        # smod: allow(EPOCH001)  removed outright, nothing goes stale
+        del self.entries[key]
+
+
+class BadGuard:
+    def __init__(self):
+        # smod: guarded-by no_such_epoch
+        self.table = []           # -> EPOCH002 (unknown epoch attribute)
+
+
+# smod: guarded-by epoch
+ORPHAN = 1                        # -> EPOCH002 (not a class field)

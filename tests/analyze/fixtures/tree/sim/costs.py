@@ -1,0 +1,8 @@
+"""Miniature cost table for the checker fixtures."""
+
+TRAP = "trap"
+MSG_SEND = "msg_send"
+DEAD_OP = "dead_op"      # in the table but never charged -> COST004
+BOGUS = "bogus"          # defined but missing from ALL_OPERATIONS -> COST003
+
+ALL_OPERATIONS = (TRAP, MSG_SEND, DEAD_OP)

@@ -1,0 +1,17 @@
+"""SUP fixtures: suppression comments that are themselves defective."""
+
+import time
+
+
+def reasonless():
+    # smod: allow(DET001)
+    return time.time()            # suppressed, but -> SUP001 (no reason)
+
+
+def stale():
+    # smod: allow(CLOCK001)  nothing here ever advances a clock
+    return 42                     # -> SUP002 (suppresses nothing)
+
+
+# smod: frobnicate the widget
+WIDGET = object()                 # -> SUP003 (unrecognized directive)

@@ -1,0 +1,130 @@
+"""Unit tests for the analysis framework itself (directives, aliases, config)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analyze import AnalysisConfig, iter_rules
+from repro.analyze.core import (
+    SourceFile,
+    dotted_name,
+    module_aliases,
+    parse_directives,
+)
+
+import ast
+
+
+class TestParseDirectives:
+    def test_trailing_allow_targets_own_line(self):
+        src = "x = 1\ny = compute()  # smod: allow(DET001)  explicit seed\n"
+        (directive,) = parse_directives(src)
+        assert directive.kind == "allow"
+        assert directive.rules == ("DET001",)
+        assert directive.reason == "explicit seed"
+        assert directive.target_line == 2
+
+    def test_standalone_allow_targets_next_code_line(self):
+        src = ("def f():\n"
+               "    # smod: allow(COST002)  forwarding wrapper\n"
+               "    # (continuation prose the parser must skip)\n"
+               "    return charge(op)\n")
+        (directive,) = parse_directives(src)
+        assert directive.line == 2
+        assert directive.target_line == 4
+
+    def test_multi_rule_allow(self):
+        src = "# smod: allow(DET001, CLOCK001)  both excused here\nx = 1\n"
+        (directive,) = parse_directives(src)
+        assert directive.rules == ("DET001", "CLOCK001")
+
+    def test_guarded_by(self):
+        src = "# smod: guarded-by policy_epoch\nself.table = {}\n"
+        (directive,) = parse_directives(src)
+        assert directive.kind == "guarded-by"
+        assert directive.epoch == "policy_epoch"
+        assert directive.target_line == 2
+
+    def test_unknown_directive(self):
+        (directive,) = parse_directives("# smod: frobnicate\nx = 1\n")
+        assert directive.kind == "unknown"
+
+    def test_prose_mentioning_directives_is_ignored(self):
+        src = ('#: syntax is ``# smod: allow(RULE)  reason``\n'
+               "x = 1\n")
+        assert parse_directives(src) == []
+
+    def test_plain_comments_ignored(self):
+        assert parse_directives("# just a comment\nx = 1\n") == []
+
+
+class TestImportResolution:
+    def test_alias_and_from_import(self):
+        tree = ast.parse("import numpy as np\nfrom time import perf_counter\n")
+        aliases = module_aliases(tree)
+        assert aliases["np"] == "numpy"
+        assert aliases["perf_counter"] == "time.perf_counter"
+
+    def test_dotted_name_through_alias(self):
+        tree = ast.parse("import numpy as np\nnp.random.default_rng(0)\n")
+        aliases = module_aliases(tree)
+        call = tree.body[1].value
+        assert dotted_name(call.func, aliases) == "numpy.random.default_rng"
+
+    def test_unrooted_chain_resolves_to_none(self):
+        tree = ast.parse("self._rng.uniform()\n")
+        call = tree.body[0].value
+        assert dotted_name(call.func, {}) is None
+
+
+class TestAnalysisConfig:
+    def test_family_allowlist_covers_numbered_rules(self):
+        config = AnalysisConfig(
+            root=Path("."), allowlist={"DET": {"a/b.py": "why"}})
+        assert config.allowlisted("DET001", "a/b.py") == "why"
+        assert config.allowlisted("DET002", "a/b.py") == "why"
+        assert config.allowlisted("COST001", "a/b.py") is None
+        assert config.allowlisted("DET001", "a/c.py") is None
+
+    def test_exact_rule_beats_family(self):
+        config = AnalysisConfig(
+            root=Path("."),
+            allowlist={"COST002": {"a.py": "exact"}, "COST": {"a.py": "fam"}})
+        assert config.allowlisted("COST002", "a.py") == "exact"
+        assert config.allowlisted("COST001", "a.py") == "fam"
+
+    def test_rule_selection_by_prefix(self):
+        config = AnalysisConfig(root=Path("."), only_rules=("DET", "COST001"))
+        assert config.rule_selected("DET002")
+        assert config.rule_selected("COST001")
+        assert not config.rule_selected("COST002")
+
+    def test_empty_selection_selects_everything(self):
+        config = AnalysisConfig(root=Path("."))
+        assert config.rule_selected("ANYTHING999")
+
+
+class TestRuleCatalogue:
+    def test_catalogue_covers_every_family(self):
+        rules = iter_rules()
+        for family in ("DET", "COST", "CLOCK", "TELEM", "EPOCH", "SUP",
+                       "PARSE"):
+            assert any(rule.startswith(family) for rule in rules), family
+
+    def test_descriptions_nonempty(self):
+        for rule, description in iter_rules().items():
+            assert description, rule
+
+
+class TestSourceFile:
+    def test_part_of_matches_path_components(self, tmp_path):
+        path = tmp_path / "x.py"
+        path.write_text("x = 1\n")
+        source = SourceFile(path, "repro/telemetry/metrics.py", "x = 1\n")
+        assert source.part_of("telemetry")
+        assert not source.part_of("tele")
+
+    def test_syntax_error_propagates(self, tmp_path):
+        path = tmp_path / "bad.py"
+        with pytest.raises(SyntaxError):
+            SourceFile(path, "bad.py", "def f(:\n")

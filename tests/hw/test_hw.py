@@ -104,6 +104,13 @@ class TestMachineInstance:
         machine.charge_words(costs.COPY_WORD, 8)
         assert machine.meter.count(costs.COPY_WORD) == 8
 
+    def test_idle_passthrough(self):
+        machine = make_paper_machine()
+        machine.idle(250)
+        assert machine.clock.cycles == 250
+        assert machine.clock.events == 1
+        assert machine.meter.snapshot() == {}
+
     def test_modern_machine_uses_its_own_profile(self):
         machine = make_modern_machine()
         assert machine.spec.profile.mhz == pytest.approx(3000.0)

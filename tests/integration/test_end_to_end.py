@@ -1,6 +1,5 @@
 """Integration tests: whole-system flows across every layer."""
 
-import pytest
 
 from repro.kernel.errno import Errno
 from repro.kernel.proc import ProcFlag

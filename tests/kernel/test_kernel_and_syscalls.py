@@ -5,7 +5,7 @@ import pytest
 from repro.errors import SimulationError
 from repro.hw.cpu import Ring
 from repro.kernel.cred import unprivileged
-from repro.kernel.errno import Errno, SyscallResult, fail, ok
+from repro.kernel.errno import Errno, fail, ok
 from repro.kernel.kernel import Kernel, make_booted_kernel
 from repro.kernel.proc import ProcState
 from repro.kernel.syscall import SYS_getpid

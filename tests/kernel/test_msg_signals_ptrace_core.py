@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.kernel.coredump import CoreDumpPolicy
 from repro.kernel.cred import unprivileged
 from repro.kernel.errno import Errno
 from repro.kernel.kernel import make_booted_kernel

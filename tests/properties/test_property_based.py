@@ -10,14 +10,13 @@ expressions.
 
 from __future__ import annotations
 
-import math
 
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.kernel.kernel import make_booted_kernel
-from repro.obj.image import Section, make_function_image
+from repro.obj.image import Section
 from repro.rpc.xdr import XdrDecoder, XdrEncoder
 from repro.secmodule.crypto import (
     ModuleKey,

@@ -8,7 +8,7 @@ from repro.kernel.errno import Errno
 from repro.kernel.kernel import make_booted_kernel
 from repro.kernel.proc import ProcState
 from repro.rpc.client import RpcError
-from repro.rpc.portmap import IPPROTO_UDP, Portmapper
+from repro.rpc.portmap import Portmapper
 from repro.rpc.rpcgen import InterfaceDefinition, generate_service
 from repro.rpc.rpcgen import testincr_interface as make_testincr_interface
 from repro.rpc.transport import install_network

@@ -18,7 +18,7 @@ from repro.errors import SimulationError
 from repro.kernel.errno import Errno
 from repro.secmodule.api import SecModuleSystem
 from repro.secmodule.dispatch import DispatchConfig
-from repro.secmodule.handle_pool import HandleBroker, HandlePolicy
+from repro.secmodule.handle_pool import HandlePolicy
 from repro.sim import costs
 
 

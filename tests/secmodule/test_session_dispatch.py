@@ -3,7 +3,7 @@
 import pytest
 
 from repro.kernel.errno import Errno
-from repro.kernel.proc import ProcFlag, ProcState
+from repro.kernel.proc import ProcFlag
 from repro.secmodule.api import SecModuleSystem
 from repro.secmodule.dispatch import DispatchConfig, HardeningMode, MarshallingMode
 from repro.secmodule.libc_conversion import build_test_module
@@ -13,7 +13,6 @@ from repro.secmodule.policy import (
     FunctionDenyPolicy,
     UidAllowPolicy,
 )
-from repro.secmodule.protection import ProtectionMode
 from repro.secmodule.session import SessionDescriptor, SessionRequirement
 from repro.secmodule.smod_syscalls import install_secmodule
 from repro.kernel.kernel import make_booted_kernel

@@ -9,7 +9,6 @@ from repro.secmodule.stubs import (
     ClientStub,
     SimStack,
     SlotKind,
-    StubCallFrame,
     smod_stub_receive,
 )
 

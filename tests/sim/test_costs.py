@@ -127,3 +127,45 @@ class TestCostMeter:
         meter = CostMeter(PENTIUM_III_599, clock)
         clock.advance(599)
         assert meter.microseconds() == pytest.approx(1.0)
+
+
+class TestIdle:
+    """``CostMeter.idle``: metered idle time that charges no operation.
+
+    Added when the static-analysis sweep replaced the traffic engine's
+    direct ``clock.advance`` with a meter-routed idle charge; these tests
+    pin the equivalence (one event, exact cycles, no histogram entry).
+    """
+
+    def test_idle_advances_clock_one_event(self):
+        clock = VirtualClock()
+        meter = CostMeter(PENTIUM_III_599, clock)
+        meter.idle(1234)
+        assert clock.cycles == 1234
+        assert clock.events == 1
+
+    def test_idle_charges_no_operation(self):
+        meter = CostMeter(PENTIUM_III_599, VirtualClock())
+        before = meter.snapshot()
+        meter.idle(500)
+        assert meter.diff(before) == {}
+
+    def test_idle_zero_is_still_one_event(self):
+        """Matches ``clock.advance(0)``: the event counter ticks."""
+        clock = VirtualClock()
+        meter = CostMeter(PENTIUM_III_599, clock)
+        meter.idle(0)
+        assert clock.cycles == 0
+        assert clock.events == 1
+
+    def test_idle_negative_rejected(self):
+        meter = CostMeter(PENTIUM_III_599, VirtualClock())
+        with pytest.raises(ValueError):
+            meter.idle(-1)
+
+    def test_idle_respects_freeze(self):
+        clock = VirtualClock()
+        meter = CostMeter(PENTIUM_III_599, clock)
+        clock.freeze()
+        meter.idle(999)
+        assert clock.cycles == 0

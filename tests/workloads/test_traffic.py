@@ -304,3 +304,35 @@ class TestSpecValidation:
         assert module.name == "libtraffic3"
         assert set(module.function_names()) == {"getpid", "test_incr",
                                                 "test_null"}
+
+
+class TestIdleAccounting:
+    """Idle time between arrivals flows through the meter, not the raw clock.
+
+    Regression pin for the static-analysis sweep that replaced the
+    engine's direct ``clock.advance`` with ``Machine.idle``: the charge
+    must stay byte-identical (same cycles, one clock event per idle span)
+    while leaving the per-operation histogram untouched.
+    """
+
+    def test_advance_clock_to_is_metered_and_exact(self):
+        engine = TrafficEngine(small_spec()).build()
+        machine = engine.machine
+        snapshot = machine.meter.snapshot()
+        cycles_before = machine.clock.cycles
+        events_before = machine.clock.events
+        target_us = machine.microseconds() + 100.0
+        engine._advance_clock_to(target_us)
+        expected = int(round(100.0 * machine.spec.mhz))
+        assert machine.clock.cycles - cycles_before == expected
+        assert machine.clock.events - events_before == 1
+        assert machine.meter.diff(snapshot) == {}
+
+    def test_advance_to_past_time_is_a_noop(self):
+        engine = TrafficEngine(small_spec()).build()
+        machine = engine.machine
+        cycles_before = machine.clock.cycles
+        events_before = machine.clock.events
+        engine._advance_clock_to(machine.microseconds() - 1.0)
+        assert machine.clock.cycles == cycles_before
+        assert machine.clock.events == events_before

@@ -4,7 +4,6 @@ import pytest
 
 from repro.secmodule.policy import synthetic_chain
 from repro.workloads.microbench import (
-    BenchmarkSpec,
     PAPER_SPECS,
     run_native_getpid,
     run_rpc_testincr,
