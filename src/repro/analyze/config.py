@@ -27,6 +27,10 @@ DEFAULT_ALLOWLIST: Dict[str, Dict[str, str]] = {
         "repro/bench/simspeed.py":
             "the experiment *is* wall-clock: calls-per-wall-second of the "
             "simulator",
+        "repro/workloads/shard.py":
+            "workers measure their own host wall-clock for the parallel "
+            "speed report; shard simulation time stays on per-shard "
+            "virtual clocks",
     },
     "CLOCK": {
         "repro/sim/costs.py":

@@ -19,6 +19,12 @@ import enum
 import json
 import os
 import time
+from array import array
+
+try:
+    import resource
+except ImportError:                       # pragma: no cover - non-POSIX host
+    resource = None  # type: ignore[assignment]
 from dataclasses import dataclass, field, fields, is_dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -146,10 +152,30 @@ def to_jsonable(value: object) -> object:
         return {str(key): to_jsonable(item) for key, item in value.items()}
     if isinstance(value, (list, tuple, set, frozenset)):
         return [to_jsonable(item) for item in value]
+    if isinstance(value, array):
+        # latency vectors are array('d'); export exactly as a list would
+        return value.tolist()
     if is_dataclass(value) and not isinstance(value, type):
         return {f.name: to_jsonable(getattr(value, f.name))
                 for f in fields(value)}
     return str(value)
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Peak resident set size of this process, in bytes (None off-POSIX).
+
+    ``ru_maxrss`` is kilobytes on Linux but bytes on macOS; normalize to
+    bytes.  A high-water mark, not a per-experiment delta: runs later in a
+    ``repro all`` sweep inherit earlier peaks.  Machine-dependent, so it
+    lives at the payload top level (outside ``data``) where the byte-exact
+    regression gate never looks.
+    """
+    if resource is None:
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if os.uname().sysname == "Darwin":    # pragma: no cover - mac only
+        return int(peak)
+    return int(peak) * 1024
 
 
 def result_total_calls(result: object) -> Optional[int]:
@@ -182,7 +208,9 @@ def experiment_payload(experiment_id: str, title: str, kind: str,
     ``wall_seconds`` is the host wall-clock time the run took; together
     with the result's call count it yields ``calls_per_wall_second`` — the
     simulator-throughput trajectory of a checkout.  Both are machine-
-    dependent and excluded from the ``repro bench diff`` regression gate.
+    dependent and excluded from the ``repro bench diff`` regression gate,
+    as is ``peak_rss_bytes`` — the process's memory high-water mark, the
+    other half of the scaling story at 10^7+-call runs.
     """
     if hasattr(result, "as_dict"):
         data = to_jsonable(result.as_dict())
@@ -203,6 +231,7 @@ def experiment_payload(experiment_id: str, title: str, kind: str,
         "calls_per_wall_second": (
             total_calls / wall_seconds
             if wall_seconds and total_calls else None),
+        "peak_rss_bytes": peak_rss_bytes(),
     }
 
 

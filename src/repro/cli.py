@@ -125,23 +125,40 @@ def build_parser() -> argparse.ArgumentParser:
                     help="CI smoke: fewer depths and calls")
 
     sp = bench_sub.add_parser(
-        "simspeed", help="simulator wall-clock speed: trace replay off vs on")
+        "simspeed", help="simulator wall-clock speed: op-by-op vs replay "
+                         "vs fast-forward, serial and sharded")
     sp.add_argument("--calls", type=int, default=SIMSPEED_CALLS,
-                    help="protected calls per leg (10^5 to 10^7)")
+                    help="fast-forward-tier protected calls (10^5 to 10^7; "
+                         "slower tiers are capped)")
     sp.add_argument("--clients", type=int, default=4)
     sp.add_argument("--modules", type=int, default=1)
     sp.add_argument("--seed", type=int, default=0x51A_57)
+    sp.add_argument("--shards", type=int, default=2,
+                    help="independent client groups for the sharded legs "
+                         "(1 skips them)")
+    sp.add_argument("--workers", type=int, default=2,
+                    help="worker processes for the parallel sharded leg "
+                         "(merged accounting must match workers=1 exactly)")
     sp.add_argument("--fast", action="store_true",
                     help="CI smoke: a few thousand calls per leg")
 
     dp = bench_sub.add_parser(
         "diff", help="regression gate: compare two BENCH_<id>.json exports")
-    dp.add_argument("old", help="baseline export (e.g. benchmarks/baselines/"
-                                "BENCH_fig8.json)")
-    dp.add_argument("new", help="freshly generated export to check")
+    dp.add_argument("old", nargs="?", default=None,
+                    help="baseline export (e.g. benchmarks/baselines/"
+                         "BENCH_fig8.json)")
+    dp.add_argument("new", nargs="?", default=None,
+                    help="freshly generated export to check")
     dp.add_argument("--rel-tol", type=float, default=0.0,
                     help="relative tolerance before a cycle increase fails "
                          "(default 0: byte-exact)")
+    dp.add_argument("--update", action="store_true",
+                    help="regenerate every committed baseline under "
+                         "benchmarks/baselines/ from its recorded params "
+                         "and git-add the results (use when a cost change "
+                         "is intentional)")
+    dp.add_argument("--baselines-dir", default="benchmarks/baselines",
+                    help="baseline directory for --update")
 
     an = subparsers.add_parser(
         "analyze", help="simulator-invariant static analysis "
@@ -208,6 +225,55 @@ def _export_bench(bench_command: str, report: object, rendered: str,
         experiment_payload(experiment_id, spec.title, spec.kind,
                            report, rendered, params=params,
                            wall_seconds=wall_seconds))
+
+
+def _update_baselines(baselines_dir: str) -> List[str]:
+    """Regenerate every committed baseline from its recorded params.
+
+    Each ``BENCH_<id>.json`` under ``baselines_dir`` names its experiment
+    and the exact parameters it was generated with, so an intentional
+    cost-model change becomes one command: rerun each with those params,
+    rewrite the file and ``git add`` it for the next commit.
+    """
+    import subprocess
+
+    paths = sorted(glob.glob(str(Path(baselines_dir) / "BENCH_*.json")))
+    if not paths:
+        raise BenchDiffError(f"no BENCH_*.json baselines in {baselines_dir}")
+    staged: List[str] = []
+    for path in paths:
+        with open(path, encoding="utf-8") as stream:
+            payload = json.load(stream)
+        experiment = payload.get("experiment")
+        params = payload.get("params") or {}
+        started = time.perf_counter()
+        if experiment == "fig8":
+            report = reproduce_figure8(trials=params.get("trials"),
+                                       sample_calls=params.get("sample_calls"),
+                                       seed=params.get("seed", 42))
+        elif experiment == "abl-batch":
+            report = run_batch_sweep(sizes=tuple(params["sizes"]),
+                                     calls=params["calls"],
+                                     seed=params["seed"])
+        else:
+            raise BenchDiffError(
+                f"{path}: no regenerator for experiment {experiment!r} — "
+                "teach _update_baselines about it before committing a "
+                "baseline for it")
+        wall_seconds = time.perf_counter() - started
+        spec = EXPERIMENTS[experiment]
+        export_payload(
+            experiment_payload(experiment, spec.title, spec.kind, report,
+                               report.render(), params=params,
+                               wall_seconds=wall_seconds),
+            baselines_dir)
+        staged.append(path)
+    result = subprocess.run(["git", "add", "--"] + staged,
+                            capture_output=True, text=True)
+    if result.returncode != 0:
+        print(f"warning: git add failed: {result.stderr.strip()}",
+              file=sys.stderr)
+    return staged
 
 
 def _render_payload_value(key: str, value: object, indent: int,
@@ -337,6 +403,20 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if command == "bench":
         if args.bench_command == "diff":
+            if args.update:
+                try:
+                    staged = _update_baselines(args.baselines_dir)
+                except (BenchDiffError, OSError,
+                        json.JSONDecodeError) as exc:
+                    print(f"bench diff --update error: {exc}",
+                          file=sys.stderr)
+                    return 2
+                _emit("\n".join(f"regenerated and staged {path}"
+                                for path in staged), args.output)
+                return 0
+            if not args.old or not args.new:
+                parser.error("bench diff needs OLD and NEW exports "
+                             "(or --update)")
             try:
                 diff = diff_files(args.old, args.new, rel_tol=args.rel_tol)
             except (BenchDiffError, OSError, json.JSONDecodeError) as exc:
@@ -395,9 +475,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         elif args.bench_command == "simspeed":
             params = {"calls": args.calls, "clients": args.clients,
                       "modules": args.modules, "seed": args.seed,
+                      "shards": args.shards, "workers": args.workers,
                       "fast": args.fast}
             report = run_simspeed(calls=args.calls, clients=args.clients,
                                   modules=args.modules, seed=args.seed,
+                                  shards=args.shards, workers=args.workers,
                                   fast=args.fast)
         else:
             parser.error("usage: repro bench "

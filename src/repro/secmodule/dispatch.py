@@ -94,8 +94,26 @@ class DispatchConfig:
     #: op-by-op execution (see docs/performance.md); disable it to force
     #: every call down the op-by-op path.
     use_trace_replay: bool = True
+    #: analytic fast-forward tier: once a key is HOT, a driver (the traffic
+    #: engine) may accumulate N identical spans and settle them as a single
+    #: closed-form charge (``CallTrace.scaled``) instead of N replays.
+    #: Accounting stays byte-identical; requires ``use_trace_replay``.
+    use_fast_forward: bool = True
     #: record Figure 3 stack snapshots (off for the million-call benchmarks)
     record_checkpoints: bool = False
+
+    def __post_init__(self) -> None:
+        # the generated frozen-dataclass hash walks every field (two enums
+        # included) on each dict operation, and trace-cache keys embed the
+        # config — so every lookup on the hot path pays it.  Configs are
+        # immutable: compute once, keep the same equality contract.
+        object.__setattr__(self, "_cached_hash", hash(
+            (self.hardening, self.marshalling, self.per_call_policy_check,
+             self.use_decision_cache, self.batch_size, self.use_trace_replay,
+             self.use_fast_forward, self.record_checkpoints)))
+
+    def __hash__(self) -> int:
+        return self._cached_hash
 
 
 @dataclass
@@ -184,16 +202,48 @@ class TraceEntry:
         # outcome template: single calls use ``errno``; batch flushes use
         # ``batch_plan`` (one (module, function, errno) triple per entry)
         "errno", "batch_plan", "any_executed", "depth",
+        # fast-forward plumbing: per-module executed-call counts for the
+        # bulk ``note_calls`` (always one pair for singles, count 0 when
+        # denied), and the batch plan re-keyed by (m_id, func_id) so a
+        # canonically-keyed batch replays any permutation of its shape
+        "note_plan", "plan_by_pair",
     )
 
     def effects_signature(self) -> Tuple:
-        """Everything beyond the charge sequence that must repeat exactly."""
+        """Everything beyond the charge sequence that must repeat exactly.
+
+        Batch flushes under a canonical (sorted-shape) key legitimately
+        observe their per-entry plan and decision-cache touches in a
+        different *order* per permutation, so those fields compare as
+        multisets; the totals they charge are permutation-invariant.
+        """
+        if self.batch_plan is None:
+            plan_sig: object = self.errno
+            touches: Tuple = self.cache_touch_keys
+        else:
+            plan_sig = tuple(sorted(
+                (module.m_id, function.func_id,
+                 "" if errno is None else errno.name)
+                for module, function, errno in self.batch_plan))
+            touches = tuple(sorted(self.cache_touch_keys))
         return (self.dispatched, self.denied, self.served,
                 self.cache_hits, self.cache_misses, self.cache_batch_checks,
-                self.cache_batch_served, self.cache_touch_keys,
-                self.errno,
-                tuple(errno for _, _, errno in self.batch_plan)
-                if self.batch_plan is not None else None)
+                self.cache_batch_served, touches, plan_sig)
+
+    def charge_signature(self) -> object:
+        """The charge sequence, canonicalized the same way.
+
+        Single-call spans must repeat their exact op sequence; batch spans
+        under a sorted-shape key may interleave per-entry ops differently
+        per permutation, so they compare as (event count, op totals) —
+        which is precisely what the aggregated replay charge applies.
+        """
+        if self.batch_plan is None:
+            return self.raw_ops
+        totals: Dict[str, int] = {}
+        for operation, count in self.raw_ops:
+            totals[operation] = totals.get(operation, 0) + count
+        return (len(self.raw_ops), tuple(sorted(totals.items())))
 
 
 class TraceCache:
@@ -229,6 +279,9 @@ class TraceCache:
         self.fallbacks = 0
         self.invalidated = 0
         self.evictions = 0
+        #: fast-forward windows committed / calls they covered
+        self.fast_forwards = 0
+        self.fast_forward_calls = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -283,7 +336,9 @@ class TraceCache:
                 "records": self.records, "confirms": self.confirms,
                 "replays": self.replays, "mismatches": self.mismatches,
                 "poisoned": self.poisoned, "fallbacks": self.fallbacks,
-                "invalidated": self.invalidated, "evictions": self.evictions}
+                "invalidated": self.invalidated, "evictions": self.evictions,
+                "fast_forwards": self.fast_forwards,
+                "fast_forward_calls": self.fast_forward_calls}
 
 
 class SmodDispatcher:
@@ -445,6 +500,7 @@ class SmodDispatcher:
                                 session: Session, module_ids, *,
                                 config: DispatchConfig,
                                 errno: Optional[Errno] = None,
+                                module: Optional[RegisteredModule] = None,
                                 batch_plan=None, any_executed: bool = True,
                                 depth: int = 1) -> None:
         """Turn one recorded slow execution into a (confirming) trace entry."""
@@ -487,6 +543,26 @@ class SmodDispatcher:
         entry.batch_plan = batch_plan
         entry.any_executed = any_executed
         entry.depth = depth
+        if batch_plan is None:
+            # singles always carry their module (count 0 when denied) so the
+            # fast-forward commit can name it in the telemetry mirror
+            entry.note_plan = ((module, 0 if errno is not None else 1),)
+            entry.plan_by_pair = None
+        else:
+            executed: Dict[int, List] = {}
+            for plan_module, _, plan_errno in batch_plan:
+                if plan_errno is None:
+                    slot = executed.get(plan_module.m_id)
+                    if slot is None:
+                        executed[plan_module.m_id] = slot = [plan_module, 0]
+                    slot[1] += 1
+            entry.note_plan = tuple(
+                (slot_module, count) for slot_module, count
+                in executed.values())
+            entry.plan_by_pair = {
+                (plan_module.m_id, plan_function.func_id):
+                    (plan_module, plan_function, plan_errno)
+                for plan_module, plan_function, plan_errno in batch_plan}
         self._observe_trace(key, entry)
 
     def _observe_trace(self, key: Tuple, entry: TraceEntry) -> None:
@@ -494,7 +570,7 @@ class SmodDispatcher:
         cache = self.trace_cache
         existing = cache.lookup(key)
         if (existing is not None and existing.state != TRACE_POISONED
-                and existing.raw_ops == entry.raw_ops
+                and existing.charge_signature() == entry.charge_signature()
                 and existing.effects_signature() == entry.effects_signature()):
             # a second execution reproduced the sequence exactly: promote
             # (the guards are refreshed from this, newest, execution)
@@ -560,8 +636,13 @@ class SmodDispatcher:
         return DispatchOutcome(value=value)
 
     def _replay_batch(self, entry: TraceEntry, session: Session,
-                      calls) -> Optional[BatchOutcome]:
-        """Replay one hot batch-flush trace; None → take the slow path."""
+                      calls, found_list) -> Optional[BatchOutcome]:
+        """Replay one hot batch-flush trace; None → take the slow path.
+
+        The trace key is the *sorted* shape, so this flush may be any
+        permutation of the recorded one; per-entry outcomes come from the
+        plan re-keyed by (m_id, func_id) rather than by position.
+        """
         machine = self.kernel.machine
         telemetry = self.telemetry
         watch = (Stopwatch(machine.clock, machine.spec.mhz)
@@ -569,9 +650,10 @@ class SmodDispatcher:
         if not self._replay_effects(entry, session):
             return None
         env = entry.env
+        plan = entry.plan_by_pair
         outcomes: List[DispatchOutcome] = []
-        for (module, function, errno), (_, args) in zip(entry.batch_plan,
-                                                        calls):
+        for (module, function), (_, args) in zip(found_list, calls):
+            errno = plan[(module.m_id, function.func_id)][2]
             if errno is not None:
                 outcomes.append(DispatchOutcome(errno=errno))
             else:
@@ -585,6 +667,83 @@ class SmodDispatcher:
             telemetry.record_batch(session.session_id, entry.depth,
                                    watch.elapsed_us())
         return BatchOutcome(outcomes=outcomes)
+
+    # ------------------------------------------------------------ fast-forward
+    def fast_forward_probe(self, session: Session,
+                           key: Tuple) -> Optional[TraceEntry]:
+        """May the span keyed ``key`` be fast-forwarded right now?
+
+        The analytic tier's per-span admission check: the key must be HOT,
+        every replay guard must hold, and the decision-cache touches the
+        recorded span performs must be repeatable — and they are *applied
+        here*, once per accumulated span, so the decision cache's LRU order
+        and touch accounting stay identical to per-call replay.  Returns the
+        entry to accumulate, or None (with the same ``fallbacks`` counter
+        bump a failed replay takes) when the caller must flush and fall back
+        to the replay/op-by-op path.
+        """
+        if self.kernel.machine.trace.enabled:
+            return None
+        entry = self.trace_cache.lookup(key)
+        if entry is None or entry.state != TRACE_HOT:
+            return None
+        if not self._trace_guard_ok(entry, session):
+            return None
+        if entry.cache_touch_keys and not self.decision_cache.replay_touch(
+                session, entry.cache_touch_keys):
+            self.trace_cache.fallbacks += 1
+            return None
+        return entry
+
+    def fast_forward_commit(self, entry: TraceEntry, session: Session,
+                            n: int) -> None:
+        """Settle ``n`` accumulated spans of ``entry`` as one closed-form
+        charge.
+
+        Everything a loop of ``n`` replays would apply, applied in bulk:
+        the scaled trace charge (cycles, events, op histogram and the
+        telemetry op mirror all multiply exactly), the dispatcher/handle
+        counters, per-module ``note_calls``, the decision-cache replay
+        credits (the per-span touches already ran in
+        :meth:`fast_forward_probe`), and the dispatch-level telemetry
+        histograms via their bulk ``n`` parameter.
+        """
+        if n <= 0:
+            return
+        machine = self.kernel.machine
+        machine.meter.charge_trace(entry.trace.scaled(n))
+        cache = self.decision_cache
+        if (entry.cache_hits or entry.cache_misses
+                or entry.cache_batch_checks or entry.cache_batch_served):
+            cache.credit_replay(hits=entry.cache_hits * n,
+                                misses=entry.cache_misses * n,
+                                batch_epoch_checks=entry.cache_batch_checks * n,
+                                batch_served=entry.cache_batch_served * n)
+        self.calls_dispatched += entry.dispatched * n
+        self.calls_denied += entry.denied * n
+        entry.handle.calls_served += entry.served * n
+        for module, executed in entry.note_plan:
+            if executed:
+                session.note_calls(module.m_id, executed * n)
+        trace_cache = self.trace_cache
+        trace_cache.fast_forwards += 1
+        trace_cache.fast_forward_calls += n
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            span_us = entry.trace.total_cycles / machine.spec.mhz
+            if entry.batch_plan is None:
+                module = entry.note_plan[0][0]
+                telemetry.record_dispatch(session.session_id, module.name,
+                                          span_us, n=n)
+                if entry.errno is None:
+                    telemetry.record_handle_queue(entry.handle.proc.pid, 1,
+                                                  n=n)
+            else:
+                if entry.any_executed:
+                    telemetry.record_handle_queue(entry.handle.proc.pid,
+                                                  entry.depth, n=n)
+                telemetry.record_batch(session.session_id, entry.depth,
+                                       span_us, n=n)
 
     # -------------------------------------------------------------- kernel path
     def sys_smod_call(self, client: Proc, session: Session,
@@ -880,7 +1039,7 @@ class SmodDispatcher:
         if recording is not None:
             self._finish_trace_recording(recording, key, session,
                                          (module.m_id,), config=config,
-                                         errno=outcome.errno)
+                                         errno=outcome.errno, module=module)
         if watch is not None:
             telemetry.record_dispatch(session.session_id, module.name,
                                       watch.elapsed_us())
@@ -934,14 +1093,19 @@ class SmodDispatcher:
         if all(found is not None for found in found_list) and all(
                 self._traceable(session, function, module, config, machine)
                 for module, function in found_list):
-            shape = tuple((module.m_id, function.func_id)
-                          for module, function in found_list)
+            # canonical batch shape: *sorted* (m_id, func_id) pairs, so every
+            # permutation of the same multiset of entries shares one trace —
+            # the per-entry charges and state deltas are permutation-
+            # invariant sums, and outcomes replay by pair, not position
+            shape = tuple(sorted((module.m_id, function.func_id)
+                                 for module, function in found_list))
             key = (session.session_id, shape, config)
             entry = self.trace_cache.lookup(key)
             if entry is not None:
                 if entry.state == TRACE_HOT \
                         and self._trace_guard_ok(entry, session):
-                    replayed = self._replay_batch(entry, session, calls)
+                    replayed = self._replay_batch(entry, session, calls,
+                                                  found_list)
                     if replayed is not None:
                         return replayed
                 elif entry.state == TRACE_POISONED:

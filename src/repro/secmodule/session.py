@@ -151,6 +151,19 @@ class Session:
         self.calls_per_module[module.m_id] = (
             self.calls_per_module.get(module.m_id, 0) + 1)
 
+    def note_calls(self, m_id: int, n: int) -> None:
+        """Bulk form of :meth:`note_call` for the fast-forward tier.
+
+        ``n`` identical executed calls against module ``m_id`` advance the
+        same counters a per-call loop would — integer adds commute, so the
+        totals are byte-identical.
+        """
+        self.calls_made += n
+        # smod: allow(EPOCH001)  same reasoning as note_call: quota chains
+        # are never memoized, so bulk-advancing cannot stale a cached entry
+        self.calls_per_module[m_id] = (
+            self.calls_per_module.get(m_id, 0) + n)
+
     def replace_credential(self, m_id: int, credential: Credential) -> None:
         """Swap the credential presented for one module (re-credentialing).
 

@@ -335,6 +335,27 @@ class CallTrace:
         self.total_cycles: int = sum(c for _, _, c in self.op_cycles)
         self.events: int = len(raw_ops)
 
+    def scaled(self, n: int) -> "CallTrace":
+        """The exact aggregate of ``n`` back-to-back replays of this trace.
+
+        Every field is an integer total, so multiplying by ``n`` is the
+        closed form of charging the trace ``n`` times: cycles, the event
+        count, the per-op histogram merge and the telemetry mirror all come
+        out byte-identical to the loop they replace.  This is the analytic
+        fast-forward tier's charge unit.
+        """
+        if n < 0:
+            raise ValueError(f"cannot scale a trace by negative n: {n}")
+        if n == 1:
+            return self
+        clone = CallTrace.__new__(CallTrace)
+        clone.ops = tuple((op, count * n) for op, count in self.ops)
+        clone.op_cycles = tuple((op, count * n, cycles * n)
+                                for op, count, cycles in self.op_cycles)
+        clone.total_cycles = self.total_cycles * n
+        clone.events = self.events * n
+        return clone
+
     def __repr__(self) -> str:
         return (f"CallTrace(ops={len(self.ops)}, events={self.events}, "
                 f"cycles={self.total_cycles})")
@@ -447,6 +468,21 @@ class CostMeter:
         if cycles < 0:
             raise ValueError(f"cannot idle for negative cycles: {cycles}")
         return self._advance(cycles)
+
+    def idle_many(self, cycles: int, events: int) -> int:
+        """Apply ``events`` accumulated idle waits as one clock advance.
+
+        The fast-forward tier defers per-arrival idles and settles them in
+        bulk at a flush barrier; ``advance_many`` keeps both the cycle total
+        and the clock's event count byte-identical to the per-arrival
+        :meth:`idle` calls it stands in for (a zero-cycle wait still counts
+        one event, exactly as ``advance(0)`` does).
+        """
+        if cycles < 0:
+            raise ValueError(f"cannot idle for negative cycles: {cycles}")
+        if events < 0:
+            raise ValueError(f"cannot idle for negative events: {events}")
+        return self.clock.advance_many(cycles, events)
 
     def record_trace(self) -> TraceRecorder:
         """A recorder bound to this meter (the dispatch fast path's tap)."""

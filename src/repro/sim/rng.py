@@ -25,6 +25,10 @@ class DeterministicRNG:
         # smod: allow(DET001)  the deterministic gateway itself: explicitly
         # seeded, and the only sanctioned entropy source in the simulation
         self._rng = np.random.default_rng(self.seed)
+        #: the raw bound sampler behind :meth:`random01` — a scalar
+        #: ``Generator.random()`` already returns a Python float, so hot
+        #: loops may call this directly to skip one frame per draw
+        self.next_double = self._rng.random
 
     def child(self, label: str) -> "DeterministicRNG":
         """Derive an independent stream named by ``label``.
@@ -39,7 +43,11 @@ class DeterministicRNG:
 
     # -- scalar draws --------------------------------------------------------
     def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
-        return float(self._rng.uniform(low, high))
+        # Generator.uniform's kernel computes low + (high - low) *
+        # next_double; reproducing that expression over the scalar
+        # random() path consumes the identical stream value and returns
+        # the identical float at a third of the numpy call overhead
+        return low + (high - low) * float(self._rng.random())
 
     def normal(self, mean: float = 0.0, sigma: float = 1.0) -> float:
         return float(self._rng.normal(mean, sigma))
@@ -47,6 +55,12 @@ class DeterministicRNG:
     def lognormal_factor(self, sigma: float) -> float:
         """A multiplicative jitter factor with median 1.0."""
         return float(np.exp(self._rng.normal(0.0, sigma)))
+
+    def random01(self) -> float:
+        """One raw double in ``[0, 1)`` — the primitive scalar draw that
+        :meth:`uniform` and :meth:`weighted_choice` are built on; exposed
+        so hot loops can fold the affine transform into their own code."""
+        return float(self._rng.random())
 
     def integer(self, low: int, high: int) -> int:
         """Uniform integer in ``[low, high]`` inclusive."""
@@ -94,7 +108,8 @@ class DeterministicRNG:
         if len(items) != len(weights) or not items:
             raise ValueError("items and weights must be equal-length, non-empty")
         total = float(sum(weights))
-        draw = float(self._rng.uniform(0.0, total))
+        # bit-identical to uniform(0, total): 0.0 + total * d == total * d
+        draw = total * float(self._rng.random())
         acc = 0.0
         for item, weight in zip(items, weights):
             acc += weight
@@ -113,6 +128,18 @@ class DeterministicRNG:
         return self._rng.bytes(n)
 
     # -- vector draws --------------------------------------------------------
+    def exponential_array(self, mean: float, size: int) -> np.ndarray:
+        """``size`` consecutive exponential draws in one vectorized call.
+
+        numpy fills the array element-wise from the same ziggurat sampler
+        the scalar :meth:`exponential` uses, so the sequence is
+        bit-identical to ``[self.exponential(mean) for _ in range(size)]``
+        — a pure wall-clock win for pre-drawn arrival schedules.  Returns
+        the ``float64`` ndarray itself so 10^7-draw schedules skip the
+        list round-trip.
+        """
+        return self._rng.exponential(mean, size)
+
     def normal_array(self, mean: float, sigma: float, size: int) -> np.ndarray:
         return self._rng.normal(mean, sigma, size)
 

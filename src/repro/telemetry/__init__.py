@@ -30,6 +30,7 @@ from .metrics import (
     NullTelemetry,
     Telemetry,
     make_telemetry,
+    merge_telemetry_states,
     render_snapshot,
 )
 
@@ -42,5 +43,6 @@ __all__ = [
     "NULL_TELEMETRY",
     "Telemetry",
     "make_telemetry",
+    "merge_telemetry_states",
     "render_snapshot",
 ]

@@ -174,6 +174,37 @@ class LogHistogram:
                 return representative
         return self._max
 
+    # ------------------------------------------------------------- shard state
+    def export_state(self) -> Dict[str, object]:
+        """Full (lossless) state for cross-process merging.
+
+        Unlike :meth:`summary` this keeps the raw buckets, so a parent
+        process can reconstruct the histogram with :meth:`from_state` and
+        :meth:`merge` it exactly — the sharded traffic engine's metric
+        planes combine this way at the sync barrier.
+        """
+        return {
+            "base": self.base,
+            "buckets": dict(self._buckets),
+            "count": self.count,
+            "total": self.total,
+            "zeros": self.zeros,
+            "min": self._min,
+            "max": self._max,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "LogHistogram":
+        """Reconstruct a histogram exported by :meth:`export_state`."""
+        out = cls(base=float(state["base"]))  # type: ignore[arg-type]
+        out._buckets = dict(state["buckets"])  # type: ignore[arg-type]
+        out.count = int(state["count"])  # type: ignore[arg-type]
+        out.total = float(state["total"])  # type: ignore[arg-type]
+        out.zeros = int(state["zeros"])  # type: ignore[arg-type]
+        out._min = float(state["min"])  # type: ignore[arg-type]
+        out._max = float(state["max"])  # type: ignore[arg-type]
+        return out
+
     # ------------------------------------------------------------------- merge
     def merge(self, other: "LogHistogram") -> "LogHistogram":
         """Fold ``other`` into this histogram in place (same base required).
@@ -283,6 +314,30 @@ class MetricsRegistry:
         return LogHistogram.merged(
             histogram for _, histogram in self.histograms_named(name, **match))
 
+    # ------------------------------------------------------------- shard state
+    def export_state(self) -> Dict[str, Dict[str, object]]:
+        """Lossless, picklable registry state for cross-process merging.
+
+        Metrics are keyed by their rendered ``name{labels}`` string;
+        histograms export raw buckets (:meth:`LogHistogram.export_state`)
+        so the parent-side merge is exact, not a summary-of-summaries.
+        """
+        def rendered(items):
+            return sorted(items, key=lambda item: (item[0][0], repr(item[0][1])))
+
+        counters = {
+            f"{name}{_render_labels(labels)}": metric.value
+            for (name, labels), metric in rendered(self._counters.items())}
+        gauges = {
+            f"{name}{_render_labels(labels)}":
+                {"value": metric.value, "max": metric.maximum}
+            for (name, labels), metric in rendered(self._gauges.items())}
+        histograms = {
+            f"{name}{_render_labels(labels)}": histogram.export_state()
+            for (name, labels), histogram in rendered(self._histograms.items())}
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
     # ---------------------------------------------------------------- snapshot
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """A JSON-serializable view of every metric."""
@@ -345,30 +400,37 @@ class Telemetry:
 
     # --------------------------------------------------- dispatch-layer taps
     def record_dispatch(self, session_id: int, module_name: str,
-                        latency_us: float) -> None:
-        """Per-session (and per-module) protected-call dispatch latency."""
+                        latency_us: float, n: int = 1) -> None:
+        """Per-session (and per-module) protected-call dispatch latency.
+
+        ``n`` is the fast-forward tier's bulk mirror: ``n`` identical
+        replays fold in as one bucket update with the same counts the
+        per-call loop would have produced.
+        """
         self.registry.histogram("dispatch_latency_us", session=session_id,
-                                module=module_name).record(latency_us)
+                                module=module_name).record(latency_us, n=n)
 
     def record_batch(self, session_id: int, depth: int,
-                     service_us: float) -> None:
-        """One batched flush: its depth, its service time, and the amortized
-        per-entry latency folded into the session's dispatch histogram."""
+                     service_us: float, n: int = 1) -> None:
+        """One batched flush (or ``n`` identical fast-forwarded flushes):
+        its depth, its service time, and the amortized per-entry latency
+        folded into the session's dispatch histogram."""
         registry = self.registry
         registry.histogram("batch_flush_depth",
-                           session=session_id).record(depth)
+                           session=session_id).record(depth, n=n)
         registry.histogram("flush_service_us",
-                           session=session_id).record(service_us)
+                           session=session_id).record(service_us, n=n)
         if depth > 0:
             registry.histogram(
                 "dispatch_latency_us", session=session_id,
-                module="(batched)").record(service_us / depth, n=depth)
+                module="(batched)").record(service_us / depth, n=depth * n)
 
     # ----------------------------------------------------- handle-layer taps
-    def record_handle_queue(self, handle_pid: int, depth: int) -> None:
+    def record_handle_queue(self, handle_pid: int, depth: int,
+                            n: int = 1) -> None:
         """Frames drained by one handle receive (its request-queue depth)."""
         self.registry.histogram("handle_queue_depth",
-                                handle=handle_pid).record(depth)
+                                handle=handle_pid).record(depth, n=n)
 
     def record_queue_delay(self, handle_pid: int, client_pid: int,
                            delay_us: float) -> None:
@@ -401,6 +463,15 @@ class Telemetry:
                 for op in sorted(self.op_counts)}
         return out
 
+    def export_state(self) -> Optional[Dict[str, object]]:
+        """Lossless picklable state (registry + op mirror) for shard merge."""
+        return {
+            "registry": self.registry.export_state(),
+            "ops": {op: {"count": self.op_counts[op],
+                         "cycles": self.op_cycles.get(op, 0)}
+                    for op in sorted(self.op_counts)},
+        }
+
 
 class NullTelemetry(Telemetry):
     """The compiled-out default: every tap is a no-op, nothing accumulates.
@@ -419,14 +490,15 @@ class NullTelemetry(Telemetry):
         pass
 
     def record_dispatch(self, session_id: int, module_name: str,
-                        latency_us: float) -> None:
+                        latency_us: float, n: int = 1) -> None:
         pass
 
     def record_batch(self, session_id: int, depth: int,
-                     service_us: float) -> None:
+                     service_us: float, n: int = 1) -> None:
         pass
 
-    def record_handle_queue(self, handle_pid: int, depth: int) -> None:
+    def record_handle_queue(self, handle_pid: int, depth: int,
+                            n: int = 1) -> None:
         pass
 
     def record_queue_delay(self, handle_pid: int, client_pid: int,
@@ -442,9 +514,60 @@ class NullTelemetry(Telemetry):
     def snapshot(self) -> Dict[str, object]:
         return {}
 
+    def export_state(self) -> Optional[Dict[str, object]]:
+        return None
+
 
 #: The shared disabled instance every component starts wired to.
 NULL_TELEMETRY = NullTelemetry()
+
+
+def merge_telemetry_states(
+        states: Iterable[Optional[Dict[str, object]]]) -> Dict[str, object]:
+    """Combine per-shard :meth:`Telemetry.export_state` payloads exactly.
+
+    The deterministic shard-merge contract: counters and the op mirror sum;
+    gauges keep the maximum (of both the point value and the recorded max —
+    a cross-shard "high-water" view); histograms with the same rendered
+    ``name{labels}`` key merge at bucket level (exact, since bucket counts
+    are additive) and are then summarized.  States are folded in the order
+    given — shard-index order — so float accumulation (histogram totals) is
+    independent of worker count.  ``None`` entries (telemetry-disabled
+    shards) are skipped; the result has :meth:`Telemetry.snapshot` shape.
+    """
+    counters: Dict[str, int] = {}
+    gauges: Dict[str, Dict[str, float]] = {}
+    histograms: Dict[str, LogHistogram] = {}
+    ops: Dict[str, Dict[str, int]] = {}
+    for state in states:
+        if state is None:
+            continue
+        registry = state.get("registry") or {}
+        for key, value in (registry.get("counters") or {}).items():
+            counters[key] = counters.get(key, 0) + value
+        for key, data in (registry.get("gauges") or {}).items():
+            merged = gauges.setdefault(key, {"value": 0.0, "max": 0.0})
+            merged["value"] = max(merged["value"], data["value"])
+            merged["max"] = max(merged["max"], data["max"])
+        for key, hist_state in (registry.get("histograms") or {}).items():
+            incoming = LogHistogram.from_state(hist_state)
+            if key in histograms:
+                histograms[key].merge(incoming)
+            else:
+                histograms[key] = incoming
+        for op, data in (state.get("ops") or {}).items():
+            merged_op = ops.setdefault(op, {"count": 0, "cycles": 0})
+            merged_op["count"] += data["count"]
+            merged_op["cycles"] += data["cycles"]
+    out: Dict[str, object] = {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": {key: histogram.summary()
+                       for key, histogram in sorted(histograms.items())},
+    }
+    if ops:
+        out["ops"] = dict(sorted(ops.items()))
+    return out
 
 
 def make_telemetry(enabled: bool) -> Telemetry:

@@ -76,6 +76,35 @@ class TestCompare:
         diff = compare_payloads(make_payload(), new)
         assert diff.ok and not diff.items
 
+    def test_wall_rate_drop_warns_without_failing(self):
+        """>10% calls_per_wall_second drop: non-fatal warning, printed."""
+        new = make_payload()
+        new["calls_per_wall_second"] = 100.0     # 123 -> 100 is ~18.7% down
+        diff = compare_payloads(make_payload(), new)
+        assert diff.ok and not diff.items
+        assert len(diff.warnings) == 1
+        assert "calls_per_wall_second" in diff.warnings[0]
+        assert "WARNING" in diff.render()
+        assert "PASS" in diff.render()
+
+    def test_wall_rate_within_band_stays_silent(self):
+        new = make_payload()
+        new["calls_per_wall_second"] = 111.0     # 123 -> 111 is within 10%
+        diff = compare_payloads(make_payload(), new)
+        assert diff.ok and not diff.warnings
+        # improvements never warn either
+        faster = make_payload()
+        faster["calls_per_wall_second"] = 500.0
+        assert not compare_payloads(make_payload(), faster).warnings
+
+    def test_wall_rate_band_tolerates_missing_fields(self):
+        old = make_payload()
+        new = make_payload()
+        del old["calls_per_wall_second"]
+        assert not compare_payloads(old, new).warnings
+        del new["calls_per_wall_second"]
+        assert not compare_payloads(make_payload(), new).warnings
+
     def test_rel_tol_loosens_the_gate(self):
         new = make_payload(total_cycles=1_000_001)
         assert compare_payloads(make_payload(), new, rel_tol=0.01).ok

@@ -28,6 +28,18 @@ class TestJsonExport:
         assert payload["rendered"] == run.rendered
         assert "OpenBSD" in payload["rendered"]
 
+    def test_exports_carry_peak_rss(self, tmp_path):
+        """Every payload records the process memory high-water mark at the
+        top level — outside ``data``, so the byte-exact gate ignores it."""
+        run = run_experiment("fig7", export_dir=str(tmp_path))
+        payload = json.loads((tmp_path / "BENCH_fig7.json").read_text())
+        assert "peak_rss_bytes" in payload
+        # this host is POSIX: the value must be a plausible byte count
+        assert isinstance(payload["peak_rss_bytes"], int)
+        assert payload["peak_rss_bytes"] > 1024 * 1024
+        assert "peak_rss_bytes" not in (payload["data"] or {})
+        del run
+
     def test_run_experiment_without_export_dir_writes_nothing(self, tmp_path,
                                                               monkeypatch):
         monkeypatch.chdir(tmp_path)
