@@ -40,6 +40,7 @@ from .adaptive import run_abl_adaptive
 from .batch import run_abl_batch
 from .figure7 import reproduce_figure7
 from .pool import run_abl_pool
+from .serve import run_abl_serve
 from .simspeed import run_abl_simspeed
 from .figure8 import reproduce_figure8
 from .figures123 import reproduce_figure1, reproduce_figure2, reproduce_figure3
@@ -113,6 +114,10 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         "abl-pool",
         "Handle pooling: one handle co-process serving many sessions",
         run_abl_pool, kind="ablation"),
+    "abl-serve": ExperimentSpec(
+        "abl-serve",
+        "Service plane: attach/lookup/pool costs vs live-session count",
+        run_abl_serve, kind="ablation"),
     "abl-adaptive": ExperimentSpec(
         "abl-adaptive",
         "Adaptive batching: AIMD queue depth from the arrival-rate EWMA",

@@ -46,6 +46,13 @@ from .bench.pool import (
     DEFAULT_SESSIONS,
     run_pool_sweep,
 )
+from .bench.serve import (
+    DEFAULT_SESSIONS as SERVE_SESSIONS,
+    DEFAULT_SESSIONS_PER_CLIENT,
+    DEFAULT_TENANTS,
+    FAST_SESSIONS,
+    run_serve_sweep,
+)
 from .bench.simspeed import DEFAULT_CALLS as SIMSPEED_CALLS, run_simspeed
 from .bench.throughput import run_throughput
 from .secmodule.api import SecModuleSystem
@@ -103,6 +110,22 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("--seed", type=int, default=0x900_1)
     pp.add_argument("--fast", action="store_true",
                     help="CI smoke: fewer seats and sessions")
+
+    vp = bench_sub.add_parser(
+        "serve", help="service plane: attach/lookup/pool costs vs "
+                      "live-session count (abl-serve)")
+    vp.add_argument("--sessions",
+                    default=",".join(map(str, SERVE_SESSIONS)),
+                    help="comma-separated live-session counts to sweep "
+                         "(reaches 10^6: --sessions 1000000)")
+    vp.add_argument("--tenants", type=int, default=DEFAULT_TENANTS,
+                    help="tenants the sharded session table is split across")
+    vp.add_argument("--sessions-per-client", type=int,
+                    default=DEFAULT_SESSIONS_PER_CLIENT,
+                    help="sessions each surrogate client program holds")
+    vp.add_argument("--seed", type=int, default=0x5E21)
+    vp.add_argument("--fast", action="store_true",
+                    help="CI smoke: two small sweep points")
 
     bp = bench_sub.add_parser(
         "batch", help="batched dispatch: latency/call vs queue depth")
@@ -174,6 +197,23 @@ def build_parser() -> argparse.ArgumentParser:
     an.add_argument("--list-rules", action="store_true",
                     help="print the rule catalogue and exit")
 
+    sv = subparsers.add_parser(
+        "serve", help="service-plane surfaces (status snapshot)")
+    sv_sub = sv.add_subparsers(dest="serve_command")
+    ss = sv_sub.add_parser(
+        "status", help="boot a demo service plane and print its telemetry "
+                       "snapshot: live sessions per tenant, pool occupancy, "
+                       "broker health")
+    ss.add_argument("--json", action="store_true",
+                    help="emit the raw status dict as JSON")
+    ss.add_argument("--clients", type=int, default=6,
+                    help="demo clients attached through the front-end")
+    ss.add_argument("--tenants", type=int, default=3,
+                    help="tenants the demo clients are spread across")
+    ss.add_argument("--calls", type=int, default=24,
+                    help="pooled calls driven before the snapshot")
+    ss.add_argument("--seed", type=int, default=0x5E21)
+
     st = subparsers.add_parser(
         "stats", help="pretty-print metrics snapshots "
                       "(from BENCH_*.json files, or a live traffic run)")
@@ -210,6 +250,7 @@ _BENCH_EXPERIMENT_IDS = {
     "throughput": "abl-throughput",
     "batch": "abl-batch",
     "pool": "abl-pool",
+    "serve": "abl-serve",
     "adaptive": "abl-adaptive",
     "simspeed": "abl-simspeed",
 }
@@ -255,6 +296,12 @@ def _update_baselines(baselines_dir: str) -> List[str]:
             report = run_batch_sweep(sizes=tuple(params["sizes"]),
                                      calls=params["calls"],
                                      seed=params["seed"])
+        elif experiment == "abl-serve":
+            report = run_serve_sweep(
+                sessions=tuple(params["sessions"]),
+                tenants=params["tenants"],
+                sessions_per_client=params["sessions_per_client"],
+                seed=params["seed"])
         else:
             raise BenchDiffError(
                 f"{path}: no regenerator for experiment {experiment!r} — "
@@ -328,6 +375,65 @@ def _live_stats(clients: int, sample_calls: int, seed: int) -> str:
                f"{sample_calls} calls/client, open-loop arrivals"))
 
 
+def _serve_status_demo(clients: int, tenants: int, calls: int,
+                       seed: int) -> Dict[str, object]:
+    """Boot a small service plane, drive it, and return its status dict."""
+    from .hw.machine import make_paper_machine
+    from .kernel.kernel import Kernel
+    from .secmodule.libc_conversion import build_test_module
+    from .secmodule.protection import ProtectionMode
+    from .secmodule.smod_syscalls import install_secmodule
+    from .serve.frontend import ServiceFrontend
+
+    machine = make_paper_machine(seed=seed)
+    kernel = Kernel(machine=machine).boot()
+    extension = install_secmodule(kernel)
+    registered = extension.registry.register(
+        build_test_module(), uid=0, protection=ProtectionMode.ENCRYPT)
+    frontend = ServiceFrontend(kernel, extension)
+    record = frontend.register_backend("secmodule", [registered])
+    for index in range(max(1, clients)):
+        frontend.attach(record, tenant=index % max(1, tenants))
+    base_us = machine.meter.profile.microseconds(machine.clock.cycles)
+    for index in range(calls):
+        frontend.call_pooled(record, "test_incr", index,
+                             arrival_us=base_us + index * 1.0)
+    return frontend.status()
+
+
+def _render_serve_status(status: Dict[str, object]) -> str:
+    """Human-readable ``repro serve status`` lines."""
+    lines = [f"service plane @ {status['now_us']:.1f}us (virtual)",
+             f"  live sessions: {status['live_sessions']}  "
+             f"bindings: {status['bindings']}  "
+             f"attaches: {status['attaches']}  "
+             f"detaches: {status['detaches']}"]
+    tenants = status.get("sessions_by_tenant") or {}
+    if tenants:
+        per = ", ".join(f"tenant {tenant}: {count}"
+                        for tenant, count in sorted(tenants.items()))
+        lines.append(f"  sessions by tenant: {per}")
+    lines.append(f"  calls: {status['bound_calls']} bound, "
+                 f"{status['pooled_calls']} pooled")
+    for name, backend in sorted((status.get("backends") or {}).items()):
+        lines.append(
+            f"  backend {name}: state={backend.get('state')} "
+            f"handles={backend.get('handles')} "
+            f"live={backend.get('live_handles')} "
+            f"seated={backend.get('seated_sessions')} "
+            f"policy={backend.get('policy')}")
+    for name, pool in sorted((status.get("pools") or {}).items()):
+        lines.append(
+            f"  pool {name}: {pool['size']}/{pool['max_attachments']} "
+            f"attachments, busy={pool.get('busy', 0)} "
+            f"queued={pool.get('queued', 0)}, "
+            f"{pool['checkouts']} checkouts "
+            f"({pool['waits']} waited, mean {pool['mean_wait_us']:.2f}us, "
+            f"max {pool['max_wait_us']:.2f}us; "
+            f"{pool['refusals']} refused)")
+    return "\n".join(lines)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -390,6 +496,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         _emit(report.render_json() if args.format == "json"
               else report.render(), args.output)
         return 0 if report.ok else 1
+
+    if command == "serve":
+        if getattr(args, "serve_command", None) != "status":
+            parser.error("usage: repro serve status [--json]")
+        status = _serve_status_demo(args.clients, args.tenants, args.calls,
+                                    args.seed)
+        if args.json:
+            _emit(json.dumps(status, indent=2, sort_keys=True), args.output)
+        else:
+            _emit(_render_serve_status(status), args.output)
+        return 0
 
     if command == "stats":
         paths = list(args.paths) or sorted(glob.glob("BENCH_*.json"))
@@ -459,6 +576,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             report = run_pool_sweep(seats=seats, sessions=sessions,
                                     calls_per_session=args.calls,
                                     seed=args.seed)
+        elif args.bench_command == "serve":
+            serve_sessions = tuple(int(s) for s in args.sessions.split(",")
+                                   if s)
+            if args.fast and serve_sessions == SERVE_SESSIONS:
+                # shrink only what the user left at the defaults
+                serve_sessions = FAST_SESSIONS
+            params = {"sessions": serve_sessions, "tenants": args.tenants,
+                      "sessions_per_client": args.sessions_per_client,
+                      "seed": args.seed, "fast": args.fast}
+            report = run_serve_sweep(
+                sessions=serve_sessions, tenants=args.tenants,
+                sessions_per_client=args.sessions_per_client,
+                seed=args.seed)
         elif args.bench_command == "adaptive":
             depths = tuple(int(s) for s in args.depths.split(",") if s)
             kwargs = {"depths": depths, "seed": args.seed}
@@ -483,8 +613,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                                   fast=args.fast)
         else:
             parser.error("usage: repro bench "
-                         "{throughput,batch,pool,adaptive,simspeed,diff} "
-                         "[options]")
+                         "{throughput,batch,pool,serve,adaptive,simspeed,"
+                         "diff} [options]")
         wall_seconds = time.perf_counter() - bench_started
         rendered = report.render()
         if export_dir is not None:

@@ -15,12 +15,44 @@ on its behalf — is implemented here as :meth:`Scheduler.suspend` /
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from ..errors import SimulationError
 from ..sim import costs
 from .proc import Proc, ProcState
+
+
+class ReadyQueue:
+    """FIFO ready queue keyed by pid: O(1) membership, removal and append.
+
+    ``Proc`` is a deep-equality dataclass, so a plain deque pays a full
+    structural comparison per ``in``/``remove`` — superlinear once the run
+    holds 10^5+ processes (the served-session scale).  Pids are unique for
+    live processes, so a pid-keyed insertion-ordered dict preserves the
+    deque's FIFO semantics exactly while making every operation O(1).
+    """
+
+    __slots__ = ("_procs",)
+
+    def __init__(self) -> None:
+        self._procs: Dict[int, Proc] = {}
+
+    def append(self, proc: Proc) -> None:
+        self._procs[proc.pid] = proc
+
+    def remove(self, proc: Proc) -> None:
+        if self._procs.pop(proc.pid, None) is None:
+            raise ValueError(f"pid {proc.pid} not in ready queue")
+
+    def __contains__(self, proc: object) -> bool:
+        pid = getattr(proc, "pid", None)
+        return pid in self._procs
+
+    def __len__(self) -> int:
+        return len(self._procs)
+
+    def __iter__(self) -> Iterator[Proc]:
+        return iter(self._procs.values())
 
 
 class Scheduler:
@@ -28,7 +60,7 @@ class Scheduler:
 
     def __init__(self, machine) -> None:
         self.machine = machine
-        self.ready: Deque[Proc] = deque()
+        self.ready = ReadyQueue()
         self.current: Optional[Proc] = None
         self._sleepers: Dict[str, List[Proc]] = {}
         self.context_switches = 0
@@ -64,9 +96,23 @@ class Scheduler:
         self.machine.charge(costs.SCHED_ENQUEUE)
 
     def _remove_sleeper(self, proc: Proc) -> None:
-        for sleepers in self._sleepers.values():
+        # proc.wchan names the one channel a sleeper can be queued on, so
+        # the removal never walks the other channels; the fallback full scan
+        # only runs for a proc whose wchan was already cleared out-of-band
+        wchan = proc.wchan
+        if wchan is not None:
+            sleepers = self._sleepers.get(wchan)
+            if sleepers is not None:
+                if proc in sleepers:
+                    sleepers.remove(proc)
+                if not sleepers:
+                    del self._sleepers[wchan]
+            return
+        for channel, sleepers in list(self._sleepers.items()):
             if proc in sleepers:
                 sleepers.remove(proc)
+            if not sleepers:
+                del self._sleepers[channel]
 
     def switch_to(self, proc: Proc) -> Proc:
         """Context switch to ``proc``; returns the previously running process."""
@@ -154,9 +200,7 @@ class Scheduler:
             self.ready.remove(proc)
         except ValueError:
             pass
-        for sleepers in self._sleepers.values():
-            if proc in sleepers:
-                sleepers.remove(proc)
+        self._remove_sleeper(proc)
         if self.current is proc:
             self.current = None
         self._suspended.discard(proc.pid)

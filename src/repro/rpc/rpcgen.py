@@ -123,7 +123,15 @@ def generate_service(kernel, interface: InterfaceDefinition, *,
     from ..kernel.cred import ROOT, unprivileged
 
     network = install_network(kernel)
-    portmap = portmap or Portmapper()
+    if portmap is None:
+        # One portmapper per kernel, like the real rpcbind: every service
+        # generated on this kernel registers in (and resolves through) the
+        # same table, so two services can coexist and share clients.  An
+        # explicitly passed portmapper still wins (tests isolate with it).
+        portmap = getattr(kernel, "rpc_portmap", None)
+        if portmap is None:
+            portmap = Portmapper()
+            kernel.rpc_portmap = portmap
     cred = ROOT if server_uid == 0 else unprivileged(server_uid)
     server_proc = kernel.create_process(f"rpc.{interface.name}d", cred=cred)
     server = RpcServer(kernel, server_proc, network, portmap, port=port)

@@ -267,6 +267,11 @@ class TraceCache:
         self.capacity = capacity
         # smod: guarded-by epoch
         self._entries: "OrderedDict[Tuple, TraceEntry]" = OrderedDict()
+        #: session id -> keys stored for it; per-session invalidation (the
+        #: teardown and broker seat-churn paths) is O(own keys), not a walk
+        #: over the whole cache — at served scale teardown storms would
+        #: otherwise rescan thousands of live entries per dead session
+        self._by_session: Dict[int, set] = {}
         #: bumped by ``invalidate_all``; every entry records the epoch it was
         #: stored under, so a bump retires the whole cache in O(1)
         self.epoch = 0
@@ -296,16 +301,27 @@ class TraceCache:
         if key not in self._entries and len(self._entries) >= self.capacity:
             # smod: allow(EPOCH001)  evicting never stales survivors: the
             # epoch only retires entries wholesale (invalidate_all)
-            self._entries.popitem(last=False)
+            evicted_key, _ = self._entries.popitem(last=False)
+            self._unindex(evicted_key)
             self.evictions += 1
         # smod: allow(EPOCH001)  inserting a fresh entry cannot stale it;
         # it is recorded under the current epoch by construction
         self._entries[key] = entry
         self._entries.move_to_end(key)
+        self._by_session.setdefault(key[0], set()).add(key)
+
+    def _unindex(self, key: Tuple) -> None:
+        keys = self._by_session.get(key[0])
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._by_session[key[0]]
 
     # ------------------------------------------------------------ invalidation
     def invalidate_session(self, session_id: int) -> int:
-        stale = [key for key in self._entries if key[0] == session_id]
+        stale = self._by_session.pop(session_id, None)
+        if not stale:
+            return 0
         for key in stale:
             # smod: allow(EPOCH001)  entries are removed outright, not staled;
             # the epoch exists for O(1) wholesale retirement only
@@ -320,12 +336,14 @@ class TraceCache:
             # smod: allow(EPOCH001)  entries are removed outright, not staled;
             # the epoch exists for O(1) wholesale retirement only
             del self._entries[key]
+            self._unindex(key)
         self.invalidated += len(stale)
         return len(stale)
 
     def invalidate_all(self) -> int:
         count = len(self._entries)
         self._entries.clear()
+        self._by_session.clear()
         self.invalidated += count
         self.epoch += 1
         return count

@@ -29,6 +29,7 @@ frame.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -163,6 +164,21 @@ class HandleBroker:
         self._module_policies: Dict[str, HandlePolicy] = {}
         #: pool key (sorted m_id tuple) -> shared handles, oldest first
         self._pools: Dict[Tuple[int, ...], List[Handle]] = {}
+        #: free-seat index per pool: a lazy min-heap of ``(fork_seq, pid)``
+        #: for handles that may still have open seats.  The paper-faithful
+        #: seat order is "oldest live non-full handle first" — exactly the
+        #: smallest fork sequence number — so popping the heap reproduces
+        #: the old linear scan without walking the pool (O(n) per attach
+        #: became the bottleneck at served-session scale).  Entries go stale
+        #: when a handle fills or dies; they are discarded lazily on pop and
+        #: re-pushed whenever a detach frees a seat.
+        self._free_seats: Dict[Tuple[int, ...], List[Tuple[int, int]]] = {}
+        #: handle pid -> (pool key, fork seq): O(1) detach and heap re-push
+        self._pool_slot: Dict[int, Tuple[Tuple[int, ...], int]] = {}
+        #: fork seqs currently represented by a heap entry (dedupe guard:
+        #: a full handle's entry is retired once, restored once per refill)
+        self._seat_entries: set = set()
+        self._fork_seq = 0
         # observability
         self.handles_forked = 0
         self.handles_killed = 0
@@ -192,6 +208,15 @@ class HandleBroker:
         self._module_policies[module_name] = parsed
         return parsed
 
+    def pool_members(self, modules: Sequence) -> Tuple[Handle, ...]:
+        """The shared-handle pool covering ``modules`` (may be empty).
+
+        Pure observation for health checks and status surfaces — no charge,
+        no mutation; the caller decides what liveness means.
+        """
+        key = tuple(sorted(module.m_id for module in modules))
+        return tuple(self._pools.get(key, ()))
+
     def policy_for(self, modules: Sequence) -> HandlePolicy:
         """Effective policy for a session naming ``modules`` (most restrictive
         of the per-module registrations; unregistered modules use the broker
@@ -217,16 +242,28 @@ class HandleBroker:
         key = tuple(sorted(module.m_id for module in modules))
         if policy.shares_handles:
             seats = policy.seats_per_handle()
-            for handle in self._pools.get(key, ()):
-                if not handle.proc.alive:
-                    continue
-                if seats and handle.session_count >= seats:
+            heap = self._free_seats.get(key)
+            while heap:
+                seq, pid, handle = heap[0]
+                slot = self._pool_slot.get(pid)
+                if (slot is None or slot[1] != seq
+                        or not handle.proc.alive
+                        or (seats and handle.session_count >= seats)):
+                    # stale: the handle died, left the pool, or filled up
+                    heapq.heappop(heap)
+                    self._seat_entries.discard(seq)
                     continue
                 self._attach_existing(handle, client)
                 return handle, False
         handle = self._fork_handle(client)
         if policy.shares_handles:
             self._pools.setdefault(key, []).append(handle)
+            seq = self._fork_seq
+            self._fork_seq += 1
+            self._pool_slot[handle.proc.pid] = (key, seq)
+            heapq.heappush(self._free_seats.setdefault(key, []),
+                           (seq, handle.proc.pid, handle))
+            self._seat_entries.add(seq)
         return handle, True
 
     def _fork_handle(self, client: Proc) -> Handle:
@@ -272,15 +309,30 @@ class HandleBroker:
         """
         handle = session.handle
         self.detachments += 1
+        slot = self._pool_slot.get(handle.proc.pid)
         if not last:
             # the survivors' routing cost just changed: drop their traces
             self._invalidate_seat_traces(handle)
+            if slot is not None:
+                key, seq = slot
+                if seq not in self._seat_entries:
+                    # a seat just freed on a handle whose index entry was
+                    # retired as full: restore it so attach can find it
+                    heapq.heappush(self._free_seats.setdefault(key, []),
+                                   (seq, handle.proc.pid, handle))
+                    self._seat_entries.add(seq)
             return False
-        for key, handles in list(self._pools.items()):
-            if handle in handles:
-                handles.remove(handle)
+        if slot is not None:
+            key, seq = slot
+            del self._pool_slot[handle.proc.pid]
+            self._seat_entries.discard(seq)
+            handles = self._pools.get(key)
+            if handles is not None:
+                if handle in handles:
+                    handles.remove(handle)
                 if not handles:
                     del self._pools[key]
+                    self._free_seats.pop(key, None)
         if kill and handle.proc.alive:
             handle.kill()
             self.handles_killed += 1

@@ -202,6 +202,12 @@ class Session:
 #: (and maps to per-shard locks in a real SMP kernel).
 DEFAULT_SESSION_SHARDS = 8
 
+#: The implicit tenant every client belongs to until assigned elsewhere.
+#: A single-tenant table is flat — no tenant walk happens and no
+#: :data:`~repro.sim.costs.SMOD_TENANT_LOOKUP` is ever charged, keeping the
+#: paper-default accounting byte-identical.
+DEFAULT_TENANT = 0
+
 
 class SessionManager:
     """Kernel-side bookkeeping of every SecModule session.
@@ -234,15 +240,32 @@ class SessionManager:
         #: on so shard count shows up in cycle accounting under load.
         self.charge_shard_locks = charge_shard_locks
         self.shard_lock_acquisitions = 0
+        self.tenant_lookups = 0
         #: authoritative store: shard -> {(client_pid, session_id): Session}
         self._shards: Tuple[Dict[Tuple[int, int], Session], ...] = tuple(
             {} for _ in range(n_shards))
+        #: tenant id -> that tenant's shard tuple.  Tenant 0 *is* the flat
+        #: table above; extra tenants get their own shard tuples and flip the
+        #: table into hierarchical mode (tenant walk, then shard lock).
+        self._tenants: Dict[int, Tuple[Dict[Tuple[int, int], Session], ...]] \
+            = {DEFAULT_TENANT: self._shards}
+        #: client pid -> tenant id (absent = DEFAULT_TENANT)
+        self._tenant_of: Dict[int, int] = {}
+        #: True once a second tenant table exists; gates the tenant walk so
+        #: the single-tenant charge sequence never changes
+        self.hierarchical = False
         self._by_id: Dict[int, Session] = {}
-        #: pid -> [session_id, ...] in establishment order (lookup index)
-        self._client_sessions: Dict[int, List[int]] = {}
-        #: handle pid -> [session_id, ...] in attach order (a shared handle
+        #: pid -> {session_id: None} in establishment order (lookup index;
+        #: a dict so teardown removes one id without walking the rest)
+        self._client_sessions: Dict[int, Dict[int, None]] = {}
+        #: handle pid -> {session_id: None} in attach order (a shared handle
         #: serves several sessions; the paper's 1:1 shape is the length-1 case)
-        self._by_handle_pid: Dict[int, List[int]] = {}
+        self._by_handle_pid: Dict[int, Dict[int, None]] = {}
+        #: live (not torn down) sessions, total and per tenant — kept
+        #: incrementally so ``len()`` and the serve status surface never
+        #: scan the table
+        self._live_count = 0
+        self._live_by_tenant: Dict[int, int] = {}
         self._next_id = 1
         self.denied_establishments: List[str] = []
         #: memoized policy decisions to drop on teardown (may be None)
@@ -258,16 +281,73 @@ class SessionManager:
 
         Every read or write of a shard goes through here so the per-shard
         lock acquisition is visible in cycle accounting when
-        ``charge_shard_locks`` is on.
+        ``charge_shard_locks`` is on.  In hierarchical (multi-tenant) mode
+        the walk is tenant index first, then the tenant's shard — one
+        :data:`~repro.sim.costs.SMOD_TENANT_LOOKUP` plus the usual shard
+        lock; a flat table skips the tenant level entirely.
         """
+        if self.hierarchical:
+            tenant = self._tenant_of.get(client_pid, DEFAULT_TENANT)
+            shards = self._tenants[tenant]
+            if self.charge_shard_locks:
+                self.kernel.machine.charge(costs.SMOD_TENANT_LOOKUP)
+                self.tenant_lookups += 1
+        else:
+            shards = self._shards
         if self.charge_shard_locks:
             self.kernel.machine.charge(costs.SMOD_SHARD_LOCK)
             self.shard_lock_acquisitions += 1
-        return self._shards[self._shard_index(client_pid)]
+        return shards[self._shard_index(client_pid)]
 
     def shard_sizes(self) -> List[int]:
-        """Entries per shard (observability for the throughput reports)."""
-        return [len(shard) for shard in self._shards]
+        """Entries per shard (observability for the throughput reports).
+
+        In hierarchical mode the per-shard counts are concatenated in
+        tenant-id order, so a flat table reports exactly what it always did.
+        """
+        return [len(shard) for tenant in sorted(self._tenants)
+                for shard in self._tenants[tenant]]
+
+    # ------------------------------------------------------------ tenancy
+    def configure_tenant(self, tenant_id: int) -> None:
+        """Create (or re-use) a tenant-level session table.
+
+        Creating any tenant other than :data:`DEFAULT_TENANT` switches the
+        manager into hierarchical mode: every shard acquisition walks the
+        tenant index first and — when shard-lock charging is on — pays one
+        :data:`~repro.sim.costs.SMOD_TENANT_LOOKUP` for it.
+        """
+        if tenant_id < 0:
+            raise SimulationError("tenant id must be non-negative")
+        if tenant_id not in self._tenants:
+            self._tenants[tenant_id] = tuple({} for _ in range(self.n_shards))
+        if tenant_id != DEFAULT_TENANT:
+            self.hierarchical = True
+
+    def assign_tenant(self, client_pid: int, tenant_id: int) -> None:
+        """Bind a client to a tenant before its first session is established.
+
+        Re-assigning a client that already holds sessions would strand its
+        table entries in the old tenant's shards, so that is rejected.
+        """
+        self.configure_tenant(tenant_id)
+        if self._client_sessions.get(client_pid):
+            raise SimulationError(
+                f"client pid {client_pid} already holds sessions; "
+                f"tenants are assigned at attach time")
+        if tenant_id == DEFAULT_TENANT:
+            self._tenant_of.pop(client_pid, None)
+        else:
+            self._tenant_of[client_pid] = tenant_id
+
+    def tenant_for(self, client_pid: int) -> int:
+        return self._tenant_of.get(client_pid, DEFAULT_TENANT)
+
+    def live_sessions_by_tenant(self) -> Dict[int, int]:
+        """Live session count per tenant (incremental; O(tenants))."""
+        return {tenant: count
+                for tenant, count in sorted(self._live_by_tenant.items())
+                if count}
 
     # ------------------------------------------------------------ lookups
     def get(self, session_id: int) -> Optional[Session]:
@@ -279,6 +359,15 @@ class SessionManager:
         return [shard[(proc.pid, sid)]
                 for sid in self._client_sessions.get(proc.pid, ())
                 if (proc.pid, sid) in shard]
+
+    def lookup(self, client_pid: int, session_id: int) -> Optional[Session]:
+        """Keyed probe of the (tenant-)sharded table: one shard acquisition.
+
+        This is the service plane's hot lookup — binding resolution walks
+        tenant index → shard → key, never scanning the table, so its cost
+        stays flat as the live-session count grows.
+        """
+        return self._shard(client_pid).get((client_pid, session_id))
 
     def session_for_call(self, proc: Proc, m_id: int,
                          frame=None) -> Optional[Session]:
@@ -295,16 +384,16 @@ class SessionManager:
         first session, so the dispatcher reports the precise errno (ENOENT
         vs EINVAL) exactly as the single-session kernel did.
         """
-        sessions = self.for_client(proc)
         frame_session_id = getattr(frame, "session_id", None)
         if frame_session_id is not None:
             # the stub recorded which session it pushed the frame for; a
             # frame naming a session the client no longer holds (torn down,
-            # detached from its handle) must fail EINVAL, never be re-routed
-            for session in sessions:
-                if session.session_id == frame_session_id:
-                    return session
-            return None
+            # detached from its handle) must fail EINVAL, never be re-routed.
+            # Torn-down sessions leave the shard at teardown, so one keyed
+            # probe resolves this without walking the client's session list
+            # (same single shard-lock charge as the list walk paid).
+            return self._shard(proc.pid).get((proc.pid, frame_session_id))
+        sessions = self.for_client(proc)
         frame_stack = getattr(frame, "stack", None)
         if frame_stack is not None:
             for session in sessions:
@@ -416,10 +505,13 @@ class SessionManager:
         self._by_id[session.session_id] = session
         shard = self._shard(client.pid)
         shard[(client.pid, session.session_id)] = session
-        self._client_sessions.setdefault(client.pid, []).append(
-            session.session_id)
-        self._by_handle_pid.setdefault(handle_proc.pid, []).append(
-            session.session_id)
+        self._client_sessions.setdefault(client.pid, {})[
+            session.session_id] = None
+        self._by_handle_pid.setdefault(handle_proc.pid, {})[
+            session.session_id] = None
+        self._live_count += 1
+        tenant = self.tenant_for(client.pid)
+        self._live_by_tenant[tenant] = self._live_by_tenant.get(tenant, 0) + 1
         handle.attach_session(session)
         # proc.smod_session keeps pointing at the client's *primary* (first)
         # session so legacy single-session consumers keep working.
@@ -530,9 +622,11 @@ class SessionManager:
         # drop this session from the sharded table and the client index first
         shard = self._shard(client.pid)
         shard.pop((client.pid, session.session_id), None)
-        remaining_ids = self._client_sessions.get(client.pid, [])
-        if session.session_id in remaining_ids:
-            remaining_ids.remove(session.session_id)
+        remaining_ids = self._client_sessions.get(client.pid, {})
+        remaining_ids.pop(session.session_id, None)
+        self._live_count -= 1
+        tenant = self.tenant_for(client.pid)
+        self._live_by_tenant[tenant] = self._live_by_tenant.get(tenant, 1) - 1
         survivors = self.for_client(client)
 
         if survivors:
@@ -554,14 +648,13 @@ class SessionManager:
             self._client_sessions.pop(client.pid, None)
 
         # handle side: release this session's seat
-        seated_ids = self._by_handle_pid.get(handle_proc.pid, [])
-        if session.session_id in seated_ids:
-            seated_ids.remove(session.session_id)
+        seated_ids = self._by_handle_pid.get(handle_proc.pid, {})
+        seated_ids.pop(session.session_id, None)
         last_seat = not seated_ids
         if last_seat:
             handle_proc.smod_session = None
         elif handle_proc.smod_session is session:
-            handle_proc.smod_session = self._by_id.get(seated_ids[0])
+            handle_proc.smod_session = self._by_id.get(next(iter(seated_ids)))
         for msqid in (session.request_msqid, session.reply_msqid):
             if msqid >= 0 and self.kernel.msg.lookup(msqid) is not None:
                 try:
@@ -600,4 +693,4 @@ class SessionManager:
         return len(sessions)
 
     def __len__(self) -> int:
-        return len(self.active_sessions())
+        return self._live_count

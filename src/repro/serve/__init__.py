@@ -1,0 +1,31 @@
+"""The service plane: SecModule served as a backend behind a front-end.
+
+Everything here is additive and compiled out by default — constructing
+nothing from this package leaves every paper figure byte-identical.  See
+``docs/service-plane.md`` for the architecture.
+"""
+
+from .attachment_pool import (AttachmentPool, Attachment, Checkout,
+                              PoolConfig)
+from .discovery import (BackendRecord, BackendRegistry, HealthReport,
+                        STATE_DOWN, STATE_DRAINING, STATE_UP)
+from .frontend import (Binding, SERVE_PORT, SERVE_PROG, ServiceConfig,
+                       ServiceFrontend)
+
+__all__ = [
+    "Attachment",
+    "AttachmentPool",
+    "BackendRecord",
+    "BackendRegistry",
+    "Binding",
+    "Checkout",
+    "HealthReport",
+    "PoolConfig",
+    "SERVE_PORT",
+    "SERVE_PROG",
+    "STATE_DOWN",
+    "STATE_DRAINING",
+    "STATE_UP",
+    "ServiceConfig",
+    "ServiceFrontend",
+]

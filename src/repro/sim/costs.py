@@ -83,6 +83,7 @@ SMOD_BATCH_SETUP = "smod_batch_setup"     # per-batch super-frame bookkeeping
 SMOD_BATCH_ENTRY = "smod_batch_entry"     # per-entry walk of the call queue
 SMOD_POOL_ATTACH = "smod_pool_attach"     # seat a session on a live handle
 SMOD_POOL_ROUTE = "smod_pool_route"       # shared handle resolves the calling session
+SMOD_TENANT_LOOKUP = "smod_tenant_lookup"  # tenant-index walk above the shards
 SMOD_REGISTER_BASE = "smod_register_base"
 CIPHER_BLOCK = "cipher_block"             # decrypt/encrypt one 8-byte block
 KEY_SCHEDULE = "key_schedule"
@@ -104,6 +105,12 @@ RPC_CLNT_CALL_OVERHEAD = "rpc_clnt_call_overhead"  # xid, timeout, retransmit se
 RPC_SVC_DISPATCH = "rpc_svc_dispatch"     # svc_getreqset + program/proc lookup
 RPC_AUTH_CHECK = "rpc_auth_check"
 
+# --- service plane (serve/) -------------------------------------------------
+SERVE_BACKEND_RESOLVE = "serve_backend_resolve"  # discovery registry lookup
+SERVE_POOL_CHECKOUT = "serve_pool_checkout"      # claim a pooled attachment
+SERVE_POOL_CHECKIN = "serve_pool_checkin"        # return a pooled attachment
+SERVE_HEALTH_PROBE = "serve_health_probe"        # one backend health check
+
 #: Every operation name known to the cost model.  Profiles must define all
 #: of them; the check happens at construction time so a typo in kernel code
 #: shows up as a loud KeyError rather than a silently-free operation.
@@ -118,12 +125,14 @@ ALL_OPERATIONS: tuple[str, ...] = (
     SMOD_SESSION_LOOKUP, SMOD_SHARD_LOCK, SMOD_CRED_CHECK, SMOD_POLICY_STEP,
     SMOD_POLICY_CACHE_HIT,
     SMOD_STACK_FIXUP_WORD, SMOD_BATCH_SETUP, SMOD_BATCH_ENTRY,
-    SMOD_POOL_ATTACH, SMOD_POOL_ROUTE,
+    SMOD_POOL_ATTACH, SMOD_POOL_ROUTE, SMOD_TENANT_LOOKUP,
     SMOD_REGISTER_BASE, CIPHER_BLOCK, KEY_SCHEDULE,
     USER_STACK_WORD, USER_CALL_OVERHEAD,
     FUNC_BODY_TESTINCR, FUNC_BODY_GETPID, FUNC_BODY_SMOD_GETPID, MALLOC_BODY,
     XDR_ITEM, UDP_SEND_PATH, UDP_RECV_PATH, SOCKET_ALLOC,
     RPC_CLNT_CALL_OVERHEAD, RPC_SVC_DISPATCH, RPC_AUTH_CHECK,
+    SERVE_BACKEND_RESOLVE, SERVE_POOL_CHECKOUT, SERVE_POOL_CHECKIN,
+    SERVE_HEALTH_PROBE,
 )
 
 
@@ -250,6 +259,7 @@ def _pentium3_table() -> Dict[str, int]:
         SMOD_BATCH_ENTRY: 18,
         SMOD_POOL_ATTACH: 650,
         SMOD_POOL_ROUTE: 34,
+        SMOD_TENANT_LOOKUP: 30,
         SMOD_REGISTER_BASE: 9_000,
         CIPHER_BLOCK: 52,
         KEY_SCHEDULE: 1_400,
@@ -268,6 +278,12 @@ def _pentium3_table() -> Dict[str, int]:
         RPC_CLNT_CALL_OVERHEAD: 1_350,
         RPC_SVC_DISPATCH: 1_500,
         RPC_AUTH_CHECK: 420,
+        # service plane: hash lookups and heap pushes on kernel-side tables,
+        # sized like the other SecModule bookkeeping ops
+        SERVE_BACKEND_RESOLVE: 44,
+        SERVE_POOL_CHECKOUT: 52,
+        SERVE_POOL_CHECKIN: 38,
+        SERVE_HEALTH_PROBE: 70,
     }
 
 

@@ -438,6 +438,22 @@ class Telemetry:
         self.registry.histogram("pool_queue_delay_us", handle=handle_pid,
                                 client=client_pid).record(delay_us)
 
+    # ----------------------------------------------------- service-plane taps
+    def record_pool_wait(self, backend: str, wait_us: float,
+                         n: int = 1) -> None:
+        """Virtual time one checkout waited for a pooled attachment."""
+        self.registry.histogram("serve_pool_wait_us",
+                                backend=backend).record(wait_us, n=n)
+
+    def record_pool_refusal(self, backend: str) -> None:
+        """One checkout refused because the attachment pool was exhausted."""
+        self.registry.counter("serve_pool_refusals", backend=backend).inc()
+
+    def record_backend_state(self, backend: str, state: str) -> None:
+        """A discovery-registry backend state transition (up/draining/down)."""
+        self.registry.counter(f"serve_backend_state.{state}",
+                              backend=backend).inc()
+
     # ------------------------------------------------------ cache-layer taps
     def cache_event(self, kind: str, n: int = 1) -> None:
         """One decision-cache event: ``hits``/``misses``/``evictions``/..."""
@@ -503,6 +519,16 @@ class NullTelemetry(Telemetry):
 
     def record_queue_delay(self, handle_pid: int, client_pid: int,
                            delay_us: float) -> None:
+        pass
+
+    def record_pool_wait(self, backend: str, wait_us: float,
+                         n: int = 1) -> None:
+        pass
+
+    def record_pool_refusal(self, backend: str) -> None:
+        pass
+
+    def record_backend_state(self, backend: str, state: str) -> None:
         pass
 
     def cache_event(self, kind: str, n: int = 1) -> None:

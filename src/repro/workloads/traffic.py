@@ -151,6 +151,15 @@ class TrafficSpec:
     #: in-process :class:`TrafficEngine` ignores this knob (it always runs
     #: the clients it was given).
     shards: int = 1
+    #: route the run through the service plane: clients attach through a
+    #: :class:`~repro.serve.frontend.ServiceFrontend` binding and every
+    #: call crosses the smodserve RPC surface before dispatching.  Off by
+    #: default — the paper's figures never construct a front-end and their
+    #: charge sequence is untouched (asserted differentially).
+    via_service: bool = False
+    #: service-plane runs: spread clients round-robin over this many
+    #: tenants (>1 switches the session table hierarchical)
+    service_tenants: int = 1
     call_mix: Tuple[Tuple[str, float], ...] = DEFAULT_CALL_MIX
     uid: int = 1000
     principal: str = "alice"
@@ -182,6 +191,15 @@ class TrafficSpec:
                     "leave batch_size at 1")
             if self.adaptive_max_depth < 1:
                 raise SimulationError("adaptive_max_depth must be >= 1")
+        if self.via_service:
+            if self.batch_size != 1:
+                raise SimulationError(
+                    "via_service dispatch is per-call; leave batch_size at 1")
+            if self.adaptive_batch:
+                raise SimulationError(
+                    "via_service and adaptive_batch are mutually exclusive")
+            if self.service_tenants < 1:
+                raise SimulationError("service_tenants must be >= 1")
         # raises on an unknown policy spec
         self.broker_policy()
 
@@ -404,7 +422,17 @@ class TrafficEngine:
         # charge per key.  `_pending_cycles` is the total deferred virtual
         # time (spans + idle), so `_now_us` stays exact mid-window.
         self._ff_enabled = (self.config.use_trace_replay
-                            and self.config.use_fast_forward)
+                            and self.config.use_fast_forward
+                            and not spec.via_service)
+        # ---- service plane --------------------------------------------------
+        #: the front-end (built lazily with the run) when via_service is on
+        self.frontend = None
+        #: client index -> m_id -> binding id on the front-end
+        self._service_bindings: Dict[int, Dict[int, int]] = {}
+        #: client index -> the client's BoundClient RPC stub
+        self._service_clients: Dict[int, object] = {}
+        #: (m_id, function name) -> (func_id, arg_words) for RPC encoding
+        self._service_funcs: Dict[Tuple[int, str], Tuple[int, int]] = {}
         self._pending_cycles = 0
         self._pending_idle_cycles = 0
         self._pending_idle_events = 0
@@ -439,12 +467,46 @@ class TrafficEngine:
             self.extension.broker.register_policy(registered.name,
                                                   broker_policy)
 
+        service_backends: List = []
+        if spec.via_service:
+            # deferred import: the service plane is compiled out of every
+            # non-service run, and the import itself stays off their path
+            from ..serve.frontend import ServiceConfig, ServiceFrontend
+            self.frontend = ServiceFrontend(
+                self.kernel, self.extension,
+                config=ServiceConfig(principal=spec.principal, uid=spec.uid),
+                telemetry=self.telemetry)
+            if spec.multi_session:
+                # one backend per module, mirroring the session topology
+                for registered in self.modules:
+                    service_backends.append(self.frontend.register_backend(
+                        registered.name, [registered], policy=broker_policy))
+            else:
+                service_backends.append(self.frontend.register_backend(
+                    "traffic", self.modules, policy=broker_policy))
+            for registered in self.modules:
+                for function in registered.definition.functions():
+                    self._service_funcs[(registered.m_id, function.name)] = \
+                        (function.func_id, function.arg_words)
+
         for c in self.client_ids:
             program = Program.spawn(self.kernel, f"traffic-client{c}",
                                     uid=spec.uid)
             state = ClientState(index=c, program=program,
                                 rng=self.rng.child(f"client:{c}"))
-            if spec.multi_session:
+            if spec.via_service:
+                tenant = c % spec.service_tenants
+                bindings = self._service_bindings.setdefault(c, {})
+                for record in service_backends:
+                    binding = self.frontend.attach(record, tenant=tenant,
+                                                   client=program)
+                    bindings.update({registered.m_id: binding.binding_id
+                                     for registered in record.modules})
+                    for registered in record.modules:
+                        state.sessions[registered.m_id] = binding.session
+                self._service_clients[c] = \
+                    self.frontend.make_client(program.proc)
+            elif spec.multi_session:
                 # one session per module: N x M entries in the sharded table
                 for registered in self.modules:
                     session = self._start_session(program, [registered],
@@ -977,6 +1039,74 @@ class TrafficEngine:
             flush(state.index)      # safety net; the last arrival drained it
         self._controllers = controllers
 
+    def _one_service_call(self, state: ClientState, *,
+                          scheduled_at: Optional[float] = None) -> None:
+        """One arrival, dispatched across the smodserve RPC surface.
+
+        The call crosses the front-end exactly as a remote client's would:
+        client stub encode, loopback datagram, server dispatch, binding
+        resolve (keyed shard probe), SecModule dispatch, reply.  Latency is
+        measured around the whole round trip, so service-plane runs report
+        the served call cost, not just the dispatch tail.
+        """
+        modules = self.modules
+        registered = (modules[0] if len(modules) == 1 else
+                      modules[state.rng.integer(0, len(modules) - 1)])
+        session = state.pick_session(registered.m_id)
+        if scheduled_at is not None:
+            delay = max(0.0, self._now_us() - scheduled_at)
+            state.queue_delays_us.append(delay)
+            if self._telemetry_on:
+                self.extension.broker.record_queue_delay(session, delay)
+        name, args = self._draw_call(state, 0)
+        func_id, arg_words = self._service_funcs[(registered.m_id, name)]
+        binding_id = self._service_bindings[state.index][registered.m_id]
+        stub = self._service_clients[state.index]
+        mark = self.machine.clock.checkpoint()
+        result = stub.call("serve_call", binding_id, registered.m_id,
+                           func_id, args[0] if arg_words and args else 0)
+        service_us = self.machine.clock.since(mark).microseconds(
+            self.machine.spec.mhz)
+        state.calls_issued += 1
+        state.latencies_us.append(service_us)
+        if result < 0:
+            state.calls_denied += 1
+
+    def _run_via_service(self) -> None:
+        """The service-plane driver: every call is one served RPC.
+
+        Batching, adaptive control and fast-forward are all off (the spec
+        validator pins the first two; the constructor pins the third): a
+        served call's cost is dominated by the transport round trip, and
+        the replay tiers' guards do not span the RPC boundary.
+        """
+        spec = self.spec
+        if spec.arrival in ("open", "mmpp"):
+            times, indices = self._open_schedule_sorted(
+                spec.calls_per_client)
+            for at, index in zip(times, indices):
+                state = self._client_by_id[index]
+                self._advance_clock_to(at)
+                self._one_service_call(state, scheduled_at=at)
+            return
+        events: List[Tuple[float, int, int]] = []
+        tiebreak = 0
+        base_us = self._now_us()
+        think = {s.index: self._think_source(s) for s in self.clients}
+        for state in self.clients:
+            first = base_us + think[state.index]()
+            heapq.heappush(events, (first, tiebreak, state.index))
+            tiebreak += 1
+        while events:
+            at, _, index = heapq.heappop(events)
+            state = self._client_by_id[index]
+            self._advance_clock_to(at)
+            self._one_service_call(state)
+            if state.calls_issued < spec.calls_per_client:
+                next_at = self._now_us() + think[state.index]()
+                heapq.heappush(events, (next_at, tiebreak, state.index))
+                tiebreak += 1
+
     def run(self) -> TrafficResult:
         """Drive the full call schedule and collect the result."""
         self.build()
@@ -991,7 +1121,9 @@ class TrafficEngine:
         def flush_size(nth: int) -> int:
             return spec.batch_size if nth < flushes - 1 else last_flush
 
-        if spec.adaptive_batch:
+        if spec.via_service:
+            self._run_via_service()
+        elif spec.adaptive_batch:
             self._run_adaptive()
         elif spec.arrival in ("open", "mmpp"):
             # pre-draw every arrival per client, independent of completions

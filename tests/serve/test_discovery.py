@@ -1,0 +1,146 @@
+"""Backend discovery: registration, resolution, health, lifecycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.kernel.proc import ProcState
+from repro.secmodule.libc_conversion import build_test_module
+from repro.secmodule.protection import ProtectionMode
+from repro.secmodule.session import SessionDescriptor, build_requirements
+from repro.serve.discovery import (
+    STATE_CODES,
+    STATE_DOWN,
+    STATE_DRAINING,
+    STATE_UP,
+    BackendRegistry,
+)
+from repro.userland.process import Program
+
+
+@pytest.fixture
+def served(smod_kernel):
+    kernel, ext = smod_kernel
+    registered = ext.registry.register(build_test_module(), uid=0,
+                                      protection=ProtectionMode.ENCRYPT)
+    registry = BackendRegistry(kernel, ext)
+    return kernel, ext, registry, registered
+
+
+def _establish(kernel, ext, registered, name="disc-client"):
+    program = Program.spawn(kernel, name, uid=1000)
+    descriptor = SessionDescriptor(build_requirements(
+        [registered], principal="alice", uid=1000))
+    session_id = program.smod_crt0_startup(ext, descriptor)
+    return ext.sessions.get(session_id)
+
+
+class TestRegistration:
+    def test_register_names_a_backend_and_its_policy(self, served):
+        kernel, ext, registry, registered = served
+        record = registry.register("libtest", [registered],
+                                   policy="pooled:4")
+        assert record.backend_id == 1
+        assert record.state == STATE_UP
+        assert record.module_names == ("libtest",)
+        # registration performed the module-owner act with the broker
+        assert ext.broker.policy_for([registered]).kind == "pooled"
+
+    def test_duplicate_name_rejected(self, served):
+        _, _, registry, registered = served
+        registry.register("libtest", [registered])
+        with pytest.raises(SimulationError, match="already registered"):
+            registry.register("libtest", [registered])
+
+    def test_empty_module_set_rejected(self, served):
+        _, _, registry, _ = served
+        with pytest.raises(SimulationError, match="at least one module"):
+            registry.register("empty", [])
+
+
+class TestResolution:
+    def test_resolves_by_name_id_and_record(self, served):
+        _, _, registry, registered = served
+        record = registry.register("libtest", [registered])
+        assert registry.resolve("libtest") is record
+        assert registry.resolve(record.backend_id) is record
+        assert registry.resolve(record) is record
+        assert registry.resolutions == 3
+
+    def test_unknown_backend_raises(self, served):
+        _, _, registry, _ = served
+        with pytest.raises(SimulationError, match="unknown backend"):
+            registry.resolve("nowhere")
+
+    def test_resolution_is_charged(self, served):
+        kernel, _, registry, registered = served
+        record = registry.register("libtest", [registered])
+        before = kernel.machine.clock.cycles
+        registry.resolve(record)
+        charged = kernel.machine.clock.cycles - before
+        assert charged > 0
+        # uncharged registry pays zero cycles for the same resolve
+        quiet = BackendRegistry(kernel, registry.extension, charge_ops=False)
+        quiet.register("libtest", [registered])
+        before = kernel.machine.clock.cycles
+        quiet.resolve("libtest")
+        assert kernel.machine.clock.cycles == before
+
+
+class TestHealth:
+    def test_unpopulated_backend_probes_up(self, served):
+        _, _, registry, registered = served
+        registry.register("libtest", [registered])
+        report = registry.health_check("libtest")
+        assert report.state == STATE_UP
+        assert report.handles == 0
+
+    def test_probe_counts_live_handles_and_seats(self, served):
+        kernel, ext, registry, registered = served
+        registry.register("libtest", [registered], policy="pooled:2")
+        _establish(kernel, ext, registered, "disc-a")
+        _establish(kernel, ext, registered, "disc-b")
+        _establish(kernel, ext, registered, "disc-c")
+        report = registry.health_check("libtest")
+        assert report.state == STATE_UP
+        assert report.handles == 2          # 3 sessions, 2 seats/handle
+        assert report.live_handles == 2
+        assert report.seated_sessions == 3
+
+    def test_all_handles_dead_probes_down_then_recovers(self, served):
+        kernel, ext, registry, registered = served
+        record = registry.register("libtest", [registered],
+                                   policy="pooled:4")
+        session = _establish(kernel, ext, registered, "disc-dead")
+        # a crash the broker has not noticed: the handle stays pooled but
+        # its process is gone (a clean kill() would self-evict from the pool)
+        session.handle.proc.state = ProcState.ZOMBIE
+        report = registry.health_check(record)
+        assert report.state == STATE_DOWN
+        assert report.live_handles == 0
+        # a re-populated pool brings the backend back up on the next probe
+        _establish(kernel, ext, registered, "disc-revive")
+        assert registry.health_check(record).state == STATE_UP
+
+    def test_draining_is_never_overridden_by_a_probe(self, served):
+        kernel, ext, registry, registered = served
+        record = registry.register("libtest", [registered])
+        _establish(kernel, ext, registered, "disc-drain")
+        registry.mark_draining(record)
+        assert registry.health_check(record).state == STATE_DRAINING
+
+    def test_state_codes_cover_all_states(self):
+        assert STATE_CODES == {STATE_UP: 0, STATE_DRAINING: 1, STATE_DOWN: 2}
+
+
+class TestSnapshot:
+    def test_snapshot_is_charge_free_and_complete(self, served):
+        kernel, _, registry, registered = served
+        registry.register("libtest", [registered], policy="pooled:8")
+        before = kernel.machine.clock.cycles
+        snap = registry.snapshot()
+        assert kernel.machine.clock.cycles == before
+        assert snap["libtest"]["policy"] == "pooled:8"
+        assert snap["libtest"]["state"] == STATE_UP
+        assert snap["libtest"]["modules"] == ["libtest"]

@@ -1,0 +1,84 @@
+"""Scaling regressions: session-table op counts must not grow with N."""
+
+from __future__ import annotations
+
+from repro.hw.machine import make_paper_machine
+from repro.kernel.kernel import Kernel
+from repro.secmodule.libc_conversion import build_test_module
+from repro.secmodule.protection import ProtectionMode
+from repro.secmodule.smod_syscalls import install_secmodule
+from repro.serve.frontend import ServiceConfig, ServiceFrontend
+
+
+def _populate(sessions, *, tenants=4, seed=311):
+    """A front-end holding ``sessions`` live sessions across ``tenants``."""
+    machine = make_paper_machine(seed=seed)
+    kernel = Kernel(machine=machine).boot()
+    ext = install_secmodule(kernel)
+    ext.sessions.charge_shard_locks = True
+    registered = ext.registry.register(build_test_module(), uid=0,
+                                       protection=ProtectionMode.ENCRYPT)
+    frontend = ServiceFrontend(
+        kernel, ext, config=ServiceConfig(max_procs=sessions + 4096))
+    record = frontend.register_backend("libtest", [registered])
+    bindings = [frontend.attach(record, tenant=index % tenants)
+                for index in range(sessions)]
+    return kernel, ext, frontend, bindings
+
+
+def _ops_per_lookup(kernel, ext, bindings, probes=64):
+    """Index ops (tenant walks + shard locks) per keyed probe, exact."""
+    manager = ext.sessions
+    stride = max(1, len(bindings) // probes)
+    sample = bindings[::stride][:probes]
+    before_ops = manager.shard_lock_acquisitions + manager.tenant_lookups
+    before_cycles = kernel.machine.clock.cycles
+    for binding in sample:
+        assert manager.lookup(binding.client.proc.pid,
+                              binding.session.session_id) \
+            is binding.session
+    ops = (manager.shard_lock_acquisitions + manager.tenant_lookups
+           - before_ops)
+    cycles = kernel.machine.clock.cycles - before_cycles
+    return ops / len(sample), cycles / len(sample)
+
+
+class TestFlatLookup:
+    def test_lookup_op_count_does_not_grow_with_session_count(self):
+        """The tentpole's acceptance bar: per-lookup op counts (and cycle
+        costs) are byte-identical at 64 and 4096 live sessions — the keyed
+        probe walks tenant index -> shard -> key, never the table."""
+        kernel_s, ext_s, _, bindings_s = _populate(64)
+        kernel_l, ext_l, _, bindings_l = _populate(4096)
+        small_ops, small_cycles = _ops_per_lookup(kernel_s, ext_s, bindings_s)
+        large_ops, large_cycles = _ops_per_lookup(kernel_l, ext_l, bindings_l)
+        assert small_ops == large_ops == 2.0   # one tenant walk + one lock
+        assert small_cycles == large_cycles
+
+    def test_attach_and_detach_cost_flat_across_table_sizes(self):
+        """Establishment and teardown are index inserts/removals: the
+        marginal cost of session N+1 must not depend on N."""
+        costs = []
+        for sessions in (64, 1024):
+            kernel, ext, frontend, bindings = _populate(sessions)
+            before = kernel.machine.clock.cycles
+            extra = frontend.attach(bindings[0].backend, tenant=1)
+            attach_cycles = kernel.machine.clock.cycles - before
+            before = kernel.machine.clock.cycles
+            frontend.detach(extra.binding_id, kill_handle=False)
+            detach_cycles = kernel.machine.clock.cycles - before
+            costs.append((attach_cycles, detach_cycles))
+        assert costs[0] == costs[1]
+
+    def test_teardown_leaves_no_stale_index_entries(self):
+        kernel, ext, frontend, bindings = _populate(128)
+        for binding in bindings[::2]:
+            frontend.detach(binding.binding_id)
+        assert len(ext.sessions) == 64
+        for binding in bindings[::2]:
+            assert ext.sessions.lookup(binding.client.proc.pid,
+                                       binding.session.session_id) is None
+        for binding in bindings[1::2]:
+            assert ext.sessions.lookup(binding.client.proc.pid,
+                                       binding.session.session_id) \
+                is binding.session
