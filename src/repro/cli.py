@@ -214,6 +214,41 @@ def build_parser() -> argparse.ArgumentParser:
                     help="pooled calls driven before the snapshot")
     ss.add_argument("--seed", type=int, default=0x5E21)
 
+    tr = subparsers.add_parser(
+        "trace", help="virtual-time causal tracing: run a traced workload, "
+                      "print the critical-path breakdown, export to Perfetto")
+    tr_sub = tr.add_subparsers(dest="trace_command")
+    trr = tr_sub.add_parser(
+        "run", help="drive a traced workload and print flight-recorder "
+                    "stats (a via-service MMPP run by default)")
+    trp = tr_sub.add_parser(
+        "report", help="per-request critical-path breakdown: service vs "
+                       "queue vs resolve vs switch, p50/p95 per segment")
+    tre = tr_sub.add_parser(
+        "export", help="write the recorded spans as Chrome trace-event "
+                       "JSON (load at https://ui.perfetto.dev)")
+    for trace_parser in (trr, trp, tre):
+        trace_parser.add_argument("--clients", type=int, default=8)
+        trace_parser.add_argument("--modules", type=int, default=2)
+        trace_parser.add_argument("--sample-calls", type=int, default=64,
+                                  help="calls issued per client")
+        trace_parser.add_argument("--arrival", default="mmpp",
+                                  choices=["closed", "open", "mmpp"])
+        trace_parser.add_argument("--direct", action="store_true",
+                                  help="trace the direct dispatch path "
+                                       "instead of the service plane")
+        trace_parser.add_argument("--sample-every", type=int, default=1,
+                                  help="deterministic head sampling: keep "
+                                       "spans for 1 in K clients")
+        trace_parser.add_argument("--capacity", type=int, default=0,
+                                  help="flight-recorder span capacity "
+                                       "(0: tracer default)")
+        trace_parser.add_argument("--seed", type=int, default=0xB07_7E57)
+        trace_parser.add_argument("--fast", action="store_true",
+                                  help="CI smoke: tiny run")
+    tre.add_argument("--out", default="TRACE_smod.json",
+                     help="output path for the Chrome trace-event JSON")
+
     st = subparsers.add_parser(
         "stats", help="pretty-print metrics snapshots "
                       "(from BENCH_*.json files, or a live traffic run)")
@@ -352,6 +387,18 @@ def _render_bench_file(path: str) -> str:
         payload = json.load(stream)
     title = f"{path}: [{payload.get('experiment')}] {payload.get('title')}"
     lines = [title, "-" * len(title)]
+    host: List[str] = []
+    wall = payload.get("wall_seconds")
+    if isinstance(wall, (int, float)):
+        host.append(f"wall={wall:.2f}s")
+    rate = payload.get("calls_per_wall_second")
+    if isinstance(rate, (int, float)) and rate:
+        host.append(f"{rate:,.0f} calls/wall-s")
+    rss = payload.get("peak_rss_bytes")
+    if isinstance(rss, (int, float)) and rss:
+        host.append(f"peak-rss={rss / (1 << 20):.1f}MiB")
+    if host:
+        lines.append("  host: " + "  ".join(host))
     data = payload.get("data")
     if isinstance(data, dict):
         for key, value in data.items():
@@ -360,6 +407,45 @@ def _render_bench_file(path: str) -> str:
         lines.append(f"  data: {data}")
     else:
         lines.append("  (no structured data; see the rendered report)")
+    return "\n".join(lines)
+
+
+def _run_traced(args) -> "TrafficResult":
+    """Drive the ``repro trace`` workload: a traced traffic run."""
+    clients = args.clients
+    calls = args.sample_calls
+    if args.fast:
+        clients = min(clients, 4)
+        calls = min(calls, 16)
+    spec = TrafficSpec(clients=clients, modules=args.modules,
+                       calls_per_client=calls, arrival=args.arrival,
+                       via_service=not args.direct, tracing=True,
+                       trace_sample_every=args.sample_every,
+                       trace_capacity=args.capacity, seed=args.seed)
+    return run_traffic(spec)
+
+
+def _render_trace_stats(result) -> str:
+    """Human-readable ``repro trace run`` summary."""
+    stats = result.trace_stats
+    spec = result.spec
+    path = "via-service" if spec.via_service else "direct"
+    lines = [
+        f"traced {path} {spec.arrival} run: {result.describe()}",
+        f"  flight recorder: {stats.get('recorded', 0)} spans recorded "
+        f"({stats.get('dropped', 0)} dropped by the ring, "
+        f"{stats.get('sampled_out', 0)} sampled out, "
+        f"{stats.get('open', 0)} left open), "
+        f"capacity {stats.get('capacity', 0)}, "
+        f"head sampling 1-in-{stats.get('sample_every', 1)}",
+    ]
+    kinds: Dict[str, int] = {}
+    for span in result.trace_spans:
+        kinds[span.kind] = kinds.get(span.kind, 0) + 1
+    if kinds:
+        per = ", ".join(f"{kind}: {count}"
+                        for kind, count in sorted(kinds.items()))
+        lines.append(f"  span kinds: {per}")
     return "\n".join(lines)
 
 
@@ -506,6 +592,41 @@ def main(argv: Optional[List[str]] = None) -> int:
             _emit(json.dumps(status, indent=2, sort_keys=True), args.output)
         else:
             _emit(_render_serve_status(status), args.output)
+        return 0
+
+    if command == "trace":
+        trace_command = getattr(args, "trace_command", None)
+        if trace_command not in ("run", "report", "export"):
+            parser.error("usage: repro trace {run,report,export} [options]")
+        from .telemetry.trace_export import (
+            chrome_trace,
+            critical_path_report,
+            render_critical_path,
+            validate_chrome_trace,
+        )
+        result = _run_traced(args)
+        if trace_command == "run":
+            _emit(_render_trace_stats(result), args.output)
+            return 0
+        if trace_command == "report":
+            spec = result.spec
+            title = (f"critical-path breakdown: "
+                     f"{'via-service' if spec.via_service else 'direct'} "
+                     f"{spec.arrival}, {spec.clients} clients x "
+                     f"{spec.modules} modules")
+            _emit(render_critical_path(critical_path_report(
+                result.trace_spans), title=title), args.output)
+            return 0
+        payload = chrome_trace(result.trace_spans)
+        error = validate_chrome_trace(payload)
+        if error is not None:
+            print(f"trace export error: {error}", file=sys.stderr)
+            return 1
+        with open(args.out, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream, indent=1)
+        _emit(f"wrote {args.out} ({len(payload['traceEvents'])} events "
+              f"from {len(result.trace_spans)} spans; load it at "
+              f"https://ui.perfetto.dev)", args.output)
         return 0
 
     if command == "stats":

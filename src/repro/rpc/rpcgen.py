@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..errors import SimulationError
 from ..kernel.proc import Proc
+from ..telemetry import NULL_TRACER, Tracer
 from .client import RpcClient
 from .portmap import Portmapper
 from .server import ProcedureHandler, RpcProgram, RpcServer
@@ -94,6 +95,8 @@ class BoundClient:
     def __init__(self, rpc_client: RpcClient, stubs: Dict[str, int]) -> None:
         self.rpc = rpc_client
         self._stubs = stubs
+        #: span tracing (pure observation; drivers wire a live tracer)
+        self.tracer: Tracer = NULL_TRACER
 
     def call(self, procedure_name: str, *args: int) -> int:
         try:
@@ -101,7 +104,14 @@ class BoundClient:
         except KeyError:
             raise SimulationError(
                 f"interface defines no procedure {procedure_name!r}") from None
-        return self.rpc.clnt_call(number, list(args))
+        tracer = self.tracer
+        span = (tracer.start(f"rpc.{procedure_name}",
+                             client_id=self.rpc.proc.pid)
+                if tracer.enabled else None)
+        result = self.rpc.clnt_call(number, list(args))
+        if span is not None:
+            tracer.finish(span)
+        return result
 
     def __getattr__(self, item: str):
         if item.startswith("_") or item == "rpc":

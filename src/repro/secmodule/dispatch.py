@@ -36,7 +36,8 @@ from ..kernel.proc import Proc
 from ..kernel.sysv_msg import Message
 from ..sim import costs
 from ..sim.clock import Stopwatch
-from ..telemetry import NULL_TELEMETRY, Telemetry
+from ..telemetry import NULL_TELEMETRY, NULL_TRACER, Telemetry, Tracer
+from ..telemetry.tracing import TIER_OP_BY_OP, TIER_REPLAY
 from .decision_cache import DecisionCache, policy_is_cacheable
 from .module import CallEnvironment, SecFunction
 from .registry import RegisteredModule
@@ -377,6 +378,8 @@ class SmodDispatcher:
         self.decision_cache.trace_cache = self.trace_cache
         #: pure observation — recording never charges the virtual clock
         self.telemetry: Telemetry = NULL_TELEMETRY
+        #: span tracing, same contract: observation only, null by default
+        self.tracer: Tracer = NULL_TRACER
 
     # ------------------------------------------------------------------ helpers
     def _policy_check(self, session: Session, module: RegisteredModule,
@@ -762,6 +765,16 @@ class SmodDispatcher:
                                                   entry.depth, n=n)
                 telemetry.record_batch(session.session_id, entry.depth,
                                        span_us, n=n)
+        tracer = self.tracer
+        if tracer.enabled:
+            # one synthesized span stands in for the whole window, so a
+            # traced fast-forward run records O(windows) spans, not O(n)
+            tracer.aggregate(
+                "dispatch.call" if entry.batch_plan is None
+                else "dispatch.batch",
+                span_us=entry.trace.total_cycles / machine.spec.mhz, n=n,
+                client_id=session.client.pid,
+                session_id=session.session_id)
 
     # -------------------------------------------------------------- kernel path
     def sys_smod_call(self, client: Proc, session: Session,
@@ -1009,6 +1022,10 @@ class SmodDispatcher:
         module, function = found
 
         machine = self.kernel.machine
+        tracer = self.tracer
+        span = (tracer.start("dispatch.call", client_id=session.client.pid,
+                             session_id=session.session_id)
+                if tracer.enabled else None)
         key = None
         if self._traceable(session, function, module, config, machine):
             key = (session.session_id, (module.m_id, function.func_id),
@@ -1020,6 +1037,8 @@ class SmodDispatcher:
                     outcome = self._replay_single(entry, session, module,
                                                   function, args)
                     if outcome is not None:
+                        if span is not None:
+                            tracer.finish(span, tier=TIER_REPLAY)
                         return outcome
                 elif entry.state == TRACE_POISONED:
                     key = None        # recording this key again is pure waste
@@ -1061,6 +1080,8 @@ class SmodDispatcher:
         if watch is not None:
             telemetry.record_dispatch(session.session_id, module.name,
                                       watch.elapsed_us())
+        if span is not None:
+            tracer.finish(span, tier=TIER_OP_BY_OP)
         return outcome
 
     def call_batch(self, session: Session,
@@ -1104,6 +1125,10 @@ class SmodDispatcher:
                 self.call(session, name, *args, config=config)])
 
         machine = self.kernel.machine
+        tracer = self.tracer
+        span = (tracer.start("dispatch.batch", client_id=session.client.pid,
+                             session_id=session.session_id)
+                if tracer.enabled else None)
         # resolve every name once: the trace-eligibility check, the stub
         # build and the recorded batch plan all consume this list
         found_list = [session.find_function(name) for name, _ in calls]
@@ -1125,6 +1150,8 @@ class SmodDispatcher:
                     replayed = self._replay_batch(entry, session, calls,
                                                   found_list)
                     if replayed is not None:
+                        if span is not None:
+                            tracer.finish(span, tier=TIER_REPLAY)
                         return replayed
                 elif entry.state == TRACE_POISONED:
                     key = None
@@ -1154,6 +1181,8 @@ class SmodDispatcher:
             if not len(batch_stub):
                 if recording is not None:
                     self._abort_trace_recording(recording)
+                if span is not None:
+                    tracer.finish(span, tier=TIER_OP_BY_OP)
                 return BatchOutcome(outcomes=list(outcomes))
 
             batch = batch_stub.push_batch(
@@ -1181,6 +1210,8 @@ class SmodDispatcher:
                     telemetry.record_batch(session.session_id,
                                            len(batch.frames),
                                            watch.elapsed_us())
+                if span is not None:
+                    tracer.finish(span, tier=TIER_OP_BY_OP)
                 return BatchOutcome(outcomes=list(outcomes),
                                     errno=result.errno)
 
@@ -1203,6 +1234,8 @@ class SmodDispatcher:
         if watch is not None:
             telemetry.record_batch(session.session_id, len(pushed),
                                    watch.elapsed_us())
+        if span is not None:
+            tracer.finish(span, tier=TIER_OP_BY_OP)
         return BatchOutcome(outcomes=list(outcomes))
 
     def _unwind_failed_call(self, session: Session,

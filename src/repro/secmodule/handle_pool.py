@@ -37,7 +37,7 @@ from ..errors import SimulationError
 from ..kernel.proc import Proc, ProcFlag
 from ..sim import costs
 from ..sim.stats import jain_fairness_index
-from ..telemetry import NULL_TELEMETRY, Telemetry
+from ..telemetry import NULL_TELEMETRY, NULL_TRACER, Telemetry, Tracer
 from .handle import Handle
 
 #: Policy kinds, in increasing order of sharing.
@@ -187,6 +187,8 @@ class HandleBroker:
         #: per-seat queueing-delay histograms live here when a telemetry
         #: plane is attached (pure observation, never charges the clock)
         self.telemetry: Telemetry = NULL_TELEMETRY
+        #: span tracing, same contract: queue waits become spans, null off
+        self.tracer: Tracer = NULL_TRACER
         #: the dispatcher's trace cache (wired by SmodExtension): a seat
         #: joining or leaving a shared handle changes the routing cost every
         #: *other* seated session pays per call, so their recorded traces
@@ -347,6 +349,12 @@ class HandleBroker:
         if telemetry.enabled:
             telemetry.record_queue_delay(session.handle.proc.pid,
                                          session.client.pid, delay_us)
+        tracer = self.tracer
+        if tracer.enabled:
+            end_us = tracer.now_us()
+            tracer.interval("broker.queue_wait", end_us - delay_us, end_us,
+                            client_id=session.client.pid,
+                            session_id=session.session_id)
 
     def seat_delay_report(self) -> Dict[int, Dict[str, object]]:
         """Per-handle queueing-delay fairness across its seated clients.

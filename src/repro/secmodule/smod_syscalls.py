@@ -35,7 +35,8 @@ from ..kernel.syscall import (
     SYS_smod_session_info,
     SYS_smod_start_session,
 )
-from ..telemetry import NULL_TELEMETRY, Telemetry
+from ..telemetry import NULL_TELEMETRY, NULL_TRACER, Telemetry, Tracer
+from ..telemetry.tracing import make_tracer
 from .decision_cache import DecisionCache
 from .dispatch import DispatchConfig, SmodDispatcher
 from .handle_pool import HandleBroker, HandlePolicy
@@ -73,6 +74,7 @@ class SmodExtension:
         # (the dispatcher wired decision-cache invalidations in its ctor)
         self.broker.trace_cache = self.dispatcher.trace_cache
         self.telemetry: Telemetry = NULL_TELEMETRY
+        self.tracer: Tracer = NULL_TRACER
         self._installed = False
 
     # --------------------------------------------------------------- telemetry
@@ -93,6 +95,30 @@ class SmodExtension:
         self.decision_cache.telemetry = tel
         self.broker.telemetry = tel
         return tel
+
+    def enable_tracing(self, tracer: Optional[Tracer] = None, *,
+                       capacity: Optional[int] = None,
+                       sample_every: int = 1,
+                       seed: int = 0x51A9) -> Tracer:
+        """Attach a span tracer to every tap point at once.
+
+        Wires the dispatcher (``dispatch.call``/``dispatch.batch`` spans
+        with tier annotations) and the handle broker (``broker.queue_wait``
+        spans).  Like telemetry, tracing is pure observation: span
+        timestamps read the virtual clock, never charge it, so a traced
+        run's cycle totals are byte-identical to an untraced one.
+        """
+        if tracer is None:
+            machine = self.kernel.machine
+            kwargs = {"sample_every": sample_every, "seed": seed}
+            if capacity is not None:
+                kwargs["capacity"] = capacity
+            tracer = make_tracer(True, machine.clock, machine.spec.mhz,
+                                 **kwargs)
+        self.tracer = tracer
+        self.dispatcher.tracer = tracer
+        self.broker.tracer = tracer
+        return tracer
 
     # ------------------------------------------------------------- installation
     def install(self) -> "SmodExtension":

@@ -42,6 +42,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..errors import SimulationError
 from ..sim import costs
 from ..telemetry.metrics import NULL_TELEMETRY, Telemetry
+from ..telemetry.tracing import NULL_TRACER, Tracer
 
 OVERFLOW_QUEUE = "queue"
 OVERFLOW_REFUSE = "refuse"
@@ -110,6 +111,8 @@ class AttachmentPool:
         self.kernel = kernel
         self.config = config
         self.telemetry = telemetry
+        #: span tracing (observation only; wired by the front-end)
+        self.tracer: Tracer = NULL_TRACER
         self._factory = factory
         #: (free_at_us, seq, attachment): seq breaks ties so attachments
         #: themselves are never compared
@@ -157,6 +160,11 @@ class AttachmentPool:
         attachment.checkouts += 1
         if self.telemetry.enabled:
             self.telemetry.record_pool_wait(self.backend, wait_us)
+        tracer = self.tracer
+        if tracer.enabled:
+            # the span covers the (virtual) time spent waiting on the pool;
+            # zero-wait grants record a zero-length marker at the grant
+            tracer.interval("pool.checkout", start_us - wait_us, start_us)
         return Checkout(attachment=attachment, start_us=start_us,
                         wait_us=wait_us)
 
@@ -165,6 +173,9 @@ class AttachmentPool:
         self.refusals += 1
         if self.telemetry.enabled:
             self.telemetry.record_pool_refusal(self.backend)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.interval("pool.refuse", now_us, now_us)
         return Checkout(attachment=None, start_us=now_us, wait_us=wait_us,
                         refused=True, reason=reason)
 

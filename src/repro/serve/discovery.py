@@ -24,6 +24,7 @@ from ..errors import SimulationError
 from ..secmodule.handle_pool import HandlePolicy
 from ..sim import costs
 from ..telemetry.metrics import NULL_TELEMETRY, Telemetry
+from ..telemetry.tracing import NULL_TRACER, Tracer
 
 #: backend lifecycle states
 STATE_UP = "up"
@@ -87,6 +88,8 @@ class BackendRegistry:
         #: (service-plane-compiled-out) charge sequence exactly
         self.charge_ops = charge_ops
         self.telemetry = telemetry
+        #: span tracing (observation only; wired by the front-end)
+        self.tracer: Tracer = NULL_TRACER
         self._by_name: Dict[str, BackendRecord] = {}
         self._by_id: Dict[int, BackendRecord] = {}
         self._next_id = 1
@@ -127,9 +130,13 @@ class BackendRegistry:
         Resolution succeeds regardless of state — callers decide whether a
         draining or down backend may serve their operation.
         """
+        tracer = self.tracer
+        span = tracer.start("serve.resolve") if tracer.enabled else None
         if self.charge_ops:
             self.kernel.machine.charge(costs.SERVE_BACKEND_RESOLVE)
         self.resolutions += 1
+        if span is not None:
+            tracer.finish(span)
         if isinstance(ref, BackendRecord):
             return ref
         record = (self._by_id.get(ref) if isinstance(ref, int)
@@ -147,8 +154,12 @@ class BackendRegistry:
         ``down``; a (re)populated pool brings it back ``up``.  ``draining``
         is operator state and is never overridden by a probe.
         """
+        tracer = self.tracer
+        span = tracer.start("serve.health") if tracer.enabled else None
         if self.charge_ops:
             self.kernel.machine.charge(costs.SERVE_HEALTH_PROBE)
+        if span is not None:
+            tracer.finish(span)
         record = ref if isinstance(ref, BackendRecord) else (
             self._by_id.get(ref) if isinstance(ref, int)
             else self._by_name.get(ref))

@@ -39,6 +39,7 @@ from ..secmodule.session import (DEFAULT_TENANT, SessionDescriptor,
                                  build_requirements)
 from ..sim import costs
 from ..telemetry.metrics import NULL_TELEMETRY, Telemetry
+from ..telemetry.tracing import NULL_TRACER, Tracer
 from ..userland.process import Program
 from .attachment_pool import AttachmentPool, Checkout, PoolConfig
 from .discovery import (STATE_CODES, STATE_DOWN, STATE_UP, BackendRecord,
@@ -90,6 +91,8 @@ class ServiceFrontend:
         self.extension = extension
         self.config = config or ServiceConfig()
         self.telemetry = telemetry
+        #: span tracing (observation only; see :meth:`attach_tracer`)
+        self.tracer: Tracer = NULL_TRACER
         self.registry = BackendRegistry(kernel, extension,
                                         charge_ops=self.config.charge_ops,
                                         telemetry=telemetry)
@@ -114,6 +117,17 @@ class ServiceFrontend:
         self.down_refusals = 0
 
     # --------------------------------------------------------------- plumbing
+    def attach_tracer(self, tracer: Tracer) -> None:
+        """Wire a span tracer through the whole service plane: the
+        front-end, the discovery registry, every attachment pool (current
+        and future), and the dispatcher/broker underneath."""
+        self.tracer = tracer
+        self.registry.tracer = tracer
+        for pool in self._pools.values():
+            pool.tracer = tracer
+        self.extension.dispatcher.tracer = tracer
+        self.extension.broker.tracer = tracer
+
     def _now_us(self) -> float:
         return self._us_of(self.kernel.machine.clock.cycles)
 
@@ -138,9 +152,11 @@ class ServiceFrontend:
         record = self.registry.register(name, modules, policy=policy)
         pool_config = (pool or self.config.pool).with_charging(
             self.config.charge_ops and (pool or self.config.pool).charge_ops)
-        self._pools[name] = AttachmentPool(
+        pool = AttachmentPool(
             name, lambda rec=record: self._worker_session(rec),
             kernel=self.kernel, config=pool_config, telemetry=self.telemetry)
+        pool.tracer = self.tracer
+        self._pools[name] = pool
         return record
 
     def pool(self, backend_name: str) -> AttachmentPool:
@@ -180,8 +196,12 @@ class ServiceFrontend:
         deployments.  A front-end-spawned surrogate program stands in for
         remote clients that exist only across the RPC boundary.
         """
+        tracer = self.tracer
+        span = tracer.start("rpc.attach") if tracer.enabled else None
         record = self.registry.resolve(backend)
         if record.state != STATE_UP:
+            if span is not None:
+                tracer.finish(span)
             raise SimulationError(
                 f"backend {record.name!r} is {record.state}; "
                 f"not accepting new bindings")
@@ -190,6 +210,8 @@ class ServiceFrontend:
             client = Program.spawn(self.kernel,
                                    name or f"svc-client{binding_id}",
                                    uid=self.config.uid)
+        if span is not None:
+            span.client_id = client.proc.pid
         sessions = self.extension.sessions
         if tenant != sessions.tenant_for(client.proc.pid):
             sessions.assign_tenant(client.proc.pid, tenant)
@@ -201,6 +223,9 @@ class ServiceFrontend:
         self._bindings[binding_id] = binding
         self._next_binding += 1
         self.attaches += 1
+        if span is not None:
+            span.session_id = session.session_id
+            tracer.finish(span)
         return binding
 
     def detach(self, binding_id: int, *, kill_handle: bool = True) -> None:
@@ -230,15 +255,27 @@ class ServiceFrontend:
         binding = self._bindings.get(binding_id)
         if binding is None:
             return DispatchOutcome(errno=Errno.EINVAL)
+        tracer = self.tracer
+        span = (tracer.start("serve.call", client_id=binding.client.proc.pid,
+                             session_id=binding.session.session_id)
+                if tracer.enabled else None)
+        resolve = tracer.start("serve.resolve") if tracer.enabled else None
         self._charge(costs.SERVE_BACKEND_RESOLVE)
         session = self.extension.sessions.lookup(
             binding.client.proc.pid, binding.session.session_id)
+        if resolve is not None:
+            tracer.finish(resolve)
         if session is None:
+            if span is not None:
+                tracer.finish(span)
             return DispatchOutcome(errno=Errno.EINVAL)
         binding.calls += 1
         self.bound_calls += 1
-        return self.extension.dispatcher.call(session, function_name, *args,
-                                              config=config)
+        outcome = self.extension.dispatcher.call(session, function_name,
+                                                 *args, config=config)
+        if span is not None:
+            tracer.finish(span)
+        return outcome
 
     def call_pooled(self, backend: Union[str, int, BackendRecord],
                     function_name: str, *args,
@@ -251,6 +288,8 @@ class ServiceFrontend:
         pool waits and refusals are decided against it.  Returns the
         dispatch outcome plus the checkout record (wait/refusal detail).
         """
+        tracer = self.tracer
+        span = tracer.start("serve.pooled") if tracer.enabled else None
         record = self.registry.resolve(backend)
         now_us = self._now_us() if arrival_us is None else arrival_us
         if record.state == STATE_DOWN:
@@ -258,17 +297,25 @@ class ServiceFrontend:
             refusal = Checkout(attachment=None, start_us=now_us, wait_us=0.0,
                                refused=True,
                                reason=f"backend {record.name!r} is down")
+            if span is not None:
+                tracer.finish(span)
             return DispatchOutcome(errno=Errno.EAGAIN), refusal
         pool = self.pool(record.name)
         checkout = pool.checkout(now_us)
         if not checkout.ok:
+            if span is not None:
+                tracer.finish(span)
             return DispatchOutcome(errno=Errno.EAGAIN), checkout
+        if span is not None:
+            span.session_id = checkout.attachment.session.session_id
         before_us = self._now_us()
         outcome = self.extension.dispatcher.call(
             checkout.attachment.session, function_name, *args, config=config)
         service_us = self._now_us() - before_us
         pool.checkin(checkout.attachment, checkout.start_us + service_us)
         self.pooled_calls += 1
+        if span is not None:
+            tracer.finish(span)
         return outcome, checkout
 
     # ---------------------------------------------------------------- status

@@ -33,6 +33,13 @@ from .metrics import (
     merge_telemetry_states,
     render_snapshot,
 )
+from .tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    make_tracer,
+)
 
 __all__ = [
     "Counter",
@@ -41,8 +48,13 @@ __all__ = [
     "MetricsRegistry",
     "NullTelemetry",
     "NULL_TELEMETRY",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
     "Telemetry",
+    "Tracer",
     "make_telemetry",
+    "make_tracer",
     "merge_telemetry_states",
     "render_snapshot",
 ]

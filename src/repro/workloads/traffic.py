@@ -73,7 +73,13 @@ from ..secmodule.smod_syscalls import SmodExtension, install_secmodule
 from ..sim import costs
 from ..sim.rng import DeterministicRNG, TwoStateMMPP
 from ..sim.stats import mean, percentile
-from ..telemetry import NULL_TELEMETRY, Telemetry, make_telemetry
+from ..telemetry import (
+    NULL_TELEMETRY,
+    NULL_TRACER,
+    Telemetry,
+    Tracer,
+    make_telemetry,
+)
 from ..userland.process import Program
 
 #: call-mix weights: (function name, relative weight)
@@ -151,6 +157,18 @@ class TrafficSpec:
     #: in-process :class:`TrafficEngine` ignores this knob (it always runs
     #: the clients it was given).
     shards: int = 1
+    #: attach the span tracer (causal span trees with virtual-microsecond
+    #: timestamps: dispatch/broker/service-plane/RPC tap points, ring-buffer
+    #: flight recorder, per-request critical-path segments).  Pure
+    #: observation like telemetry: span timestamps read the clock and never
+    #: charge it, so traced cycle totals are byte-identical to untraced
+    #: ones (asserted differentially by the non-perturbation tests)
+    tracing: bool = False
+    #: deterministic head sampling: keep spans for 1 in every K clients,
+    #: decided per client id from a seeded child stream (1 = trace all)
+    trace_sample_every: int = 1
+    #: flight-recorder capacity (spans retained); 0 takes the tracer default
+    trace_capacity: int = 0
     #: route the run through the service plane: clients attach through a
     #: :class:`~repro.serve.frontend.ServiceFrontend` binding and every
     #: call crosses the smodserve RPC surface before dispatching.  Off by
@@ -191,6 +209,14 @@ class TrafficSpec:
                     "leave batch_size at 1")
             if self.adaptive_max_depth < 1:
                 raise SimulationError("adaptive_max_depth must be >= 1")
+        if self.trace_sample_every < 1:
+            raise SimulationError("trace_sample_every must be >= 1")
+        if self.trace_capacity < 0:
+            raise SimulationError("trace_capacity must be >= 0")
+        if self.tracing and self.shards > 1:
+            raise SimulationError(
+                "tracing is in-process (one flight recorder per engine); "
+                "run it unsharded (shards=1)")
         if self.via_service:
             if self.batch_size != 1:
                 raise SimulationError(
@@ -319,6 +345,11 @@ class TrafficResult:
     #: the broker's per-handle queueing-delay fairness report (telemetry
     #: runs with open-loop arrivals; empty otherwise)
     seat_fairness: Dict[int, Dict[str, object]] = field(default_factory=dict)
+    #: flight-recorder spans in chronological order (``tracing=True`` runs
+    #: only; :class:`~repro.telemetry.tracing.Span` objects)
+    trace_spans: List = field(default_factory=list)
+    #: tracer counters: started/finished/recorded/dropped/... (tracing runs)
+    trace_stats: Dict[str, object] = field(default_factory=dict)
 
     @property
     def mean_service_us(self) -> float:
@@ -386,6 +417,14 @@ class TrafficEngine:
         self.telemetry: Telemetry = NULL_TELEMETRY
         if spec.telemetry:
             self.telemetry = self.extension.enable_telemetry(make_telemetry(True))
+        self.tracer: Tracer = NULL_TRACER
+        if spec.tracing:
+            kwargs = {"sample_every": spec.trace_sample_every}
+            if spec.trace_capacity:
+                kwargs["capacity"] = spec.trace_capacity
+            # wires the dispatcher and broker taps; the service-plane and
+            # RPC-stub taps are wired in build() once the front-end exists
+            self.tracer = self.extension.enable_tracing(**kwargs)
         self.rng = DeterministicRNG(spec.seed)
         #: global client indices this engine drives.  A shard worker passes
         #: its slice of the full run's clients; the ids seed the per-client
@@ -449,6 +488,9 @@ class TrafficEngine:
         self._dispatcher = self.extension.dispatcher
         self._us_of = self.machine.meter.profile.microseconds
         self._telemetry_on = self.telemetry.enabled
+        # record_queue_delay feeds both observation planes; hoist the
+        # either-enabled check out of the per-call loops
+        self._observe_queue = self._telemetry_on or self.tracer.enabled
 
     # ------------------------------------------------------------------- build
     def build(self) -> "TrafficEngine":
@@ -476,6 +518,8 @@ class TrafficEngine:
                 self.kernel, self.extension,
                 config=ServiceConfig(principal=spec.principal, uid=spec.uid),
                 telemetry=self.telemetry)
+            if self.tracer.enabled:
+                self.frontend.attach_tracer(self.tracer)
             if spec.multi_session:
                 # one backend per module, mirroring the session topology
                 for registered in self.modules:
@@ -504,8 +548,9 @@ class TrafficEngine:
                                      for registered in record.modules})
                     for registered in record.modules:
                         state.sessions[registered.m_id] = binding.session
-                self._service_clients[c] = \
-                    self.frontend.make_client(program.proc)
+                stub = self.frontend.make_client(program.proc)
+                stub.tracer = self.tracer
+                self._service_clients[c] = stub
             elif spec.multi_session:
                 # one session per module: N x M entries in the sharded table
                 for registered in self.modules:
@@ -709,9 +754,9 @@ class TrafficEngine:
                 state.queue_delays_us.append(delay)
             else:
                 state.queue_delays_us.extend([delay] * count)
-            if self._telemetry_on:
-                # record_queue_delay no-ops without telemetry; hoist the
-                # check out of the per-call loop
+            if self._observe_queue:
+                # record_queue_delay no-ops without an observation plane;
+                # hoist the check out of the per-call loop
                 for _ in range(count):
                     self.extension.broker.record_queue_delay(session, delay)
         if count == 1 and self._ff_enabled:
@@ -792,7 +837,7 @@ class TrafficEngine:
         mix_total = self._mix_total
         mix_cum = self._mix_cum
         mix_last = self._mix_last
-        telemetry_on = self._telemetry_on
+        observe_queue = self._observe_queue
         broker = self.extension.broker
         # per-client hoists: bound methods and (single-module) the constant
         # session, so the loop touches no attribute chains on the hot path
@@ -831,7 +876,7 @@ class TrafficEngine:
             if delay < 0.0:
                 delay = 0.0
             delay_append(delay)
-            if telemetry_on:
+            if observe_queue:
                 broker.record_queue_delay(session, delay)
             draw = mix_total * next_double()
             name = mix_last
@@ -1007,7 +1052,7 @@ class TrafficEngine:
             for at in arrivals[index]:
                 delay = max(0.0, now_us - at)
                 state.queue_delays_us.append(delay)
-                if self._telemetry_on:
+                if self._observe_queue:
                     self.extension.broker.record_queue_delay(session, delay)
             self._dispatch_queue(state, session, queue)
             controllers[index].on_flush(len(queue), self._now_us())
@@ -1056,7 +1101,7 @@ class TrafficEngine:
         if scheduled_at is not None:
             delay = max(0.0, self._now_us() - scheduled_at)
             state.queue_delays_us.append(delay)
-            if self._telemetry_on:
+            if self._observe_queue:
                 self.extension.broker.record_queue_delay(session, delay)
         name, args = self._draw_call(state, 0)
         func_id, arg_words = self._service_funcs[(registered.m_id, name)]
@@ -1165,6 +1210,10 @@ class TrafficEngine:
 
         # settle every open fast-forward window before reading the clock
         self._ff_flush()
+        if self.tracer.enabled:
+            # a clean run leaves no open spans; force-close (and flag) any
+            # stragglers so the recorder's view is complete
+            self.tracer.drain()
         interval = self.machine.clock.since(start_mark)
         # array-to-array extends are raw memcpys — no 10^7-object churn
         latencies = array("d")
@@ -1199,6 +1248,10 @@ class TrafficEngine:
                       if self._controllers else {}),
             seat_fairness=(self.extension.broker.seat_delay_report()
                            if self.telemetry.enabled else {}),
+            trace_spans=(self.tracer.spans()
+                         if self.tracer.enabled else []),
+            trace_stats=(self.tracer.stats()
+                         if self.tracer.enabled else {}),
         )
 
     # ---------------------------------------------------------------- teardown

@@ -1,0 +1,12 @@
+"""TELEM fixtures: a span tracer that perturbs the run it observes."""
+
+from sim import costs                  # -> TELEM001
+
+
+def start(machine, kind):
+    machine.charge(costs.TRAP)         # -> TELEM002: tracing must not charge
+    return kind
+
+
+def finish(machine, span):
+    machine.clock.advance(10)          # -> TELEM002 (the CLOCK pass fires too)

@@ -1,0 +1,37 @@
+"""TELEM fixtures: a pure span tracer — observation only, no findings.
+
+Mirrors the shape of ``repro.telemetry.tracing``: timestamps come from
+reading the clock's cycle counter (never advancing it), spans land in a
+bounded ring, and nothing imports the cost model.
+"""
+
+
+class Span:
+    __slots__ = ("kind", "start_us", "end_us")
+
+    def __init__(self, kind, start_us):
+        self.kind = kind
+        self.start_us = start_us
+        self.end_us = start_us
+
+
+class Tracer:
+    def __init__(self, clock, mhz, capacity=16):
+        self._clock = clock
+        self._inv_mhz = 1.0 / mhz
+        self._capacity = capacity
+        self._ring = []
+
+    def now_us(self):
+        return self._clock.cycles * self._inv_mhz    # ok: pure read
+
+    def start(self, kind):
+        return Span(kind, self.now_us())
+
+    def finish(self, span):
+        span.end_us = self.now_us()
+        if len(self._ring) < self._capacity:
+            self._ring.append(span)
+
+    def spans(self):
+        return list(self._ring)

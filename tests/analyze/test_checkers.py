@@ -68,6 +68,17 @@ class TestTelemetry:
         assert "TELEM001" in rules_in(report, "telemetry/probe_bad.py")
         assert "TELEM002" in rules_in(report, "telemetry/probe_bad.py")
 
+    def test_tracing_bad_fixture(self, report):
+        rules = rules_in(report, "telemetry/tracing_bad.py")
+        assert "TELEM001" in rules   # imports sim.costs
+        assert "TELEM002" in rules   # charge() and clock.advance()
+        telem2 = [f for f in report.findings if f.rule == "TELEM002"
+                  and f.path.endswith("tracing_bad.py")]
+        assert len(telem2) == 2
+
+    def test_tracing_good_fixture_is_clean(self, report):
+        assert rules_in(report, "telemetry/tracing_good.py") == []
+
     def test_scope_is_telemetry_only(self, report):
         outside = [f for f in report.findings
                    if f.rule.startswith("TELEM")
