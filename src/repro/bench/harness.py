@@ -39,6 +39,7 @@ from .ablations import (
 from .adaptive import run_abl_adaptive
 from .batch import run_abl_batch
 from .figure7 import reproduce_figure7
+from .overload import run_abl_overload
 from .pool import run_abl_pool
 from .serve import run_abl_serve
 from .simspeed import run_abl_simspeed
@@ -126,6 +127,10 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         "abl-simspeed",
         "Simulator speed: trace-replay dispatch off vs on (wall clock)",
         run_abl_simspeed, kind="ablation"),
+    "abl-overload": ExperimentSpec(
+        "abl-overload",
+        "Overload protection: the goodput/tail-latency knee past saturation",
+        run_abl_overload, kind="ablation"),
 }
 
 

@@ -40,6 +40,15 @@ from .bench.harness import (
     run_all,
     run_experiment,
 )
+from .bench.overload import (
+    DEFAULT_ADMIT_CALLS,
+    DEFAULT_RATIOS as OVERLOAD_RATIOS,
+    FAST_ADMIT_CALLS,
+    FAST_RATIOS as OVERLOAD_FAST_RATIOS,
+    DEFAULT_CALLS as OVERLOAD_CALLS,
+    FAST_CALLS as OVERLOAD_FAST_CALLS,
+    run_overload_sweep,
+)
 from .bench.pool import (
     DEFAULT_CALLS_PER_SESSION,
     DEFAULT_SEATS,
@@ -165,6 +174,22 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--fast", action="store_true",
                     help="CI smoke: a few thousand calls per leg")
 
+    op = bench_sub.add_parser(
+        "overload", help="overload protection: goodput/tail-latency knee "
+                         "past saturation, shedding off vs on "
+                         "(abl-overload)")
+    op.add_argument("--ratios",
+                    default=",".join(f"{r:g}" for r in OVERLOAD_RATIOS),
+                    help="comma-separated offered-load ratios "
+                         "(offered rate / pool capacity)")
+    op.add_argument("--calls", type=int, default=OVERLOAD_CALLS,
+                    help="open-loop arrivals offered per (leg, ratio) point")
+    op.add_argument("--admit-calls", type=int, default=DEFAULT_ADMIT_CALLS,
+                    help="bound calls offered in the admission-control leg")
+    op.add_argument("--seed", type=int, default=0x0AD_10)
+    op.add_argument("--fast", action="store_true",
+                    help="CI smoke: fewer ratios and calls")
+
     dp = bench_sub.add_parser(
         "diff", help="regression gate: compare two BENCH_<id>.json exports")
     dp.add_argument("old", nargs="?", default=None,
@@ -288,6 +313,7 @@ _BENCH_EXPERIMENT_IDS = {
     "serve": "abl-serve",
     "adaptive": "abl-adaptive",
     "simspeed": "abl-simspeed",
+    "overload": "abl-overload",
 }
 
 
@@ -336,6 +362,12 @@ def _update_baselines(baselines_dir: str) -> List[str]:
                 sessions=tuple(params["sessions"]),
                 tenants=params["tenants"],
                 sessions_per_client=params["sessions_per_client"],
+                seed=params["seed"])
+        elif experiment == "abl-overload":
+            report = run_overload_sweep(
+                ratios=tuple(params["ratios"]),
+                calls=params["calls"],
+                admit_calls=params["admit_calls"],
                 seed=params["seed"])
         else:
             raise BenchDiffError(
@@ -464,19 +496,29 @@ def _live_stats(clients: int, sample_calls: int, seed: int) -> str:
 def _serve_status_demo(clients: int, tenants: int, calls: int,
                        seed: int) -> Dict[str, object]:
     """Boot a small service plane, drive it, and return its status dict."""
+    from .control.overload import OverloadConfig
     from .hw.machine import make_paper_machine
     from .kernel.kernel import Kernel
     from .secmodule.libc_conversion import build_test_module
     from .secmodule.protection import ProtectionMode
     from .secmodule.smod_syscalls import install_secmodule
-    from .serve.frontend import ServiceFrontend
+    from .serve.attachment_pool import PoolConfig
+    from .serve.frontend import ServiceConfig, ServiceFrontend
 
     machine = make_paper_machine(seed=seed)
     kernel = Kernel(machine=machine).boot()
     extension = install_secmodule(kernel)
     registered = extension.registry.register(
         build_test_module(), uid=0, protection=ProtectionMode.ENCRYPT)
-    frontend = ServiceFrontend(kernel, extension)
+    # a deliberately small, protected pool: the 1us-spaced demo calls
+    # overload it, so the status shows live shed/breaker/retry counters
+    frontend = ServiceFrontend(
+        kernel, extension,
+        config=ServiceConfig(
+            pool=PoolConfig(max_attachments=2),
+            overload=OverloadConfig(deadline_us=12.0,
+                                    breaker_window_us=100.0,
+                                    retry_budget=4)))
     record = frontend.register_backend("secmodule", [registered])
     for index in range(max(1, clients)):
         frontend.attach(record, tenant=index % max(1, tenants))
@@ -517,6 +559,35 @@ def _render_serve_status(status: Dict[str, object]) -> str:
             f"({pool['waits']} waited, mean {pool['mean_wait_us']:.2f}us, "
             f"max {pool['max_wait_us']:.2f}us; "
             f"{pool['refusals']} refused)")
+    overload = status.get("overload") or {}
+    if overload:
+        sheds = overload.get("pool_sheds") or {}
+        lines.append(
+            f"  overload: {sum(sheds.values())} pool sheds, "
+            f"{overload.get('broker_seat_sheds', 0)} seat sheds, "
+            f"{overload.get('dispatcher_calls_shed', 0)} admission "
+            f"refusals, {overload.get('down_refusals', 0)} down + "
+            f"{overload.get('breaker_refusals', 0)} breaker refusals")
+        for name, breaker in sorted((overload.get("breakers") or {}).items()):
+            lines.append(
+                f"  breaker {name}: state={breaker.get('state')} "
+                f"trips={breaker.get('trips')} "
+                f"fast-fails={breaker.get('fast_fails')} "
+                f"probes={breaker.get('probes')} "
+                f"window={breaker.get('window')}")
+        for name, budget in sorted(
+                (overload.get("retry_budgets") or {}).items()):
+            lines.append(
+                f"  retry budget {name}: {budget.get('remaining')}/"
+                f"{budget.get('budget')} remaining "
+                f"({budget.get('consumed')} consumed, "
+                f"{budget.get('exhaustions')} exhaustions)")
+        admission = overload.get("admission")
+        if admission:
+            lines.append(
+                f"  admission: {admission.get('admitted')} admitted, "
+                f"{admission.get('refused')} refused across "
+                f"{len(admission.get('clients') or {})} client buckets")
     return "\n".join(lines)
 
 
@@ -732,10 +803,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                                   modules=args.modules, seed=args.seed,
                                   shards=args.shards, workers=args.workers,
                                   fast=args.fast)
+        elif args.bench_command == "overload":
+            ratios = tuple(float(s) for s in args.ratios.split(",") if s)
+            calls = args.calls
+            admit_calls = args.admit_calls
+            if args.fast:
+                # shrink only what the user left at the defaults
+                if ratios == OVERLOAD_RATIOS:
+                    ratios = OVERLOAD_FAST_RATIOS
+                calls = min(calls, OVERLOAD_FAST_CALLS)
+                admit_calls = min(admit_calls, FAST_ADMIT_CALLS)
+            params = {"ratios": ratios, "calls": calls,
+                      "admit_calls": admit_calls, "seed": args.seed,
+                      "fast": args.fast}
+            report = run_overload_sweep(ratios=ratios, calls=calls,
+                                        admit_calls=admit_calls,
+                                        seed=args.seed)
         else:
             parser.error("usage: repro bench "
                          "{throughput,batch,pool,serve,adaptive,simspeed,"
-                         "diff} [options]")
+                         "overload,diff} [options]")
         wall_seconds = time.perf_counter() - bench_started
         rendered = report.render()
         if export_dir is not None:

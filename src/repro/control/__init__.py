@@ -8,5 +8,13 @@ EWMA the telemetry plane feeds it.
 """
 
 from .adaptive import AdaptiveBatchController, AdaptiveConfig
+from .overload import (BREAKER_CLOSED, BREAKER_HALF_OPEN, BREAKER_OPEN,
+                       CircuitBreaker, OverloadConfig, OverloadController,
+                       RetryBudget, TokenBucket)
 
-__all__ = ["AdaptiveBatchController", "AdaptiveConfig"]
+__all__ = [
+    "AdaptiveBatchController", "AdaptiveConfig",
+    "BREAKER_CLOSED", "BREAKER_HALF_OPEN", "BREAKER_OPEN",
+    "CircuitBreaker", "OverloadConfig", "OverloadController",
+    "RetryBudget", "TokenBucket",
+]

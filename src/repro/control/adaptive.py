@@ -33,7 +33,7 @@ the floor preserves single-path cycle-identity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import SimulationError
 from ..telemetry import NULL_TELEMETRY, Telemetry
@@ -64,6 +64,14 @@ class AdaptiveConfig:
     #: pending queue at that next arrival (stragglers wait at most one
     #: lull; deliberately not an age-based timer — see the module docs)
     linger_us: float = 24.0
+    #: closed-loop service-time feed: when set (>0) *and* a
+    #: ``service_p95_supplier`` is wired on the controller, a flush whose
+    #: observed service-time p95 exceeds this target shrinks the depth
+    #: multiplicatively even while the arrival EWMA argues for growth —
+    #: the offered rate says "batch more", the tail says "you can't
+    #: afford to".  0 (the default) leaves the controller exactly the
+    #: rate-only AIMD above, byte for byte.
+    service_p95_target_us: float = 0.0
 
     def __post_init__(self) -> None:
         if self.min_depth < 1 or self.max_depth < self.min_depth:
@@ -83,6 +91,8 @@ class AdaptiveConfig:
                 "AIMD needs increase_step >= 1 and decrease_factor > 1")
         if self.linger_us <= 0:
             raise SimulationError("linger_us must be positive")
+        if self.service_p95_target_us < 0.0:
+            raise SimulationError("service_p95_target_us must be >= 0")
 
 
 class AdaptiveBatchController:
@@ -97,11 +107,17 @@ class AdaptiveBatchController:
         self.depth = self.config.initial_depth
         self.ewma_us: Optional[float] = None
         self._last_arrival_us: Optional[float] = None
+        #: closed-loop feed: a zero-argument callable returning the
+        #: observed service-time p95 (virtual us) — typically a telemetry
+        #: ``LogHistogram.quantile(95)`` read.  None (the default) keeps
+        #: the controller rate-only regardless of the config target.
+        self.service_p95_supplier: Optional[Callable[[], float]] = None
         # observability
         self.arrivals = 0
         self.flushes = 0
         self.grows = 0
         self.shrinks = 0
+        self.p95_shrinks = 0
         self.max_depth_reached = self.depth
         #: (virtual time us, depth) at every depth change, seeded at the
         #: run's start time so the axis matches the absolute times
@@ -137,7 +153,18 @@ class AdaptiveBatchController:
             return
         config = self.config
         new_depth = self.depth
-        if ewma <= config.grow_below_us and self.depth < config.max_depth:
+        if (config.service_p95_target_us > 0.0
+                and self.service_p95_supplier is not None
+                and self.service_p95_supplier()
+                > config.service_p95_target_us):
+            # the observed tail already exceeds the target: shrink (or at
+            # least hold at the floor) no matter what the offered rate says
+            if self.depth > config.min_depth:
+                new_depth = max(config.min_depth,
+                                int(self.depth / config.decrease_factor))
+                self.shrinks += 1
+                self.p95_shrinks += 1
+        elif ewma <= config.grow_below_us and self.depth < config.max_depth:
             new_depth = min(config.max_depth,
                             self.depth + config.increase_step)
             self.grows += 1
@@ -163,6 +190,7 @@ class AdaptiveBatchController:
             "flushes": self.flushes,
             "grows": self.grows,
             "shrinks": self.shrinks,
+            "p95_shrinks": self.p95_shrinks,
             "ewma_us": self.ewma_us,
             "trajectory": list(self.trajectory),
         }

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import SimulationError
+from ..kernel.errno import Errno
 from ..kernel.proc import Proc
 from ..telemetry import NULL_TRACER, Tracer
 from .client import RpcClient
@@ -97,6 +98,22 @@ class BoundClient:
         self._stubs = stubs
         #: span tracing (pure observation; drivers wire a live tracer)
         self.tracer: Tracer = NULL_TRACER
+        #: overload protection: ``retry_policy(procedure_name, args)``
+        #: returns the :class:`~repro.control.overload.RetryBudget` (or
+        #: None) guarding an EAGAIN reply's retries.  None = never retry,
+        #: the pre-protection behavior.
+        self.retry_policy = None
+        #: observation hook: ``retry_observer(name, args, outcome)`` with
+        #: outcome ``"retried"`` / ``"exhausted"``
+        self.retry_observer = None
+
+    def _backoff(self, backoff_us: float) -> None:
+        """Deterministic virtual-time retry backoff: idle cycles on the
+        meter, exactly like any other priced wait."""
+        machine = self.rpc.kernel.machine
+        cycles = int(round(backoff_us * machine.spec.mhz))
+        if cycles > 0:
+            machine.meter.idle(cycles)
 
     def call(self, procedure_name: str, *args: int) -> int:
         try:
@@ -109,6 +126,23 @@ class BoundClient:
                              client_id=self.rpc.proc.pid)
                 if tracer.enabled else None)
         result = self.rpc.clnt_call(number, list(args))
+        policy = self.retry_policy
+        if policy is not None and result == -int(Errno.EAGAIN):
+            budget = policy(procedure_name, args)
+            attempt = 0
+            while (budget is not None and result == -int(Errno.EAGAIN)
+                   and budget.try_consume()):
+                # bounded retries with exponential virtual-time backoff;
+                # a drained budget stops the loop and the EAGAIN stands
+                attempt += 1
+                self._backoff(budget.backoff_us(attempt))
+                if self.retry_observer is not None:
+                    self.retry_observer(procedure_name, args, "retried")
+                result = self.rpc.clnt_call(number, list(args))
+            if (budget is not None and result == -int(Errno.EAGAIN)
+                    and budget.remaining <= 0
+                    and self.retry_observer is not None):
+                self.retry_observer(procedure_name, args, "exhausted")
         if span is not None:
             tracer.finish(span)
         return result

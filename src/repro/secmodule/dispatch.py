@@ -30,6 +30,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..control.overload import OverloadController
 from ..errors import SimulationError
 from ..kernel.errno import Errno
 from ..kernel.proc import Proc
@@ -380,8 +381,35 @@ class SmodDispatcher:
         self.telemetry: Telemetry = NULL_TELEMETRY
         #: span tracing, same contract: observation only, null by default
         self.tracer: Tracer = NULL_TRACER
+        #: overload protection (token-bucket admission); None = unprotected,
+        #: and the entry check compiles down to one attribute test
+        self.overload: Optional[OverloadController] = None
+        self.calls_shed = 0
 
     # ------------------------------------------------------------------ helpers
+    def _admit(self, session: Session, tokens: int) -> bool:
+        """Token-bucket admission at the dispatch entry.
+
+        Runs *before* any trace lookup or recording, so its charges — one
+        SMOD_ADMIT_CHECK per decision, one SMOD_ADMIT_REFILL when the
+        check refilled the bucket — never land inside a recorded span, and
+        a refused call never touches the trace machinery at all.  The
+        refusal therefore has honest nonzero virtual cost without ever
+        being able to poison a HOT key.
+        """
+        overload = self.overload
+        if overload is None or not overload.admission_active:
+            return True
+        machine = self.kernel.machine
+        admitted, refilled = overload.admit(
+            session.client.pid, machine.microseconds(), tokens)
+        machine.charge(costs.SMOD_ADMIT_CHECK)
+        if refilled:
+            machine.charge(costs.SMOD_ADMIT_REFILL)
+        if not admitted:
+            self.calls_shed += tokens
+        return admitted
+
     def _policy_check(self, session: Session, module: RegisteredModule,
                       function: SecFunction, *,
                       pending_calls: int = 0) -> Tuple[bool, str]:
@@ -705,6 +733,12 @@ class SmodDispatcher:
         """
         if self.kernel.machine.trace.enabled:
             return None
+        overload = self.overload
+        if overload is not None and overload.admission_active:
+            # fast-forward folds n calls into one closed-form charge; that
+            # would bypass the per-call admission decision (and its
+            # charges), so protected runs stay on the per-call tiers
+            return None
         entry = self.trace_cache.lookup(key)
         if entry is None or entry.state != TRACE_HOT:
             return None
@@ -1006,7 +1040,8 @@ class SmodDispatcher:
 
     # ---------------------------------------------------------------- user path
     def call(self, session: Session, function_name: str, *args: Any,
-             config: DispatchConfig = DispatchConfig()) -> DispatchOutcome:
+             config: DispatchConfig = DispatchConfig(),
+             admitted: bool = False) -> DispatchOutcome:
         """The full user-visible call: client stub + trap + kernel path + unwind.
 
         This is what the SecModule-converted libc's wrappers boil down to and
@@ -1015,7 +1050,13 @@ class SmodDispatcher:
         sequence is replayed as one aggregated clock charge; the first two
         executions of a key, and anything the trace cache cannot prove
         repeatable, run op by op below.
+
+        ``admitted=True`` marks a call whose admission decision already
+        ran upstream (a batch flush delegating its chunk-of-1); everything
+        else pays the token-bucket check when admission control is on.
         """
+        if not admitted and not self._admit(session, 1):
+            return DispatchOutcome(errno=Errno.EAGAIN)
         found = session.find_function(function_name)
         if found is None:
             return DispatchOutcome(errno=Errno.ENOENT)
@@ -1095,9 +1136,16 @@ class SmodDispatcher:
         super-frame bookkeeping — so ``batch_size=1`` is cycle-identical to
         issuing the calls one at a time.  An empty queue flushes nothing and
         charges nothing.
+
+        Admission control charges one token per queued call, decided in a
+        single bucket check up front: a queue that does not fit is refused
+        whole (EAGAIN per entry) before any flush runs.
         """
         if not calls:
             return BatchOutcome()
+        if not self._admit(session, len(calls)):
+            return BatchOutcome(errno=Errno.EAGAIN, outcomes=[
+                DispatchOutcome(errno=Errno.EAGAIN) for _ in calls])
         chunk = max(1, config.batch_size)
         merged = BatchOutcome()
         for start in range(0, len(calls), chunk):
@@ -1122,7 +1170,8 @@ class SmodDispatcher:
         if len(calls) == 1:
             name, args = calls[0]
             return BatchOutcome(outcomes=[
-                self.call(session, name, *args, config=config)])
+                self.call(session, name, *args, config=config,
+                          admitted=True)])
 
         machine = self.kernel.machine
         tracer = self.tracer

@@ -184,6 +184,11 @@ class HandleBroker:
         self.handles_killed = 0
         self.attachments = 0        # sessions seated on an already-live handle
         self.detachments = 0
+        #: seat-queue deadline shedding: calls whose queueing delay already
+        #: exceeds this are shed at admission (0.0 = off, the default —
+        #: drivers consult :meth:`admit_delay` before dispatching)
+        self.shed_deadline_us = 0.0
+        self.seat_sheds = 0
         #: per-seat queueing-delay histograms live here when a telemetry
         #: plane is attached (pure observation, never charges the clock)
         self.telemetry: Telemetry = NULL_TELEMETRY
@@ -341,6 +346,35 @@ class HandleBroker:
             return True
         return False
 
+    # ------------------------------------------------------ seat-queue shedding
+    def admit_delay(self, session, delay_us: float, count: int = 1) -> bool:
+        """Seat-queue deadline gate: may a call that already queued
+        ``delay_us`` still run?
+
+        Drivers consult this *before* dispatching a queued call.  With no
+        deadline configured it always admits (and stays off every charge
+        path); past the deadline the call is shed — one charged SERVE_SHED
+        per call stands in for building the refusal, the shed is mirrored
+        to telemetry/tracing, and False tells the driver to drop the call
+        instead of burning a full dispatch on work nobody is waiting for.
+        """
+        deadline = self.shed_deadline_us
+        if deadline <= 0.0 or delay_us <= deadline:
+            return True
+        self.seat_sheds += count
+        self.kernel.machine.charge(costs.SERVE_SHED, count)
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.record_shed(f"handle:{session.handle.proc.pid}",
+                                  "seat_deadline", n=count)
+        tracer = self.tracer
+        if tracer.enabled:
+            now_us = tracer.now_us()
+            tracer.interval("broker.shed", now_us - delay_us, now_us,
+                            client_id=session.client.pid,
+                            session_id=session.session_id, count=count)
+        return False
+
     # ------------------------------------------------------ seat-level telemetry
     def record_queue_delay(self, session, delay_us: float) -> None:
         """Fold one call's queueing delay into the (handle, client) seat
@@ -398,6 +432,7 @@ class HandleBroker:
             "attachments": self.attachments,
             "detachments": self.detachments,
             "pooled_handles": self.pooled_handle_count(),
+            "seat_sheds": self.seat_sheds,
         }
 
     def describe(self) -> str:

@@ -59,6 +59,10 @@ class PoolConfig:
     max_queue_depth: int = 0
     #: charge SERVE_POOL_CHECKOUT/CHECKIN per operation
     charge_ops: bool = True
+    #: deadline shedding: a checkout whose projected virtual wait exceeds
+    #: this is shed *at admission* (charged SERVE_SHED) instead of queued
+    #: — it could never be served in time.  0 = off.
+    shed_deadline_us: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_attachments < 0:
@@ -67,6 +71,8 @@ class PoolConfig:
             raise SimulationError(f"unknown overflow mode {self.overflow!r}")
         if self.max_queue_depth < 0:
             raise SimulationError("max_queue_depth must be >= 0")
+        if self.shed_deadline_us < 0.0:
+            raise SimulationError("shed_deadline_us must be >= 0")
 
     def with_charging(self, charge_ops: bool) -> "PoolConfig":
         if charge_ops == self.charge_ops:
@@ -128,6 +134,7 @@ class AttachmentPool:
         self.discarded = 0
         self.waits = 0
         self.refusals = 0
+        self.sheds = 0
         self.total_wait_us = 0.0
         self.max_wait_us = 0.0
 
@@ -179,6 +186,20 @@ class AttachmentPool:
         return Checkout(attachment=None, start_us=now_us, wait_us=wait_us,
                         refused=True, reason=reason)
 
+    def _shed(self, now_us: float, wait_us: float) -> Checkout:
+        """Deadline shed: the projected wait already blows the deadline, so
+        the call is turned away at admission — before it queues — with one
+        charged SERVE_SHED standing in for building the refusal reply."""
+        self._charge(costs.SERVE_SHED)
+        self.sheds += 1
+        if self.telemetry.enabled:
+            self.telemetry.record_shed(self.backend, "deadline")
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.interval("pool.shed", now_us, now_us)
+        return Checkout(attachment=None, start_us=now_us, wait_us=wait_us,
+                        refused=True, reason="deadline shed")
+
     def queue_depth(self, now_us: float) -> int:
         """Checkouts granted for the future and not yet started at ``now``."""
         pending = self._pending
@@ -212,6 +233,9 @@ class AttachmentPool:
                                     "pool has no attachments")
             free_at, _, attachment = self._heap[0]
             wait_us = free_at - now_us
+            if self.config.shed_deadline_us and \
+                    wait_us > self.config.shed_deadline_us:
+                return self._shed(now_us, wait_us)
             depth = self.queue_depth(now_us)
             if self.config.overflow == OVERFLOW_REFUSE:
                 return self._refuse(now_us, wait_us, "pool exhausted")

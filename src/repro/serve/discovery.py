@@ -18,7 +18,7 @@ hand.  State transitions are mirrored to telemetry, never to the clock.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import SimulationError
 from ..secmodule.handle_pool import HandlePolicy
@@ -54,6 +54,9 @@ class BackendRecord:
     policy: HandlePolicy
     state: str = STATE_UP
     probes: int = 0
+    #: per-backend circuit breaker (control/overload.py), attached by the
+    #: front-end when its OverloadConfig enables breakers; None = none
+    breaker: object = None
 
     @property
     def module_names(self) -> Tuple[str, ...]:
@@ -145,6 +148,15 @@ class BackendRegistry:
             raise SimulationError(f"unknown backend {ref!r}")
         return record
 
+    def peek(self, ref: Union[str, int, BackendRecord]
+             ) -> Optional[BackendRecord]:
+        """Uncharged record lookup for control-plane bookkeeping (retry
+        budget routing, status surfaces) — never use on the data path."""
+        if isinstance(ref, BackendRecord):
+            return ref
+        return (self._by_id.get(ref) if isinstance(ref, int)
+                else self._by_name.get(ref))
+
     # ------------------------------------------------------------------ health
     def health_check(self, ref: Union[str, int, BackendRecord]
                      ) -> HealthReport:
@@ -213,13 +225,16 @@ class BackendRegistry:
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """Charge-free registry view for status surfaces."""
-        return {
-            record.name: {
+        out: Dict[str, Dict[str, object]] = {}
+        for record in self.backends():
+            entry: Dict[str, object] = {
                 "backend_id": record.backend_id,
                 "state": record.state,
                 "modules": list(record.module_names),
                 "policy": render_policy(record.policy),
                 "probes": record.probes,
             }
-            for record in self.backends()
-        }
+            if record.breaker is not None:
+                entry["breaker"] = record.breaker.snapshot()
+            out[record.name] = entry
+        return out

@@ -27,9 +27,10 @@ contract, pinned by the differential tests).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple, Union
 
+from ..control.overload import CircuitBreaker, OverloadConfig, RetryBudget
 from ..errors import SimulationError
 from ..kernel.errno import Errno
 from ..rpc.rpcgen import (BoundClient, GeneratedService, InterfaceDefinition,
@@ -67,6 +68,9 @@ class ServiceConfig:
     #: raise the kernel's process-table cap (10^6-session runs need one
     #: surrogate client per session plus the pooled handles)
     max_procs: Optional[int] = None
+    #: overload protection (breakers, deadline shedding, retry budgets);
+    #: None = unprotected, every data path byte-identical to before
+    overload: Optional[OverloadConfig] = None
 
 
 @dataclass
@@ -115,6 +119,9 @@ class ServiceFrontend:
         self.bound_calls = 0
         self.pooled_calls = 0
         self.down_refusals = 0
+        self.breaker_refusals = 0
+        #: per-backend RPC-stub retry budgets (OverloadConfig.retry_budget)
+        self._retry_budgets: Dict[str, RetryBudget] = {}
 
     # --------------------------------------------------------------- plumbing
     def attach_tracer(self, tracer: Tracer) -> None:
@@ -125,6 +132,9 @@ class ServiceFrontend:
         self.registry.tracer = tracer
         for pool in self._pools.values():
             pool.tracer = tracer
+        for record in self.registry.backends():
+            if record.breaker is not None:
+                record.breaker.tracer = tracer
         self.extension.dispatcher.tracer = tracer
         self.extension.broker.tracer = tracer
 
@@ -152,6 +162,19 @@ class ServiceFrontend:
         record = self.registry.register(name, modules, policy=policy)
         pool_config = (pool or self.config.pool).with_charging(
             self.config.charge_ops and (pool or self.config.pool).charge_ops)
+        overload = self.config.overload
+        if overload is not None:
+            if overload.deadline_enabled and \
+                    not pool_config.shed_deadline_us:
+                pool_config = replace(pool_config,
+                                      shed_deadline_us=overload.deadline_us)
+            if overload.breaker_enabled:
+                record.breaker = CircuitBreaker(
+                    name, overload, telemetry=self.telemetry,
+                    tracer=self.tracer)
+            if overload.retry_enabled:
+                self._retry_budgets[name] = RetryBudget(
+                    overload.retry_budget, overload.retry_backoff_us)
         pool = AttachmentPool(
             name, lambda rec=record: self._worker_session(rec),
             kernel=self.kernel, config=pool_config, telemetry=self.telemetry)
@@ -292,17 +315,37 @@ class ServiceFrontend:
         span = tracer.start("serve.pooled") if tracer.enabled else None
         record = self.registry.resolve(backend)
         now_us = self._now_us() if arrival_us is None else arrival_us
+        breaker = record.breaker
+        if breaker is not None:
+            self._charge(costs.SERVE_BREAKER_CHECK)
+            allowed, transition = breaker.allow(now_us)
+            if transition is not None:
+                self._charge(costs.SERVE_BREAKER_TRIP)
+            if not allowed:
+                # open breaker: fail fast, never touch the pool — the
+                # whole point is that the refusal costs almost nothing
+                self.breaker_refusals += 1
+                self._charge(costs.SERVE_SHED)
+                refusal = Checkout(
+                    attachment=None, start_us=now_us, wait_us=0.0,
+                    refused=True,
+                    reason=f"backend {record.name!r} breaker open")
+                if span is not None:
+                    tracer.finish(span)
+                return DispatchOutcome(errno=Errno.EAGAIN), refusal
         if record.state == STATE_DOWN:
             self.down_refusals += 1
             refusal = Checkout(attachment=None, start_us=now_us, wait_us=0.0,
                                refused=True,
                                reason=f"backend {record.name!r} is down")
+            self._breaker_outcome(breaker, now_us, False)
             if span is not None:
                 tracer.finish(span)
             return DispatchOutcome(errno=Errno.EAGAIN), refusal
         pool = self.pool(record.name)
         checkout = pool.checkout(now_us)
         if not checkout.ok:
+            self._breaker_outcome(breaker, now_us, False)
             if span is not None:
                 tracer.finish(span)
             return DispatchOutcome(errno=Errno.EAGAIN), checkout
@@ -314,9 +357,20 @@ class ServiceFrontend:
         service_us = self._now_us() - before_us
         pool.checkin(checkout.attachment, checkout.start_us + service_us)
         self.pooled_calls += 1
+        self._breaker_outcome(breaker, now_us, outcome.ok)
         if span is not None:
             tracer.finish(span)
         return outcome, checkout
+
+    def _breaker_outcome(self, breaker: Optional[CircuitBreaker],
+                         now_us: float, ok: bool) -> None:
+        """Fold one call outcome into the backend's breaker (if any),
+        charging the trip op when the outcome causes a transition."""
+        if breaker is None:
+            return
+        transition = breaker.record(now_us, ok)
+        if transition is not None:
+            self._charge(costs.SERVE_BREAKER_TRIP)
 
     # ---------------------------------------------------------------- status
     def status(self, *, probe: bool = True) -> Dict[str, object]:
@@ -335,6 +389,24 @@ class ServiceFrontend:
                 backends[name]["handles"] = report.handles
                 backends[name]["live_handles"] = report.live_handles
                 backends[name]["seated_sessions"] = report.seated_sessions
+        dispatcher = self.extension.dispatcher
+        overload: Dict[str, object] = {
+            "down_refusals": self.down_refusals,
+            "breaker_refusals": self.breaker_refusals,
+            "pool_sheds": {name: pool.sheds
+                           for name, pool in sorted(self._pools.items())},
+            "broker_seat_sheds": self.extension.broker.seat_sheds,
+            "dispatcher_calls_shed": dispatcher.calls_shed,
+            "breakers": {
+                record.name: record.breaker.snapshot()
+                for record in self.registry.backends()
+                if record.breaker is not None},
+            "retry_budgets": {
+                name: budget.snapshot()
+                for name, budget in sorted(self._retry_budgets.items())},
+        }
+        if dispatcher.overload is not None:
+            overload["admission"] = dispatcher.overload.snapshot()
         return {
             "now_us": now_us,
             "live_sessions": len(sessions),
@@ -348,6 +420,7 @@ class ServiceFrontend:
             "pools": {name: pool.stats(now_us)
                       for name, pool in sorted(self._pools.items())},
             "broker": self.extension.broker.snapshot(),
+            "overload": overload,
         }
 
     # ----------------------------------------------------------- RPC surface
@@ -484,5 +557,35 @@ class ServiceFrontend:
         return self._service
 
     def make_client(self, proc) -> BoundClient:
-        """Bind an RPC client proc to the (started) service."""
-        return self.start().make_client(self.kernel, proc)
+        """Bind an RPC client proc to the (started) service.
+
+        When the front-end's overload config grants retry budgets, the
+        stub is wired to retry EAGAIN replies against the per-backend
+        budget with deterministic virtual-time backoff.
+        """
+        client = self.start().make_client(self.kernel, proc)
+        if self._retry_budgets:
+            client.retry_policy = self._retry_budget_for_rpc
+            client.retry_observer = self._note_retry
+        return client
+
+    def retry_budget(self, backend_name: str) -> Optional[RetryBudget]:
+        return self._retry_budgets.get(backend_name)
+
+    def _retry_budget_for_rpc(self, procedure_name: str,
+                              args) -> Optional[RetryBudget]:
+        """Stub-side budget routing: the procedures whose first argument
+        names a backend retry against that backend's budget."""
+        if procedure_name not in ("serve_call_pooled", "serve_attach"):
+            return None
+        record = self.registry.peek(args[0]) if args else None
+        if record is None:
+            return None
+        return self._retry_budgets.get(record.name)
+
+    def _note_retry(self, procedure_name: str, args, outcome: str) -> None:
+        if not self.telemetry.enabled:
+            return
+        record = self.registry.peek(args[0]) if args else None
+        backend = record.name if record is not None else procedure_name
+        self.telemetry.record_retry(backend, outcome)

@@ -111,6 +111,13 @@ SERVE_POOL_CHECKOUT = "serve_pool_checkout"      # claim a pooled attachment
 SERVE_POOL_CHECKIN = "serve_pool_checkin"        # return a pooled attachment
 SERVE_HEALTH_PROBE = "serve_health_probe"        # one backend health check
 
+# --- overload protection (control/overload.py taps) -------------------------
+SMOD_ADMIT_CHECK = "smod_admit_check"     # token-bucket admission decision
+SMOD_ADMIT_REFILL = "smod_admit_refill"   # lazy bucket refill bookkeeping
+SERVE_SHED = "serve_shed"                 # build one shed/fast-fail reply
+SERVE_BREAKER_CHECK = "serve_breaker_check"  # consult a circuit breaker
+SERVE_BREAKER_TRIP = "serve_breaker_trip"    # breaker state transition
+
 #: Every operation name known to the cost model.  Profiles must define all
 #: of them; the check happens at construction time so a typo in kernel code
 #: shows up as a loud KeyError rather than a silently-free operation.
@@ -133,6 +140,8 @@ ALL_OPERATIONS: tuple[str, ...] = (
     RPC_CLNT_CALL_OVERHEAD, RPC_SVC_DISPATCH, RPC_AUTH_CHECK,
     SERVE_BACKEND_RESOLVE, SERVE_POOL_CHECKOUT, SERVE_POOL_CHECKIN,
     SERVE_HEALTH_PROBE,
+    SMOD_ADMIT_CHECK, SMOD_ADMIT_REFILL,
+    SERVE_SHED, SERVE_BREAKER_CHECK, SERVE_BREAKER_TRIP,
 )
 
 
@@ -284,6 +293,14 @@ def _pentium3_table() -> Dict[str, int]:
         SERVE_POOL_CHECKOUT: 52,
         SERVE_POOL_CHECKIN: 38,
         SERVE_HEALTH_PROBE: 70,
+        # overload protection: a bucket/breaker decision is a couple of
+        # table reads and compares; a refill or trip writes state back;
+        # a shed builds the EAGAIN reply without touching the stack
+        SMOD_ADMIT_CHECK: 22,
+        SMOD_ADMIT_REFILL: 18,
+        SERVE_SHED: 30,
+        SERVE_BREAKER_CHECK: 16,
+        SERVE_BREAKER_TRIP: 48,
     }
 
 

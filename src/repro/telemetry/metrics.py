@@ -454,6 +454,28 @@ class Telemetry:
         self.registry.counter(f"serve_backend_state.{state}",
                               backend=backend).inc()
 
+    # ------------------------------------------------- overload-control taps
+    def record_admission(self, client_pid: int, admitted: bool,
+                         n: int = 1) -> None:
+        """Token-bucket admission decisions at the dispatcher entry."""
+        verdict = "admitted" if admitted else "refused"
+        self.registry.counter(f"smod_admission.{verdict}",
+                              client=client_pid).inc(n)
+
+    def record_shed(self, scope: str, reason: str, n: int = 1) -> None:
+        """Calls shed at admission (deadline or queue-depth protection)."""
+        self.registry.counter(f"serve_sheds.{reason}", scope=scope).inc(n)
+
+    def record_breaker_state(self, backend: str, state: str) -> None:
+        """A circuit-breaker transition (closed/open/half_open)."""
+        self.registry.counter(f"serve_breaker_state.{state}",
+                              backend=backend).inc()
+
+    def record_retry(self, backend: str, outcome: str, n: int = 1) -> None:
+        """RPC-stub retry-budget events: ``retried`` / ``exhausted``."""
+        self.registry.counter(f"serve_retries.{outcome}",
+                              backend=backend).inc(n)
+
     # ------------------------------------------------------ cache-layer taps
     def cache_event(self, kind: str, n: int = 1) -> None:
         """One decision-cache event: ``hits``/``misses``/``evictions``/..."""
@@ -529,6 +551,19 @@ class NullTelemetry(Telemetry):
         pass
 
     def record_backend_state(self, backend: str, state: str) -> None:
+        pass
+
+    def record_admission(self, client_pid: int, admitted: bool,
+                         n: int = 1) -> None:
+        pass
+
+    def record_shed(self, scope: str, reason: str, n: int = 1) -> None:
+        pass
+
+    def record_breaker_state(self, backend: str, state: str) -> None:
+        pass
+
+    def record_retry(self, backend: str, outcome: str, n: int = 1) -> None:
         pass
 
     def cache_event(self, kind: str, n: int = 1) -> None:

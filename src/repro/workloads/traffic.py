@@ -178,6 +178,15 @@ class TrafficSpec:
     #: service-plane runs: spread clients round-robin over this many
     #: tenants (>1 switches the session table hierarchical)
     service_tenants: int = 1
+    #: broker seat-queue deadline shedding (overload protection): an
+    #: open-loop arrival whose queueing delay already exceeds this is shed
+    #: at admission — one charged SERVE_SHED instead of a full dispatch
+    #: nobody is waiting for.  0 = off (the default; byte-identical paths)
+    shed_deadline_us: float = 0.0
+    #: closed-loop AIMD feed: when set (>0, adaptive_batch+telemetry runs
+    #: only) the controller also consumes the observed flush service-time
+    #: p95 from telemetry and shrinks while it exceeds this target
+    service_p95_target_us: float = 0.0
     call_mix: Tuple[Tuple[str, float], ...] = DEFAULT_CALL_MIX
     uid: int = 1000
     principal: str = "alice"
@@ -226,6 +235,25 @@ class TrafficSpec:
                     "via_service and adaptive_batch are mutually exclusive")
             if self.service_tenants < 1:
                 raise SimulationError("service_tenants must be >= 1")
+        if self.shed_deadline_us < 0.0:
+            raise SimulationError("shed_deadline_us must be >= 0")
+        if self.shed_deadline_us > 0.0:
+            if self.arrival not in ("open", "mmpp"):
+                raise SimulationError(
+                    "seat-queue shedding acts on the recorded queueing "
+                    "delay; it needs open-loop arrivals "
+                    "(arrival='open' or 'mmpp')")
+            if self.adaptive_batch:
+                raise SimulationError(
+                    "shed_deadline_us and adaptive_batch are mutually "
+                    "exclusive (the controller owns the queue)")
+        if self.service_p95_target_us < 0.0:
+            raise SimulationError("service_p95_target_us must be >= 0")
+        if self.service_p95_target_us > 0.0 and not (
+                self.adaptive_batch and self.telemetry):
+            raise SimulationError(
+                "service_p95_target_us closes the loop from the telemetry "
+                "plane: it needs adaptive_batch=True and telemetry=True")
         # raises on an unknown policy spec
         self.broker_policy()
 
@@ -462,7 +490,10 @@ class TrafficEngine:
         # time (spans + idle), so `_now_us` stays exact mid-window.
         self._ff_enabled = (self.config.use_trace_replay
                             and self.config.use_fast_forward
-                            and not spec.via_service)
+                            and not spec.via_service
+                            # shed decisions are per call; the closed-form
+                            # fast-forward tier would skip them
+                            and spec.shed_deadline_us == 0.0)
         # ---- service plane --------------------------------------------------
         #: the front-end (built lazily with the run) when via_service is on
         self.frontend = None
@@ -491,6 +522,10 @@ class TrafficEngine:
         # record_queue_delay feeds both observation planes; hoist the
         # either-enabled check out of the per-call loops
         self._observe_queue = self._telemetry_on or self.tracer.enabled
+        # broker seat-queue deadline shedding (default off: the gate stays
+        # entirely out of the unprotected per-call paths)
+        self._broker_shed = spec.shed_deadline_us > 0.0
+        self.extension.broker.shed_deadline_us = spec.shed_deadline_us
 
     # ------------------------------------------------------------------- build
     def build(self) -> "TrafficEngine":
@@ -750,6 +785,12 @@ class TrafficEngine:
         session = state.pick_session(registered.m_id)
         if scheduled_at is not None:
             delay = max(0.0, self._now_us() - scheduled_at)
+            if self._broker_shed and not \
+                    self.extension.broker.admit_delay(session, delay, count):
+                # shed at admission: the queueing delay alone already blew
+                # the deadline, so the flush never dispatches (and never
+                # records into the served latency/queue-delay streams)
+                return
             if count == 1:
                 state.queue_delays_us.append(delay)
             else:
@@ -1032,10 +1073,24 @@ class TrafficEngine:
         start_us = self._now_us()
         controllers = {
             state.index: AdaptiveBatchController(
-                AdaptiveConfig(max_depth=spec.adaptive_max_depth),
+                AdaptiveConfig(
+                    max_depth=spec.adaptive_max_depth,
+                    service_p95_target_us=spec.service_p95_target_us),
                 telemetry=self.telemetry, client=state.index,
                 start_us=start_us)
             for state in self.clients}
+        if spec.service_p95_target_us > 0.0:
+            # closed loop: the controllers consume the observed flush
+            # service-time tail straight from the telemetry plane (the
+            # spec validator pinned telemetry on for this mode)
+            registry = self.telemetry.registry
+
+            def service_p95() -> float:
+                return registry.merged_histogram(
+                    "flush_service_us").quantile(95)
+
+            for controller in controllers.values():
+                controller.service_p95_supplier = service_p95
         pending: Dict[int, List[Tuple[str, Tuple]]] = \
             {state.index: [] for state in self.clients}
         arrivals: Dict[int, List[float]] = \
@@ -1100,6 +1155,9 @@ class TrafficEngine:
         session = state.pick_session(registered.m_id)
         if scheduled_at is not None:
             delay = max(0.0, self._now_us() - scheduled_at)
+            if self._broker_shed and not \
+                    self.extension.broker.admit_delay(session, delay):
+                return
             state.queue_delays_us.append(delay)
             if self._observe_queue:
                 self.extension.broker.record_queue_delay(session, delay)

@@ -7,3 +7,8 @@ def call(machine):
     machine.charge(costs.TRAP)
     machine.charge_words(costs.MSG_SEND, 2)
     machine.idle(10)
+
+
+def refuse(machine):
+    machine.charge(costs.ADMIT_CHECK)
+    machine.charge(costs.SHED)

@@ -2,7 +2,9 @@
 
 TRAP = "trap"
 MSG_SEND = "msg_send"
+ADMIT_CHECK = "admit_check"  # overload family: tabled + charged in clean.py
+SHED = "shed"                # ditto -- must raise no COST003/COST004
 DEAD_OP = "dead_op"      # in the table but never charged -> COST004
 BOGUS = "bogus"          # defined but missing from ALL_OPERATIONS -> COST003
 
-ALL_OPERATIONS = (TRAP, MSG_SEND, DEAD_OP)
+ALL_OPERATIONS = (TRAP, MSG_SEND, ADMIT_CHECK, SHED, DEAD_OP)
